@@ -1,0 +1,187 @@
+(* Benchmark executable:
+
+   1. Regenerates every table and figure of the dissertation's evaluation
+      (the experiment harness - the numbers EXPERIMENTS.md records).
+   2. Runs a Bechamel suite with one measurement per table/figure, timing
+      the kernel computation that experiment exercises (at train scale), plus
+      a group over the runtime primitives. *)
+
+module Ir = Xinv_ir
+module Par = Xinv_parallel
+module Wl = Xinv_workloads
+module Cx = Xinv_core.Crossinv
+module Sp = Xinv_speccross
+module Exp = Xinv_experiments.Experiments
+open Bechamel
+
+let train = Wl.Workload.Train
+
+(* ---------- kernels, one per experiment ---------- *)
+
+let barrier_kernel name threads () =
+  let wl = Wl.Registry.find name in
+  let env = wl.Wl.Workload.fresh_env train in
+  ignore
+    (Par.Barrier_exec.run ~threads
+       ~plan:(Wl.Workload.plan_fn wl)
+       (wl.Wl.Workload.program train)
+       env)
+
+let domore_kernel name threads () =
+  let wl = Wl.Registry.find name in
+  let env = wl.Wl.Workload.fresh_env train in
+  let p = wl.Wl.Workload.program train in
+  match Ir.Mtcg.generate p env with
+  | Ir.Mtcg.Plan plan ->
+      let config = Xinv_domore.Domore.default_config ~workers:(threads - 1) in
+      ignore (Xinv_domore.Domore.run ~config ~plan p env)
+  | Ir.Mtcg.Inapplicable r -> failwith r
+
+let speccross_kernel ?(checkpoint_every = 1000) ?(inject = None) name threads () =
+  let wl = Wl.Registry.find name in
+  let env = wl.Wl.Workload.fresh_env train in
+  let p = wl.Wl.Workload.program train in
+  let cfg =
+    {
+      (Sp.Runtime.default_config ~workers:(threads - 1)) with
+      Sp.Runtime.sig_kind =
+        Xinv_runtime.Signature.Segmented (Ir.Memory.bounds env.Ir.Env.mem);
+      checkpoint_every;
+      spec_distance = 4 * Ir.Program.total_iterations p env / Ir.Program.invocations p;
+      inject_misspec = inject;
+    }
+  in
+  ignore (Sp.Runtime.run ~config:cfg p env)
+
+let experiment_tests =
+  [
+    Test.make ~name:"fig1.4 barrier execution plan"
+      (Staged.stage (barrier_kernel "JACOBI" 4));
+    Test.make ~name:"fig2.2 static planner on opaque arrays"
+      (Staged.stage (fun () ->
+           let wl = Wl.Registry.find "SYMM" in
+           let wrapped = Ir.Opaque.wrap (wl.Wl.Workload.program train) in
+           ignore (Par.Plan.choose wrapped)));
+    Test.make ~name:"fig3.3 DOMORE on CG" (Staged.stage (domore_kernel "CG" 8));
+    Test.make ~name:"fig4.3 barrier overhead accounting"
+      (Staged.stage (fun () ->
+           let wl = Wl.Registry.find "FDTD" in
+           let env = wl.Wl.Workload.fresh_env train in
+           let r =
+             Par.Barrier_exec.run ~threads:8
+               ~plan:(Wl.Workload.plan_fn wl)
+               (wl.Wl.Workload.program train)
+               env
+           in
+           ignore (Par.Run.barrier_overhead_pct r)));
+    Test.make ~name:"tab5.1 applicability analysis"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun wl ->
+               ignore (Cx.applicable Cx.Domore wl);
+               ignore (Cx.applicable Cx.Speccross wl))
+             (Wl.Registry.all ())));
+    Test.make ~name:"tab5.2 MTCG compile pipeline"
+      (Staged.stage (fun () ->
+           let wl = Wl.Registry.find "CG" in
+           let env = wl.Wl.Workload.fresh_env train in
+           ignore (Ir.Mtcg.generate (wl.Wl.Workload.program train) env)));
+    Test.make ~name:"fig5.1 DOMORE on BLACKSCHOLES"
+      (Staged.stage (domore_kernel "BLACKSCHOLES" 8));
+    Test.make ~name:"fig5.2 SPECCROSS on JACOBI"
+      (Staged.stage (speccross_kernel "JACOBI" 8));
+    Test.make ~name:"tab5.3 dependence profiler"
+      (Staged.stage (fun () ->
+           let wl = Wl.Registry.find "FDTD" in
+           let env = wl.Wl.Workload.fresh_env train in
+           ignore (Sp.Profiler.profile (wl.Wl.Workload.program train) env)));
+    Test.make ~name:"fig5.3 checkpointed + misspec run"
+      (Staged.stage
+         (speccross_kernel ~checkpoint_every:8 ~inject:(Some (20, 0)) "JACOBI" 8));
+    Test.make ~name:"fig5.4 DOACROSS baseline"
+      (Staged.stage (fun () ->
+           let wl = Wl.Registry.find "LOOPDEP" in
+           let env = wl.Wl.Workload.fresh_env train in
+           ignore (Par.Doacross.run ~threads:8 (wl.Wl.Workload.program train) env)));
+    Test.make ~name:"fig5.6 FLUIDANIMATE speccross"
+      (Staged.stage (speccross_kernel "FLUIDANIMATE-2" 8));
+  ]
+
+let primitive_tests =
+  let sig_kernel kind () =
+    let s = Xinv_runtime.Signature.create kind in
+    for i = 0 to 199 do
+      Xinv_runtime.Signature.add s (i * 37 mod 1000)
+    done;
+    let t = Xinv_runtime.Signature.create kind in
+    Xinv_runtime.Signature.add t 500;
+    ignore (Xinv_runtime.Signature.intersects s t)
+  in
+  [
+    Test.make ~name:"signature range"
+      (Staged.stage (sig_kernel Xinv_runtime.Signature.Range));
+    Test.make ~name:"signature segmented"
+      (Staged.stage (sig_kernel (Xinv_runtime.Signature.Segmented [| 0; 250; 500; 750 |])));
+    Test.make ~name:"signature bloom"
+      (Staged.stage (sig_kernel (Xinv_runtime.Signature.Bloom { bits = 1024; hashes = 3 })));
+    Test.make ~name:"shadow memory 1k accesses"
+      (Staged.stage (fun () ->
+           let sh = Xinv_runtime.Shadow.create () in
+           for i = 0 to 999 do
+             ignore
+               (Xinv_runtime.Shadow.note_write sh (i mod 128)
+                  { Xinv_runtime.Shadow.tid = i mod 4; iter = i })
+           done));
+    Test.make ~name:"DES engine 1k events"
+      (Staged.stage (fun () ->
+           let eng = Xinv_sim.Engine.create () in
+           for _ = 1 to 4 do
+             ignore
+               (Xinv_sim.Engine.spawn eng (fun () ->
+                    for _ = 1 to 250 do
+                      Xinv_sim.Proc.work 1.
+                    done))
+           done;
+           Xinv_sim.Engine.run eng));
+  ]
+
+let run_bechamel tests =
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:30 ~quota:(Time.second 0.4) ~kde:None () in
+  let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"xinv" tests) in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name res ->
+      let est =
+        match Analyze.OLS.estimates res with Some (e :: _) -> e | _ -> nan
+      in
+      rows := (name, est) :: !rows)
+    results;
+  List.sort compare !rows
+
+let () =
+  print_endline "================================================================";
+  print_endline " Part 1: regenerated evaluation (every table and figure)";
+  print_endline "================================================================\n";
+  List.iter
+    (fun (e : Exp.t) ->
+      Printf.printf "==== %s: %s ====\n%!" e.Exp.id e.Exp.title;
+      print_endline (e.Exp.render ());
+      print_newline ())
+    Exp.all;
+  print_endline "================================================================";
+  print_endline " Part 2: Bechamel timings (train-scale kernels, wall clock)";
+  print_endline "================================================================\n";
+  let print_rows rows =
+    List.iter
+      (fun (name, ns) -> Printf.printf "  %-42s %12.0f ns/run\n" name ns)
+      rows
+  in
+  print_endline "per-experiment kernels:";
+  print_rows (run_bechamel experiment_tests);
+  print_endline "\nruntime primitives:";
+  print_rows (run_bechamel primitive_tests)

@@ -1,0 +1,253 @@
+(* crossinv: command-line driver for the cross-invocation parallelization
+   library.  Subcommands: list, run, experiment, all, profile. *)
+
+module Cx = Xinv_core.Crossinv
+module Wl = Xinv_workloads
+module Exp = Xinv_experiments.Experiments
+
+open Cmdliner
+
+let workload_conv =
+  let parse s =
+    match Wl.Registry.find s with
+    | wl -> Ok wl
+    | exception Invalid_argument msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf (wl : Wl.Workload.t) -> Format.fprintf ppf "%s" wl.Wl.Workload.name)
+
+let technique_conv =
+  let parse s =
+    match Cx.technique_of_string s with
+    | Some t -> Ok t
+    | None -> Error (`Msg (Printf.sprintf "unknown technique %s" s))
+  in
+  Arg.conv (parse, fun ppf t -> Format.fprintf ppf "%s" (Cx.technique_name t))
+
+let input_conv =
+  let parse s =
+    match Wl.Workload.input_of_string s with
+    | Some i -> Ok i
+    | None -> Error (`Msg (Printf.sprintf "unknown input %s (train|ref|ref-spec)" s))
+  in
+  Arg.conv (parse, fun ppf i -> Format.fprintf ppf "%s" (Wl.Workload.input_name i))
+
+let threads_arg =
+  Arg.(value & opt int 24 & info [ "t"; "threads" ] ~docv:"N" ~doc:"Simulated cores.")
+
+let input_arg =
+  Arg.(
+    value
+    & opt input_conv Wl.Workload.Ref
+    & info [ "i"; "input" ] ~docv:"INPUT" ~doc:"Input set: train, ref or ref-spec.")
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    print_endline "Workloads:";
+    List.iter
+      (fun (wl : Wl.Workload.t) ->
+        Printf.printf "  %-16s (%s, %s)\n" wl.Wl.Workload.name wl.Wl.Workload.suite
+          wl.Wl.Workload.func)
+      (Wl.Registry.all ());
+    print_endline "\nExperiments:";
+    List.iter
+      (fun (e : Exp.t) -> Printf.printf "  %-8s %s\n" e.Exp.id e.Exp.title)
+      Exp.all;
+    print_endline
+      "\nTechniques: sequential, barrier, doacross, dswp, inspector-executor, tls, \
+       domore, domore-dup, speccross"
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads, experiments and techniques.")
+    Term.(const run $ const ())
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let run wl technique threads input verbose =
+    match Cx.applicable technique wl with
+    | Error reason ->
+        Printf.printf "%s is inapplicable to %s: %s\n" (Cx.technique_name technique)
+          wl.Wl.Workload.name reason;
+        exit 1
+    | Ok () ->
+        let o = Cx.execute ~input ~technique ~threads wl in
+        Printf.printf "%s under %s, %d threads (input %s):\n" wl.Wl.Workload.name
+          (Cx.technique_name technique) threads
+          (Wl.Workload.input_name input);
+        Printf.printf "  sequential cost  %.0f cycles\n" o.Cx.seq_cost;
+        Printf.printf "  speedup          %.2fx\n" o.Cx.speedup;
+        Printf.printf "  verified         %b\n" o.Cx.verified;
+        (match o.Cx.run with
+        | Some r when verbose -> Format.printf "  %a@." Xinv_parallel.Run.pp r
+        | _ -> ());
+        (match o.Cx.profile with
+        | Some prof when verbose ->
+            Format.printf "  %a@." Xinv_speccross.Profiler.pp prof
+        | _ -> ());
+        if not o.Cx.verified then exit 2
+  in
+  let wl_arg =
+    Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
+  in
+  let tech_arg =
+    Arg.(
+      value
+      & opt technique_conv Cx.Domore
+      & info [ "x"; "technique" ] ~docv:"TECH" ~doc:"Parallelization technique.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Detailed stats.") in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one workload under one technique and verify the result.")
+    Term.(const run $ wl_arg $ tech_arg $ threads_arg $ input_arg $ verbose)
+
+(* ---- experiment ---- *)
+
+let experiment_cmd =
+  let run ids =
+    List.iter
+      (fun id ->
+        match Exp.find id with
+        | e ->
+            print_endline (e.Exp.render ());
+            print_newline ()
+        | exception Invalid_argument msg ->
+            prerr_endline msg;
+            exit 1)
+      ids
+  in
+  let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID") in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate one or more paper figures/tables (e.g. fig5.2 tab5.1).")
+    Term.(const run $ ids)
+
+(* ---- all ---- *)
+
+let all_cmd =
+  let run () =
+    List.iter
+      (fun (e : Exp.t) ->
+        Printf.printf "==== %s: %s ====\n%!" e.Exp.id e.Exp.title;
+        print_endline (e.Exp.render ());
+        print_newline ())
+      Exp.all
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Regenerate every figure and table of the evaluation.")
+    Term.(const run $ const ())
+
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let run (wl : Wl.Workload.t) input =
+    let env = wl.Wl.Workload.fresh_env input in
+    let prof = Xinv_speccross.Profiler.profile (wl.Wl.Workload.program input) env in
+    Format.printf "%s (%s input):@.%a@." wl.Wl.Workload.name
+      (Wl.Workload.input_name input)
+      Xinv_speccross.Profiler.pp prof
+  in
+  let wl_arg =
+    Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Run the dependence-distance profiler on a workload.")
+    Term.(const run $ wl_arg $ input_arg)
+
+(* ---- plan ---- *)
+
+let plan_cmd =
+  let run (wl : Wl.Workload.t) dot =
+    let program = wl.Wl.Workload.program Wl.Workload.Ref in
+    let pdg = Xinv_ir.Pdg.build program in
+    if dot then begin
+      let part = Xinv_ir.Partition.compute program pdg in
+      print_endline (Xinv_ir.Dot.pdg ~partition:part pdg);
+      prerr_endline "(DAG-SCC on stderr)";
+      prerr_endline (Xinv_ir.Dot.dag_scc pdg)
+    end
+    else begin
+      Printf.printf "inner-loop plan (Table 5.1):
+";
+      List.iter
+        (fun (label, t) ->
+          Printf.printf "  %-24s %s
+" label (Xinv_parallel.Intra.name t))
+        wl.Wl.Workload.plan;
+      print_newline ();
+      let env = wl.Wl.Workload.fresh_env Wl.Workload.Ref in
+      match Xinv_ir.Mtcg.generate program env with
+      | Xinv_ir.Mtcg.Inapplicable reason ->
+          Printf.printf "DOMORE transformation: inapplicable (%s)
+" reason
+      | Xinv_ir.Mtcg.Plan plan ->
+          Printf.printf "DOMORE transformation (scheduler/worker estimate %.1f%%):
+
+"
+            (100. *. plan.Xinv_ir.Mtcg.guard_ratio);
+          print_endline (Xinv_ir.Mtcg.render plan)
+    end
+  in
+  let wl_arg =
+    Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
+  in
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit the PDG as Graphviz DOT.") in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Show the parallelization plan and generated DOMORE code for a workload.")
+    Term.(const run $ wl_arg $ dot)
+
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let run (wl : Wl.Workload.t) technique threads width =
+    let program = wl.Wl.Workload.program Wl.Workload.Train in
+    let env = wl.Wl.Workload.fresh_env Wl.Workload.Train in
+    let r =
+      match technique with
+      | Cx.Barrier ->
+          Xinv_parallel.Barrier_exec.run ~trace:true ~threads
+            ~plan:(Wl.Workload.plan_fn wl) program env
+      | Cx.Speccross ->
+          let cfg =
+            {
+              (Xinv_speccross.Runtime.default_config ~workers:(threads - 1)) with
+              Xinv_speccross.Runtime.sig_kind =
+                Xinv_runtime.Signature.Segmented
+                  (Xinv_ir.Memory.bounds env.Xinv_ir.Env.mem);
+            }
+          in
+          Xinv_speccross.Runtime.run ~config:cfg ~trace:true program env
+      | _ ->
+          prerr_endline "trace supports -x barrier and -x speccross";
+          exit 1
+    in
+    print_endline
+      (Xinv_sim.Trace.render ~width (Xinv_sim.Engine.segments r.Xinv_parallel.Run.engine))
+  in
+  let wl_arg =
+    Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
+  in
+  let tech_arg =
+    Arg.(
+      value
+      & opt technique_conv Cx.Barrier
+      & info [ "x"; "technique" ] ~docv:"TECH" ~doc:"barrier or speccross.")
+  in
+  let width =
+    Arg.(value & opt int 40 & info [ "rows" ] ~docv:"N" ~doc:"Timeline rows.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Render the execution plan of a (train-scale) run as a timeline.")
+    Term.(const run $ wl_arg $ tech_arg $ threads_arg $ width)
+
+let main =
+  Cmd.group
+    (Cmd.info "crossinv" ~version:"1.0.0"
+       ~doc:
+         "Cross-invocation parallelism using runtime information: DOMORE and \
+          SPECCROSS on a simulated multicore.")
+    [ list_cmd; run_cmd; experiment_cmd; all_cmd; profile_cmd; plan_cmd; trace_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/particle_system.ml: List Printf Stdlib Xinv_core Xinv_domore Xinv_ir Xinv_parallel Xinv_runtime Xinv_speccross Xinv_workloads

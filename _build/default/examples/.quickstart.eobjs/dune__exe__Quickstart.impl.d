@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Xinv_core Xinv_workloads

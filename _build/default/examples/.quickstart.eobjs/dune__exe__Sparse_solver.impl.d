@@ -1,0 +1,1 @@
+examples/sparse_solver.ml: Array Float List Printf String Xinv_domore Xinv_ir Xinv_parallel Xinv_util

@@ -1,0 +1,1 @@
+examples/stencil_pipeline.ml: Array Float Format Printf Xinv_ir Xinv_parallel Xinv_runtime Xinv_speccross

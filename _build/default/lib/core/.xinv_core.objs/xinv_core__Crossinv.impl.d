@@ -1,0 +1,1 @@
+lib/core/crossinv.ml: List Printf Stdlib String Xinv_domore Xinv_ir Xinv_parallel Xinv_runtime Xinv_sim Xinv_speccross Xinv_workloads

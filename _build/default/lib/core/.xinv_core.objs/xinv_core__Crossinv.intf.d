@@ -1,0 +1,1 @@
+lib/core/crossinv.mli: Xinv_parallel Xinv_sim Xinv_speccross Xinv_workloads

@@ -1,0 +1,198 @@
+module Ir = Xinv_ir
+module Sim = Xinv_sim
+module Par = Xinv_parallel
+module Wl = Xinv_workloads
+
+type technique =
+  | Sequential
+  | Barrier
+  | Doacross
+  | Dswp
+  | Inspector
+  | Tls
+  | Domore
+  | Domore_dup
+  | Speccross
+  | Speccross_inject of int
+
+let technique_name = function
+  | Sequential -> "sequential"
+  | Barrier -> "barrier"
+  | Doacross -> "doacross"
+  | Dswp -> "dswp"
+  | Inspector -> "inspector-executor"
+  | Tls -> "tls"
+  | Domore -> "domore"
+  | Domore_dup -> "domore-dup"
+  | Speccross -> "speccross"
+  | Speccross_inject e -> Printf.sprintf "speccross-inject@%d" e
+
+let technique_of_string s =
+  match String.lowercase_ascii s with
+  | "sequential" | "seq" -> Some Sequential
+  | "barrier" | "pthread" -> Some Barrier
+  | "doacross" -> Some Doacross
+  | "dswp" -> Some Dswp
+  | "inspector" | "inspector-executor" | "ie" -> Some Inspector
+  | "tls" -> Some Tls
+  | "domore" -> Some Domore
+  | "domore-dup" -> Some Domore_dup
+  | "speccross" -> Some Speccross
+  | _ -> None
+
+type outcome = {
+  run : Par.Run.t option;
+  seq_cost : float;
+  speedup : float;
+  verified : bool;
+  mismatches : (string * int) list;
+  profile : Xinv_speccross.Profiler.t option;
+}
+
+let spec_mode_of_plan (wl : Wl.Workload.t) label =
+  match Wl.Workload.technique_of wl label with
+  | Par.Intra.Doall | Par.Intra.Spec_doall -> Xinv_speccross.Runtime.M_doall
+  | Par.Intra.Localwrite -> Xinv_speccross.Runtime.M_localwrite
+  | Par.Intra.Doany -> Xinv_speccross.Runtime.M_doall
+
+let applicable technique (wl : Wl.Workload.t) =
+  match technique with
+  | Sequential | Barrier | Doacross | Dswp -> Ok ()
+  | Inspector | Tls | Domore | Domore_dup ->
+      let env = wl.Wl.Workload.fresh_env Wl.Workload.Ref in
+      Par.Plan.domore_applicable (wl.Wl.Workload.program Wl.Workload.Ref) env
+  | Speccross | Speccross_inject _ ->
+      if
+        List.exists
+          (fun (_, t) -> t = Par.Intra.Spec_doall)
+          wl.Wl.Workload.plan
+      then Error "inner loop requires speculative intra-invocation parallelization"
+      else Par.Plan.speccross_applicable (wl.Wl.Workload.program Wl.Workload.Ref)
+
+let sequential_cost (wl : Wl.Workload.t) input =
+  let env = wl.Wl.Workload.fresh_env input in
+  (Ir.Seq_interp.run (wl.Wl.Workload.program input) env, env)
+
+let execute ?(machine = Sim.Machine.default) ?(input = Wl.Workload.Ref)
+    ?(checkpoint_every = 1000) ?(verify = true) ~technique ~threads (wl : Wl.Workload.t)
+    =
+  assert (threads > 0);
+  let program = wl.Wl.Workload.program input in
+  let seq_cost, seq_env = sequential_cost wl input in
+  let env = wl.Wl.Workload.fresh_env input in
+  let plan = Wl.Workload.plan_fn wl in
+  let run, profile =
+    match technique with
+    | Sequential -> (None, None)
+    | Barrier -> (Some (Par.Barrier_exec.run ~machine ~threads ~plan program env), None)
+    | Doacross -> (Some (Par.Doacross.run ~machine ~threads program env), None)
+    | Dswp -> (Some (Par.Dswp.run ~machine ~threads program env), None)
+    | Inspector -> (
+        match Ir.Mtcg.generate program env with
+        | Ir.Mtcg.Inapplicable reason ->
+            failwith
+              (Printf.sprintf "inspector-executor inapplicable to %s: %s"
+                 wl.Wl.Workload.name reason)
+        | Ir.Mtcg.Plan mplan ->
+            (Some (Par.Inspector.run ~machine ~threads ~plan:mplan program env), None))
+    | Tls -> (
+        match Ir.Mtcg.generate program env with
+        | Ir.Mtcg.Inapplicable reason ->
+            failwith
+              (Printf.sprintf "TLS inapplicable to %s: %s" wl.Wl.Workload.name reason)
+        | Ir.Mtcg.Plan mplan ->
+            (Some (Par.Tls.run ~machine ~threads ~plan:mplan program env), None))
+    | Domore -> (
+        match Ir.Mtcg.generate program env with
+        | Ir.Mtcg.Inapplicable reason ->
+            failwith (Printf.sprintf "DOMORE inapplicable to %s: %s" wl.Wl.Workload.name reason)
+        | Ir.Mtcg.Plan mplan ->
+            let workers = Stdlib.max 1 (threads - 1) in
+            let config =
+              {
+                Xinv_domore.Domore.machine;
+                policy =
+                  (if wl.Wl.Workload.mem_partition then Xinv_domore.Policy.Mem_partition
+                   else Xinv_domore.Policy.Round_robin);
+                workers;
+              }
+            in
+            (Some (Xinv_domore.Domore.run ~config ~plan:mplan program env), None))
+    | Domore_dup -> (
+        match Ir.Mtcg.generate program env with
+        | Ir.Mtcg.Inapplicable reason ->
+            failwith (Printf.sprintf "DOMORE inapplicable to %s: %s" wl.Wl.Workload.name reason)
+        | Ir.Mtcg.Plan mplan ->
+            let config =
+              {
+                Xinv_domore.Domore.machine;
+                policy =
+                  (if wl.Wl.Workload.mem_partition then Xinv_domore.Policy.Mem_partition
+                   else Xinv_domore.Policy.Round_robin);
+                workers = threads;
+              }
+            in
+            (Some (Xinv_domore.Duplicated.run ~config ~plan:mplan program env), None))
+    | Speccross | Speccross_inject _ ->
+        let train_input =
+          match input with
+          | Wl.Workload.Ref_spec -> Wl.Workload.Train_spec
+          | _ -> Wl.Workload.Train
+        in
+        let train_env = wl.Wl.Workload.fresh_env train_input in
+        let prof =
+          Xinv_speccross.Profiler.profile (wl.Wl.Workload.program train_input) train_env
+        in
+        let workers = Stdlib.max 1 (threads - 1) in
+        if not (Xinv_speccross.Profiler.profitable prof ~workers) then
+          (* §4.4: a minimum dependence distance below the worker count
+             recommends against speculating — fall back to real barriers. *)
+          ( Some (Par.Barrier_exec.run ~machine ~threads ~plan program env),
+            Some prof )
+        else
+          let inject =
+            match technique with Speccross_inject e -> Some (e, 0) | _ -> None
+          in
+          let config =
+            {
+              Xinv_speccross.Runtime.machine;
+              workers;
+              sig_kind =
+                Xinv_runtime.Signature.Segmented (Ir.Memory.bounds env.Ir.Env.mem);
+              checkpoint_every;
+              spec_distance =
+                (match prof.Xinv_speccross.Profiler.min_task_distance with
+                | Some d -> Stdlib.max workers d
+                | None ->
+                    (* No profiled conflict: still bound the lead (a few
+                       invocations) so threads stay loosely coupled and the
+                       checker's comparison windows stay small. *)
+                    Stdlib.max (4 * workers)
+                      (int_of_float
+                         (4. *. prof.Xinv_speccross.Profiler.avg_tasks_per_epoch)));
+              mode_of = spec_mode_of_plan wl;
+              inject_misspec = inject;
+              non_spec_barriers = false;
+              tm_style = false;
+            }
+          in
+          (Some (Xinv_speccross.Runtime.run ~config program env), Some prof)
+  in
+  let mismatches =
+    if verify && technique <> Sequential then
+      Ir.Memory.diff seq_env.Ir.Env.mem env.Ir.Env.mem
+    else []
+  in
+  let speedup =
+    match run with
+    | None -> 1.0
+    | Some r -> Par.Run.speedup ~seq_cost r
+  in
+  {
+    run;
+    seq_cost;
+    speedup;
+    verified = mismatches = [];
+    mismatches;
+    profile;
+  }

@@ -1,0 +1,59 @@
+(** Public facade: run a workload under any of the parallelization systems
+    this library reproduces, on a simulated multicore, and compare against
+    sequential execution.
+
+    Quickstart:
+    {[
+      let wl = Xinv_workloads.Registry.find "CG" in
+      let outcome = Crossinv.execute ~technique:Crossinv.Domore ~threads:8 wl in
+      Format.printf "speedup %.2fx, verified: %b@."
+        outcome.Crossinv.speedup outcome.Crossinv.verified
+    ]} *)
+
+type technique =
+  | Sequential
+  | Barrier  (** per-invocation parallelization (Table 5.1 plan) + pthread barriers *)
+  | Doacross
+  | Dswp
+  | Inspector  (** inspector-executor (§2.2): wavefront scheduling *)
+  | Tls  (** thread-level speculation (§2.2): in-order-commit speculation *)
+  | Domore  (** Chapter 3: scheduler/worker runtime engine *)
+  | Domore_dup  (** §3.4: duplicated scheduler, no barriers *)
+  | Speccross  (** Chapter 4: speculative barriers *)
+  | Speccross_inject of int
+      (** SPECCROSS with one forced misspeculation at the given epoch *)
+
+val technique_name : technique -> string
+
+val technique_of_string : string -> technique option
+
+type outcome = {
+  run : Xinv_parallel.Run.t option;  (** [None] for sequential execution *)
+  seq_cost : float;  (** sequential virtual time of the same input *)
+  speedup : float;
+  verified : bool;  (** final memory identical to sequential execution *)
+  mismatches : (string * int) list;  (** locations that differ, when any *)
+  profile : Xinv_speccross.Profiler.t option;  (** SPECCROSS profiling result *)
+}
+
+val applicable :
+  technique -> Xinv_workloads.Workload.t -> (unit, string) result
+(** Compile-time applicability of the technique to the workload. *)
+
+val execute :
+  ?machine:Xinv_sim.Machine.t ->
+  ?input:Xinv_workloads.Workload.input ->
+  ?checkpoint_every:int ->
+  ?verify:bool ->
+  technique:technique ->
+  threads:int ->
+  Xinv_workloads.Workload.t ->
+  outcome
+(** Runs the workload under the technique with [threads] simulated cores
+    total (DOMORE: 1 scheduler + workers; SPECCROSS: workers + 1 checker).
+    SPECCROSS profiles the train input first, as the paper's toolchain
+    does.  @raise Failure when the technique is inapplicable. *)
+
+val spec_mode_of_plan :
+  Xinv_workloads.Workload.t -> string -> Xinv_speccross.Runtime.mode
+(** Map the workload's Table 5.1 plan onto SPECCROSS execution modes. *)

@@ -1,0 +1,1 @@
+lib/domore/domore.ml: Array List Policy Printf Xinv_ir Xinv_parallel Xinv_runtime Xinv_sim

@@ -1,0 +1,1 @@
+lib/domore/domore.mli: Policy Xinv_ir Xinv_parallel Xinv_sim

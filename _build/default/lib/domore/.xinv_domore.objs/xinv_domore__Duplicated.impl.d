@@ -1,0 +1,1 @@
+lib/domore/duplicated.ml: Array Domore List Policy Printf Xinv_ir Xinv_parallel Xinv_runtime Xinv_sim

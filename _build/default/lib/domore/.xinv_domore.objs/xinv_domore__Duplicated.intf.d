@@ -1,0 +1,1 @@
+lib/domore/duplicated.mli: Domore Xinv_ir Xinv_parallel Xinv_runtime Xinv_sim

@@ -1,0 +1,1 @@
+lib/domore/policy.ml: Array Xinv_ir

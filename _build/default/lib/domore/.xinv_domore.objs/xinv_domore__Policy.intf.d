@@ -1,0 +1,1 @@
+lib/domore/policy.mli: Xinv_ir

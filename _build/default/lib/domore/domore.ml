@@ -1,0 +1,121 @@
+module Sim = Xinv_sim
+module Ir = Xinv_ir
+module Rt = Xinv_runtime
+
+type config = { machine : Sim.Machine.t; policy : Policy.t; workers : int }
+
+let default_config ~workers =
+  { machine = Sim.Machine.default; policy = Policy.Round_robin; workers }
+
+type msg =
+  | Sync of Rt.Sync_cond.t
+  | Do of { t : int; j : int; inner : int; iter : int }
+
+let run ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
+  let config = match config with Some c -> c | None -> default_config ~workers:3 in
+  let { machine; policy; workers } = config in
+  assert (workers > 0);
+  if plan.Ir.Mtcg.scheduler_extra <> [] then
+    invalid_arg "Domore.run: body statements re-partitioned into the scheduler";
+  let eng = Sim.Engine.create () in
+  let queues =
+    Array.init workers (fun _ ->
+        Sim.Channel.create ~produce_cost:machine.Sim.Machine.queue_produce
+          ~consume_cost:machine.Sim.Machine.queue_consume ())
+  in
+  let cells = Array.init workers (fun _ -> Sim.Mono_cell.create ~init:(-1) ()) in
+  let shadow = Rt.Shadow.create () in
+  let wf = Sim.Machine.work_factor machine ~threads:(workers + 1) in
+  let iternum = ref 0 in
+  let conds = ref 0 in
+  let bodies = Array.of_list p.Ir.Program.inners in
+  let scheduler () =
+    for t = 0 to p.Ir.Program.outer_trip - 1 do
+      let env_t = Ir.Env.with_outer env t in
+      Array.iteri
+        (fun ii (il : Ir.Program.inner) ->
+          List.iter
+            (fun (s : Ir.Stmt.t) ->
+              Sim.Proc.advance ~label:s.Ir.Stmt.name Sim.Category.Sequential
+                (wf *. s.Ir.Stmt.cost env_t);
+              s.Ir.Stmt.exec env_t)
+            il.Ir.Program.pre;
+          let slice = Ir.Mtcg.slice_for plan il.Ir.Program.ilabel in
+          let slice_cost = Ir.Slice.cost_per_iter slice in
+          let trip = il.Ir.Program.trip env_t in
+          for j = 0 to trip - 1 do
+            let env_j = Ir.Env.with_inner env_t j in
+            Sim.Proc.advance ~label:"computeAddr" Sim.Category.Runtime
+              (slice_cost +. machine.Sim.Machine.sched_per_iter);
+            let raddrs = Ir.Slice.read_addresses slice env_j in
+            let waddrs = Ir.Slice.write_addresses slice env_j in
+            let loads = Array.map Sim.Channel.length queues in
+            let tid =
+              Policy.pick policy ~loads:(Some loads) ~mem:env.Ir.Env.mem
+                ~threads:workers ~iter:!iternum ~write_addrs:waddrs
+            in
+            Sim.Proc.advance ~label:"shadow" Sim.Category.Runtime
+              (machine.Sim.Machine.shadow_per_addr
+              *. float_of_int (List.length raddrs + List.length waddrs));
+            let me = { Rt.Shadow.tid; iter = !iternum } in
+            let deps = ref [] in
+            let note found =
+              List.iter
+                (fun (d : Rt.Shadow.entry) ->
+                  let c = (d.Rt.Shadow.tid, d.Rt.Shadow.iter) in
+                  if not (List.mem c !deps) then deps := c :: !deps)
+                found
+            in
+            List.iter (fun addr -> note (Rt.Shadow.note_read shadow addr me)) raddrs;
+            List.iter (fun addr -> note (Rt.Shadow.note_write shadow addr me)) waddrs;
+            List.iter
+              (fun (dt, di) ->
+                incr conds;
+                Sim.Channel.produce queues.(tid)
+                  (Sync (Rt.Sync_cond.Wait { dep_tid = dt; dep_iter = di })))
+              (List.rev !deps);
+            Sim.Channel.produce queues.(tid) (Do { t; j; inner = ii; iter = !iternum });
+            incr iternum
+          done)
+        bodies
+    done;
+    Array.iter (fun q -> Sim.Channel.produce q (Sync Rt.Sync_cond.End_token)) queues
+  in
+  let worker w () =
+    let continue_ = ref true in
+    while !continue_ do
+      match Sim.Channel.consume queues.(w) with
+      | Sync Rt.Sync_cond.End_token -> continue_ := false
+      | Sync (Rt.Sync_cond.No_sync _) -> ()
+      | Sync (Rt.Sync_cond.Wait { dep_tid; dep_iter }) ->
+          Sim.Mono_cell.wait_ge ~cat:Sim.Category.Sync_wait cells.(dep_tid) dep_iter
+      | Do { t; j; inner; iter } ->
+          let il = bodies.(inner) in
+          let env_j = Ir.Env.with_inner (Ir.Env.with_outer env t) j in
+          List.iter
+            (fun (s : Ir.Stmt.t) ->
+              Sim.Proc.work ~label:s.Ir.Stmt.name (wf *. s.Ir.Stmt.cost env_j);
+              s.Ir.Stmt.exec env_j)
+            il.Ir.Program.body;
+          Sim.Mono_cell.set cells.(w) iter
+    done
+  in
+  let _sched = Sim.Engine.spawn eng ~name:"scheduler" scheduler in
+  for w = 0 to workers - 1 do
+    ignore (Sim.Engine.spawn eng ~name:(Printf.sprintf "worker%d" w) (worker w))
+  done;
+  Sim.Engine.run eng;
+  Xinv_parallel.Run.make ~technique:"DOMORE" ~threads:(workers + 1)
+    ~makespan:(Sim.Engine.now eng) ~engine:eng ~tasks:!iternum
+    ~invocations:(Ir.Program.invocations p) ~checks:!conds ()
+
+let transform_and_run ?config (p : Ir.Program.t) env =
+  match Ir.Mtcg.generate p env with
+  | Ir.Mtcg.Inapplicable reason -> Error reason
+  | Ir.Mtcg.Plan plan -> Ok (run ?config ~plan p env)
+
+let scheduler_worker_ratio (r : Xinv_parallel.Run.t) =
+  let eng = r.Xinv_parallel.Run.engine in
+  let sched = Sim.Engine.busy eng 0 -. Sim.Engine.charged eng 0 Sim.Category.Idle in
+  let work = Sim.Engine.total eng Sim.Category.Work in
+  if work <= 0. then infinity else sched /. work

@@ -1,0 +1,39 @@
+(** The DOMORE runtime engine (dissertation Chapter 3).
+
+    One scheduler thread executes the sequential regions, duplicates address
+    computation ([computeAddr]) for every inner-loop iteration, detects
+    dynamic dependences through shadow memory, and dispatches iterations with
+    synchronization conditions to worker threads over lock-free queues.
+    Workers stall only on conditions that name iterations they genuinely
+    depend on, so iterations of consecutive invocations overlap — the
+    non-speculative exploitation of cross-invocation parallelism. *)
+
+type config = {
+  machine : Xinv_sim.Machine.t;
+  policy : Policy.t;
+  workers : int;  (** worker threads, excluding the scheduler *)
+}
+
+val default_config : workers:int -> config
+
+val run :
+  ?config:config ->
+  plan:Xinv_ir.Mtcg.plan ->
+  Xinv_ir.Program.t ->
+  Xinv_ir.Env.t ->
+  Xinv_parallel.Run.t
+(** Simulates DOMORE execution; mutates the environment's memory to the
+    final program state.  The scheduler is simulated thread 0, workers are
+    threads 1..workers.  @raise Invalid_argument if the plan re-partitioned
+    body statements into the scheduler (unsupported degenerate case). *)
+
+val transform_and_run :
+  ?config:config ->
+  Xinv_ir.Program.t ->
+  Xinv_ir.Env.t ->
+  (Xinv_parallel.Run.t, string) result
+(** Full pipeline: MTCG compile (against a pristine copy of the input
+    state), then {!run}. *)
+
+val scheduler_worker_ratio : Xinv_parallel.Run.t -> float
+(** Scheduler busy time over total worker work (Table 5.2's metric). *)

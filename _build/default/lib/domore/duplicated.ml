@@ -1,0 +1,94 @@
+module Sim = Xinv_sim
+module Ir = Xinv_ir
+module Rt = Xinv_runtime
+
+let iteration_executor ~(config : Domore.config) ~(plan : Ir.Mtcg.plan) ~cells ~shadow
+    ~iternum ~tid env (il : Ir.Program.inner) =
+  let machine = config.Domore.machine in
+  let slice = Ir.Mtcg.slice_for plan il.Ir.Program.ilabel in
+  (* Duplicated scheduling work: every thread pays it for every iteration. *)
+  Sim.Proc.advance ~label:"computeAddr" Sim.Category.Redundant
+    (Ir.Slice.cost_per_iter slice +. machine.Sim.Machine.sched_per_iter);
+  let raddrs = Ir.Slice.read_addresses slice env in
+  let waddrs = Ir.Slice.write_addresses slice env in
+  let owner =
+    Policy.pick config.Domore.policy ~loads:None ~mem:env.Ir.Env.mem
+      ~threads:config.Domore.workers ~iter:!iternum ~write_addrs:waddrs
+  in
+  Sim.Proc.advance ~label:"shadow" Sim.Category.Redundant
+    (machine.Sim.Machine.shadow_per_addr
+    *. float_of_int (List.length raddrs + List.length waddrs));
+  let me = { Rt.Shadow.tid = owner; iter = !iternum } in
+  let deps = ref [] in
+  let note found =
+    List.iter
+      (fun (d : Rt.Shadow.entry) ->
+        let c = (d.Rt.Shadow.tid, d.Rt.Shadow.iter) in
+        if not (List.mem c !deps) then deps := c :: !deps)
+      found
+  in
+  List.iter (fun addr -> note (Rt.Shadow.note_read shadow addr me)) raddrs;
+  List.iter (fun addr -> note (Rt.Shadow.note_write shadow addr me)) waddrs;
+  if owner = tid then begin
+    let wf = Sim.Machine.work_factor machine ~threads:config.Domore.workers in
+    (* Conditions are self-produced and self-consumed (Figure 3.9). *)
+    Sim.Proc.advance ~label:"conds" Sim.Category.Queue
+      (float_of_int (List.length !deps)
+      *. (machine.Sim.Machine.queue_produce +. machine.Sim.Machine.queue_consume));
+    List.iter
+      (fun (dt, di) -> Sim.Mono_cell.wait_ge ~cat:Sim.Category.Sync_wait cells.(dt) di)
+      (List.rev !deps);
+    List.iter
+      (fun (s : Ir.Stmt.t) ->
+        Sim.Proc.work ~label:s.Ir.Stmt.name (wf *. s.Ir.Stmt.cost env);
+        s.Ir.Stmt.exec env)
+      il.Ir.Program.body;
+    Sim.Mono_cell.set cells.(tid) !iternum
+  end;
+  incr iternum
+
+let run ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
+  let config = match config with Some c -> c | None -> Domore.default_config ~workers:4 in
+  let workers = config.Domore.workers in
+  assert (workers > 0);
+  if plan.Ir.Mtcg.scheduler_extra <> [] then
+    invalid_arg "Duplicated.run: body statements re-partitioned into the scheduler";
+  let eng = Sim.Engine.create () in
+  let cells = Array.init workers (fun _ -> Sim.Mono_cell.create ~init:(-1) ()) in
+  let tasks = ref 0 in
+  let worker tid () =
+    let shadow = Rt.Shadow.create () in
+    let iternum = ref 0 in
+    for t = 0 to p.Ir.Program.outer_trip - 1 do
+      let env_t = Ir.Env.with_outer env t in
+      List.iter
+        (fun (il : Ir.Program.inner) ->
+          (* Sequential region duplicated on every thread: threads may be in
+             different outer iterations, so each executes its own copy; the
+             privatizability requirement (per-invocation slots, deterministic
+             values) makes the duplicated writes idempotent. *)
+          let wf = Sim.Machine.work_factor config.Domore.machine ~threads:workers in
+          List.iter
+            (fun (s : Ir.Stmt.t) ->
+              let cat =
+                if tid = 0 then Sim.Category.Sequential else Sim.Category.Redundant
+              in
+              Sim.Proc.advance ~label:s.Ir.Stmt.name cat (wf *. s.Ir.Stmt.cost env_t);
+              s.Ir.Stmt.exec env_t)
+            il.Ir.Program.pre;
+          let trip = il.Ir.Program.trip env_t in
+          if tid = 0 then tasks := !tasks + trip;
+          for j = 0 to trip - 1 do
+            iteration_executor ~config ~plan ~cells ~shadow ~iternum ~tid
+              (Ir.Env.with_inner env_t j) il
+          done)
+        p.Ir.Program.inners
+    done
+  in
+  for w = 0 to workers - 1 do
+    ignore (Sim.Engine.spawn eng ~name:(Printf.sprintf "dup%d" w) (worker w))
+  done;
+  Sim.Engine.run eng;
+  Xinv_parallel.Run.make ~technique:"DOMORE-dup" ~threads:workers
+    ~makespan:(Sim.Engine.now eng) ~engine:eng ~tasks:!tasks
+    ~invocations:(Ir.Program.invocations p) ()

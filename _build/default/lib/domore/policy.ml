@@ -1,0 +1,26 @@
+type t = Round_robin | Mem_partition | Least_loaded
+
+let name = function
+  | Round_robin -> "round-robin"
+  | Mem_partition -> "memory-partition"
+  | Least_loaded -> "least-loaded"
+
+let pick t ~loads ~mem ~threads ~iter ~write_addrs =
+  assert (threads > 0);
+  match t with
+  | Round_robin -> iter mod threads
+  | Mem_partition -> (
+      match write_addrs with
+      | [] -> iter mod threads
+      | addr :: _ ->
+          let arr, idx = Xinv_ir.Memory.locate mem addr in
+          idx * threads / Xinv_ir.Memory.size mem arr)
+  | Least_loaded -> (
+      match loads with
+      | None -> iter mod threads
+      | Some ls ->
+          let best = ref (iter mod threads) in
+          for w = 0 to threads - 1 do
+            if ls.(w) < ls.(!best) then best := w
+          done;
+          !best)

@@ -1,0 +1,24 @@
+(** Iteration scheduling policies for the DOMORE scheduler (dissertation
+    §3.3.3): round-robin, and LOCALWRITE-style memory partitioning where an
+    iteration goes to the owner of the memory it writes. *)
+
+type t =
+  | Round_robin
+  | Mem_partition  (** owner of the first predicted write address *)
+  | Least_loaded
+      (** worker with the shortest dispatch queue (the "smarter scheduling"
+          extension §3.3.3 anticipates); callers supply queue lengths *)
+
+val name : t -> string
+
+val pick :
+  t ->
+  loads:int array option ->
+  mem:Xinv_ir.Memory.t ->
+  threads:int ->
+  iter:int ->
+  write_addrs:int list ->
+  int
+(** Worker thread for a combined iteration number given the slice-predicted
+    write addresses.  Memory partitioning owns contiguous blocks of the
+    written array (as LOCALWRITE does), not of the flat address space. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Common List Printf Stdlib Xinv_core Xinv_domore Xinv_ir Xinv_parallel Xinv_runtime Xinv_sim Xinv_speccross Xinv_util Xinv_workloads

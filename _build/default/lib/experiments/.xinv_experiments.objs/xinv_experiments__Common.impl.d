@@ -1,0 +1,1 @@
+lib/experiments/common.ml: List Printf String Xinv_core Xinv_util Xinv_workloads

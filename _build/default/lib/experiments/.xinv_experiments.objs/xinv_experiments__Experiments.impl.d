@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Ablations Figures List Printf String Tables

@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array Common Float List Printf Stdlib String Xinv_core Xinv_domore Xinv_ir Xinv_parallel Xinv_runtime Xinv_sim Xinv_speccross Xinv_util Xinv_workloads

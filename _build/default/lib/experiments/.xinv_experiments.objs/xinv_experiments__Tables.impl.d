@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Common List Printf String Xinv_core Xinv_domore Xinv_ir Xinv_parallel Xinv_speccross Xinv_util Xinv_workloads

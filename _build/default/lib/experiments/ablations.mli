@@ -1,0 +1,19 @@
+(** Ablation studies over the design choices DESIGN.md calls out — beyond
+    the dissertation's own figures. *)
+
+val signatures : unit -> string
+(** Signature scheme ablation (plain range vs per-array segmented vs Bloom
+    vs exact) on the SPECCROSS benchmarks: false positives of the coarse
+    schemes turn into misspeculation storms. *)
+
+val policies : unit -> string
+(** DOMORE iteration-scheduling policy ablation (round-robin vs memory
+    partition vs least-loaded). *)
+
+val contention : unit -> string
+(** Sensitivity of the headline results to the machine model's memory
+    contention factor. *)
+
+val inspector : unit -> string
+(** Inspector-executor vs DOMORE: what run-ahead across invocation
+    boundaries buys over per-invocation runtime scheduling. *)

@@ -1,0 +1,48 @@
+type t = { id : string; title : string; render : unit -> string }
+
+let all =
+  [
+    { id = "fig1.4"; title = "Execution plans with and without barriers"; render = Figures.fig1_4 };
+    { id = "fig2.2"; title = "Sensitivity to memory analysis"; render = Figures.fig2_2 };
+    { id = "fig2.8"; title = "TLS vs DOACROSS/DSWP"; render = Figures.fig2_8 };
+    { id = "fig3.3"; title = "CG with and without DOMORE"; render = Figures.fig3_3 };
+    { id = "fig4.3"; title = "Barrier synchronization overhead"; render = Figures.fig4_3 };
+    { id = "fig4.4"; title = "TM-style checking vs epoch rule"; render = Figures.fig4_4 };
+    { id = "tab5.1"; title = "Benchmark details"; render = Tables.tab5_1 };
+    { id = "tab5.2"; title = "Scheduler/worker ratio"; render = Tables.tab5_2 };
+    { id = "fig5.1"; title = "DOMORE vs pthread barrier"; render = Figures.fig5_1 };
+    { id = "fig5.2"; title = "SPECCROSS vs pthread barrier"; render = Figures.fig5_2 };
+    { id = "tab5.3"; title = "Speculation statistics"; render = Tables.tab5_3 };
+    { id = "fig5.3"; title = "Checkpointing frequency and misspeculation"; render = Figures.fig5_3 };
+    { id = "fig5.4"; title = "This work vs previous work"; render = Figures.fig5_4 };
+    { id = "fig5.6"; title = "FLUIDANIMATE case study"; render = Figures.fig5_6 };
+    { id = "abl.sig"; title = "Ablation: signature schemes"; render = Ablations.signatures };
+    { id = "abl.sched"; title = "Ablation: DOMORE scheduling policies"; render = Ablations.policies };
+    { id = "abl.machine"; title = "Ablation: memory contention model"; render = Ablations.contention };
+    { id = "abl.ie"; title = "Ablation: inspector-executor vs DOMORE"; render = Ablations.inspector };
+  ]
+
+let normalize id =
+  let id = String.lowercase_ascii (String.trim id) in
+  let id =
+    List.fold_left
+      (fun acc (prefix, repl) ->
+        if String.length acc >= String.length prefix
+           && String.sub acc 0 (String.length prefix) = prefix
+        then repl ^ String.sub acc (String.length prefix) (String.length acc - String.length prefix)
+        else acc)
+      id
+      [ ("figure-", "fig"); ("figure", "fig"); ("table-", "tab"); ("table", "tab") ]
+  in
+  if String.length id > 0 && (id.[0] >= '0' && id.[0] <= '9') then "fig" ^ id else id
+
+let find id =
+  let target = normalize id in
+  match List.find_opt (fun e -> e.id = target) all with
+  | Some e -> e
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown experiment %s (known: %s)" id
+           (String.concat ", " (List.map (fun e -> e.id) all)))
+
+let ids = List.map (fun e -> e.id) all

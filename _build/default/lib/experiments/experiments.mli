@@ -1,0 +1,15 @@
+(** Registry of every reproduced table and figure. *)
+
+type t = {
+  id : string;  (** e.g. "fig5.2", "tab5.1" *)
+  title : string;
+  render : unit -> string;
+}
+
+val all : t list
+
+val find : string -> t
+(** Accepts "5.2", "fig5.2" or "figure-5.2" style ids.
+    @raise Invalid_argument on unknown id. *)
+
+val ids : string list

@@ -1,0 +1,39 @@
+(** Regeneration of every figure in the dissertation's evaluation (see
+    DESIGN.md for the experiment index).  Each function returns the rendered
+    text artifact. *)
+
+val fig1_4 : unit -> string
+(** Execution plans with and without barriers (trace of the Figure 1.3
+    program). *)
+
+val fig2_2 : unit -> string
+(** Performance sensitivity to memory analysis: static vs dynamically
+    allocated arrays. *)
+
+val fig2_8 : unit -> string
+(** TLS vs DOACROSS/DSWP on the Figure 2.6 loop. *)
+
+val fig4_4 : unit -> string
+(** TM-style checking vs SPECCROSS's epoch rule. *)
+
+val fig3_3 : unit -> string
+(** CG speedup, DOMORE vs pthread barrier. *)
+
+val fig4_3 : unit -> string
+(** Barrier overhead share at 8 and 24 threads for the SPECCROSS set. *)
+
+val fig5_1 : unit -> string
+(** DOMORE vs pthread barrier, six benchmarks, full thread axis. *)
+
+val fig5_2 : unit -> string
+(** SPECCROSS vs pthread barrier, eight benchmarks, full thread axis. *)
+
+val fig5_3 : unit -> string
+(** Geomean speedup vs number of checkpoints, with and without one injected
+    misspeculation, 24 threads. *)
+
+val fig5_4 : unit -> string
+(** Best of this work vs best prior technique per benchmark. *)
+
+val fig5_6 : unit -> string
+(** FLUIDANIMATE under five parallelization strategies. *)

@@ -1,0 +1,12 @@
+(** Regeneration of the evaluation tables. *)
+
+val tab5_1 : unit -> string
+(** Benchmark details: suite, function, execution share, inner-loop plan,
+    DOMORE / SPECCROSS applicability (measured, with the mechanism). *)
+
+val tab5_2 : unit -> string
+(** Scheduler/worker ratio for the DOMORE benchmarks. *)
+
+val tab5_3 : unit -> string
+(** Tasks, epochs, checking requests and minimum dependence distance
+    (train and ref inputs) for the SPECCROSS benchmarks. *)

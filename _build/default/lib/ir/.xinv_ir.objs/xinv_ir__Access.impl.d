@@ -1,0 +1,1 @@
+lib/ir/access.ml: Affine Expr Format Memory String

@@ -1,0 +1,1 @@
+lib/ir/access.mli: Affine Env Expr Format Memory

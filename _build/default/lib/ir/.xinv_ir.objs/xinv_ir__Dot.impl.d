@@ -1,0 +1,1 @@
+lib/ir/dot.ml: Array Buffer List Partition Pdg Printf Scc Stmt String

@@ -1,0 +1,1 @@
+lib/ir/env.ml: List Memory Printf

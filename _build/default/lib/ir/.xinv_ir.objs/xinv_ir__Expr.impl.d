@@ -1,0 +1,1 @@
+lib/ir/expr.ml: Env Format Memory Stdlib

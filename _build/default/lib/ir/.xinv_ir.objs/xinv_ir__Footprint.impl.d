@@ -1,0 +1,1 @@
+lib/ir/footprint.ml: Access Env Expr List Memory Program Stmt

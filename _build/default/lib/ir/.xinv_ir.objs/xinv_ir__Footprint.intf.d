@@ -1,0 +1,1 @@
+lib/ir/footprint.mli: Env Program Stmt

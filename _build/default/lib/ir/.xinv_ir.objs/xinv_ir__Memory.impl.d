@@ -1,0 +1,1 @@
+lib/ir/memory.ml: Array Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/ir/mtcg.ml: Access Affine Buffer Expr List Partition Pdg Printf Program Slice Stmt

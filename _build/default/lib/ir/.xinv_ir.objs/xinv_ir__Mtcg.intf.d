@@ -1,0 +1,1 @@
+lib/ir/mtcg.mli: Env Partition Pdg Program Slice Stmt

@@ -1,0 +1,1 @@
+lib/ir/opaque.ml: Access Array Env Expr List Memory Program Stmt

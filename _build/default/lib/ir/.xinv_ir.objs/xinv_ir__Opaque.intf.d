@@ -1,0 +1,1 @@
+lib/ir/opaque.mli: Env Program

@@ -1,0 +1,1 @@
+lib/ir/partition.ml: Array Format List Pdg Printf Program Scc Stmt

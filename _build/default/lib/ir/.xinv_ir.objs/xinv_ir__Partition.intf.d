@@ -1,0 +1,1 @@
+lib/ir/partition.mli: Format Pdg Program Stmt

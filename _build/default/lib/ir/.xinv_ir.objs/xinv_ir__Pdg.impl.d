@@ -1,0 +1,1 @@
+lib/ir/pdg.ml: Access Array Expr Format Hashtbl List Printf Program Scc Stmt

@@ -1,0 +1,1 @@
+lib/ir/pdg.mli: Format Program Scc Stmt

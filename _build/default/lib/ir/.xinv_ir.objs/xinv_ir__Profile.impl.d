@@ -1,0 +1,1 @@
+lib/ir/profile.ml: Access Env Expr Hashtbl List Memory Program Stmt

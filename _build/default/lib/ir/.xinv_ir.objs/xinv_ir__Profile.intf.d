@@ -1,0 +1,1 @@
+lib/ir/profile.mli: Env Program

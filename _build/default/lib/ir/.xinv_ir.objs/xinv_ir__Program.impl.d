@@ -1,0 +1,1 @@
+lib/ir/program.ml: Env Format List Printf Stmt String

@@ -1,0 +1,1 @@
+lib/ir/scc.ml: Array Hashtbl List Stdlib

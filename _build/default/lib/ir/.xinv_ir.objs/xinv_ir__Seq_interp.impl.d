@@ -1,0 +1,1 @@
+lib/ir/seq_interp.ml: Env List Program Stmt

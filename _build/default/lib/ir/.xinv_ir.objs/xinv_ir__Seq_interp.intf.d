@@ -1,0 +1,1 @@
+lib/ir/seq_interp.mli: Env Program

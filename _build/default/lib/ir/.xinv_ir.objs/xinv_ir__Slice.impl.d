@@ -1,0 +1,1 @@
+lib/ir/slice.ml: Access Env Expr List Partition Pdg Printf Program Stdlib Stmt String Xinv_util

@@ -1,0 +1,1 @@
+lib/ir/slice.mli: Access Env Partition Pdg Program Stmt

@@ -1,0 +1,1 @@
+lib/ir/stmt.ml: Access Env Expr Format List String

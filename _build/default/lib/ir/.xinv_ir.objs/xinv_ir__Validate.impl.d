@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Access Env Expr Format Fun List Memory Program Stdlib Stmt

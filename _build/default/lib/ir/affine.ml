@@ -1,0 +1,32 @@
+type t = { ci : int; co : int; k : int }
+
+let rec of_expr : Expr.t -> t option = function
+  | Expr.Const k -> Some { ci = 0; co = 0; k }
+  | Expr.Ivar -> Some { ci = 1; co = 0; k = 0 }
+  | Expr.Ovar -> Some { ci = 0; co = 1; k = 0 }
+  | Expr.Param _ | Expr.Load _ -> None
+  | Expr.Bin (op, x, y) -> (
+      match (of_expr x, of_expr y) with
+      | Some a, Some b -> (
+          match op with
+          | Expr.Add -> Some { ci = a.ci + b.ci; co = a.co + b.co; k = a.k + b.k }
+          | Expr.Sub -> Some { ci = a.ci - b.ci; co = a.co - b.co; k = a.k - b.k }
+          | Expr.Mul when a.ci = 0 && a.co = 0 ->
+              Some { ci = a.k * b.ci; co = a.k * b.co; k = a.k * b.k }
+          | Expr.Mul when b.ci = 0 && b.co = 0 ->
+              Some { ci = b.k * a.ci; co = b.k * a.co; k = b.k * a.k }
+          | _ -> None)
+      | _ -> None)
+
+let equal a b = a.ci = b.ci && a.co = b.co && a.k = b.k
+
+let pp ppf a = Format.fprintf ppf "%d*j + %d*t + %d" a.ci a.co a.k
+
+let same_iteration_only a b = a.ci = b.ci && a.ci <> 0 && a.co = b.co && a.k = b.k
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let overlaps_some_iteration a b =
+  let g = gcd (gcd a.ci a.co) (gcd b.ci b.co) in
+  let d = b.k - a.k in
+  if g = 0 then d = 0 else d mod g = 0

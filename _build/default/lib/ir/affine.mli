@@ -1,0 +1,29 @@
+(** Affine normal form of index expressions: [ci*j + co*t + k].
+
+    The static dependence tests (DOALL legality, cross-invocation overlap)
+    only understand this form; anything else — index-array loads, runtime
+    parameters, non-linear arithmetic — is treated conservatively as
+    irregular, which is precisely the imprecision of static analysis the
+    dissertation's runtime techniques exist to overcome. *)
+
+type t = { ci : int;  (** coefficient of the inner induction variable *)
+           co : int;  (** coefficient of the outer induction variable *)
+           k : int  (** constant *) }
+
+val of_expr : Expr.t -> t option
+(** [None] when the expression is not affine in the induction variables. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val same_iteration_only : t -> t -> bool
+(** For two accesses to the same array within the same invocation: true when
+    indices can only coincide for equal inner iterations (no loop-carried
+    overlap).  Requires equal [ci] and [co]; then overlap forces [k1 = k2]
+    and the same [j]. *)
+
+val overlaps_some_iteration : t -> t -> bool
+(** Whether there exist (possibly different) iteration vectors making the two
+    indices equal, assuming unbounded loops: the conservative cross-iteration
+    / cross-invocation test. *)

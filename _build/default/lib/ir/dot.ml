@@ -1,0 +1,64 @@
+let escape s =
+  String.concat "\\\"" (String.split_on_char '"' s)
+
+let edge_attrs (e : Pdg.edge) =
+  let style =
+    match e.Pdg.kind with
+    | Pdg.Intra | Pdg.Flow -> "solid"
+    | Pdg.Cross_iter -> "dashed"
+    | Pdg.Cross_invoc -> "bold"
+  in
+  let label =
+    match (e.Pdg.kind, e.Pdg.carried_outer) with
+    | Pdg.Cross_iter, _ -> "cross-iter"
+    | Pdg.Cross_invoc, true -> "cross-invoc (outer)"
+    | Pdg.Cross_invoc, false -> "cross-invoc"
+    | Pdg.Flow, _ -> "flow"
+    | Pdg.Intra, _ -> ""
+  in
+  Printf.sprintf "style=%s, label=\"%s\"" style label
+
+let pdg ?partition (t : Pdg.t) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "digraph pdg {\n  rankdir=TB;\n";
+  List.iter
+    (fun ((s : Stmt.t), (l : Pdg.loc)) ->
+      let shape =
+        match partition with
+        | Some part when Partition.side_of part s.Stmt.sid = Partition.Scheduler -> "box"
+        | Some _ -> "ellipse"
+        | None -> if l.Pdg.in_body then "ellipse" else "box"
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  n%d [shape=%s, label=\"%s\"];\n" s.Stmt.sid shape
+           (escape s.Stmt.name)))
+    t.Pdg.stmts;
+  List.iter
+    (fun (e : Pdg.edge) ->
+      Buffer.add_string b
+        (Printf.sprintf "  n%d -> n%d [%s];\n" e.Pdg.src e.Pdg.dst (edge_attrs e)))
+    t.Pdg.edges;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let dag_scc (t : Pdg.t) =
+  let graph, sids = Pdg.to_graph t in
+  let comps, edges = Scc.condense graph in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "digraph dagscc {\n  rankdir=TB;\n";
+  List.iteri
+    (fun ci nodes ->
+      let names =
+        List.map
+          (fun v -> escape (Pdg.stmt_of t sids.(v)).Stmt.name)
+          nodes
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  c%d [shape=box, label=\"{%s}\"];\n" ci
+           (String.concat "; " names)))
+    comps;
+  List.iter
+    (fun (src, dst) -> Buffer.add_string b (Printf.sprintf "  c%d -> c%d;\n" src dst))
+    edges;
+  Buffer.add_string b "}\n";
+  Buffer.contents b

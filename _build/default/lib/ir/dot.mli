@@ -1,0 +1,13 @@
+(** Graphviz export of the compiler's graph artifacts, for inspection of the
+    dependence structure behind a parallelization decision. *)
+
+val pdg : ?partition:Partition.t -> Pdg.t -> string
+(** DOT source for a program dependence graph; when a partition is given,
+    scheduler statements are drawn as boxes and workers as ellipses.  Edge
+    styles encode the dependence kind (solid: intra-iteration / flow,
+    dashed: cross-iteration, bold: cross-invocation; outer-carried edges are
+    annotated). *)
+
+val dag_scc : Pdg.t -> string
+(** DOT source for the condensation into strongly connected components (the
+    DAG-SCC the DOMORE partitioner works on). *)

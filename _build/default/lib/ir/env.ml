@@ -1,0 +1,17 @@
+type t = {
+  mem : Memory.t;
+  params : (string * int) list;
+  t_outer : int;
+  j_inner : int;
+}
+
+let make ?(params = []) mem = { mem; params; t_outer = 0; j_inner = 0 }
+
+let with_outer env t = { env with t_outer = t }
+
+let with_inner env j = { env with j_inner = j }
+
+let param env name =
+  match List.assoc_opt name env.params with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Env.param: unknown parameter %s" name)

@@ -1,0 +1,18 @@
+(** Evaluation contexts for IR expressions and statements. *)
+
+type t = {
+  mem : Memory.t;
+  params : (string * int) list;  (** runtime parameters (input sizes, seeds) *)
+  t_outer : int;  (** outer-loop induction variable (invocation number) *)
+  j_inner : int;  (** inner-loop induction variable (iteration number) *)
+}
+
+val make : ?params:(string * int) list -> Memory.t -> t
+(** Context with both induction variables at 0. *)
+
+val with_outer : t -> int -> t
+
+val with_inner : t -> int -> t
+
+val param : t -> string -> int
+(** @raise Invalid_argument on unknown parameter. *)

@@ -1,0 +1,88 @@
+type binop = Add | Sub | Mul | Div | Mod | Min | Max
+
+type t =
+  | Const of int
+  | Ivar
+  | Ovar
+  | Param of string
+  | Load of string * t
+  | Bin of binop * t * t
+
+let apply op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then invalid_arg "Expr.eval: division by zero" else a / b
+  | Mod -> if b = 0 then invalid_arg "Expr.eval: modulo by zero" else a mod b
+  | Min -> Stdlib.min a b
+  | Max -> Stdlib.max a b
+
+let rec eval env = function
+  | Const k -> k
+  | Ivar -> env.Env.j_inner
+  | Ovar -> env.Env.t_outer
+  | Param p -> Env.param env p
+  | Load (a, ix) -> Memory.get_int env.Env.mem a (eval env ix)
+  | Bin (op, x, y) -> apply op (eval env x) (eval env y)
+
+let op_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Min -> "min"
+  | Max -> "max"
+
+let rec pp ppf = function
+  | Const k -> Format.fprintf ppf "%d" k
+  | Ivar -> Format.fprintf ppf "j"
+  | Ovar -> Format.fprintf ppf "t"
+  | Param p -> Format.fprintf ppf "%s" p
+  | Load (a, ix) -> Format.fprintf ppf "%s[%a]" a pp ix
+  | Bin ((Min | Max) as op, x, y) ->
+      Format.fprintf ppf "%s(%a, %a)" (op_str op) pp x pp y
+  | Bin (op, x, y) -> Format.fprintf ppf "(%a %s %a)" pp x (op_str op) pp y
+
+let to_string e = Format.asprintf "%a" pp e
+
+let rec loads = function
+  | Const _ | Ivar | Ovar | Param _ -> []
+  | Load (a, ix) -> (a, ix) :: loads ix
+  | Bin (_, x, y) -> loads x @ loads y
+
+let rec uses_ivar = function
+  | Ivar -> true
+  | Const _ | Ovar | Param _ -> false
+  | Load (_, ix) -> uses_ivar ix
+  | Bin (_, x, y) -> uses_ivar x || uses_ivar y
+
+let rec uses_ovar = function
+  | Ovar -> true
+  | Const _ | Ivar | Param _ -> false
+  | Load (_, ix) -> uses_ovar ix
+  | Bin (_, x, y) -> uses_ovar x || uses_ovar y
+
+let is_loop_invariant e = not (uses_ivar e)
+
+let ( + ) a b = Bin (Add, a, b)
+
+let ( - ) a b = Bin (Sub, a, b)
+
+let ( * ) a b = Bin (Mul, a, b)
+
+let ( mod ) a b = Bin (Mod, a, b)
+
+let i = Ivar
+
+let o = Ovar
+
+let c k = Const k
+
+let ld a ix = Load (a, ix)
+
+let rec size = function
+  | Const _ | Ivar | Ovar | Param _ -> 1
+  | Load (_, ix) -> Stdlib.( + ) 1 (size ix)
+  | Bin (_, x, y) -> Stdlib.( + ) 1 (Stdlib.( + ) (size x) (size y))

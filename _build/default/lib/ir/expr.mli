@@ -1,0 +1,59 @@
+(** Integer index expressions of the loop-nest IR.
+
+    Expressions compute array indices and scalar integer values.  They may
+    read integer arrays ([Load]) — that is how irregular, input-dependent
+    access patterns (index arrays, graph adjacency, particle grids) enter the
+    IR, and it is exactly the part static dependence analysis cannot see
+    through (Chapter 2 of the dissertation). *)
+
+type binop = Add | Sub | Mul | Div | Mod | Min | Max
+
+type t =
+  | Const of int
+  | Ivar  (** inner-loop induction variable *)
+  | Ovar  (** outer-loop induction variable *)
+  | Param of string  (** runtime-constant parameter *)
+  | Load of string * t  (** integer-array element *)
+  | Bin of binop * t * t
+
+val eval : Env.t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val loads : t -> (string * t) list
+(** All [Load] sub-terms (array name, index expression), outermost first. *)
+
+val is_loop_invariant : t -> bool
+(** True when the expression does not mention [Ivar] (constant within one
+    inner-loop invocation as long as loaded arrays are not written). *)
+
+val uses_ivar : t -> bool
+
+val uses_ovar : t -> bool
+
+(** Convenience constructors. *)
+
+val ( + ) : t -> t -> t
+
+val ( - ) : t -> t -> t
+
+val ( * ) : t -> t -> t
+
+val ( mod ) : t -> t -> t
+
+val i : t
+(** [Ivar]. *)
+
+val o : t
+(** [Ovar]. *)
+
+val c : int -> t
+(** Constant. *)
+
+val ld : string -> t -> t
+(** [Load]. *)
+
+val size : t -> int
+(** Number of nodes (address-computation cost proxy for slicing). *)

@@ -1,0 +1,62 @@
+(** Simulated shared memory: named integer and floating-point arrays.
+
+    Every array lives at a distinct base offset in one flat address space, so
+    a concrete access can be rendered as a single global address — the
+    currency of DOMORE's shadow memory and SPECCROSS's access signatures. *)
+
+type t
+
+type spec =
+  | Ints of string * int array  (** name, initial contents (copied) *)
+  | Floats of string * float array
+
+val create : spec list -> t
+
+val names : t -> string list
+
+val base : t -> string -> int
+(** Base offset of an array in the flat address space. *)
+
+val size : t -> string -> int
+
+val addr : t -> string -> int -> int
+(** [addr m a i] is the flat address of [a.(i)].  Bounds-checked. *)
+
+val get_int : t -> string -> int -> int
+
+val set_int : t -> string -> int -> int -> unit
+
+val get_float : t -> string -> int -> float
+
+val set_float : t -> string -> int -> float -> unit
+
+val snapshot : t -> t
+(** Deep copy (checkpointing). *)
+
+val restore : dst:t -> src:t -> unit
+(** Copy the contents of [src] (a {!snapshot} of the same layout) into
+    [dst]. *)
+
+val equal : t -> t -> bool
+(** Structural equality of layout and contents (floats compared exactly). *)
+
+val total_words : t -> int
+
+val diff : t -> t -> (string * int) list
+(** Locations (array, index) whose contents differ; empty iff {!equal}. *)
+
+val bounds : t -> int array
+(** Base offsets of all arrays in layout order (ascending) — the segment
+    boundaries for per-array access signatures. *)
+
+val locate : t -> int -> string * int
+(** Array and index containing a flat address. *)
+
+val to_specs : t -> spec list
+(** Current contents as creation specs (layout order) — lets callers rebuild
+    an extended memory. *)
+
+val set_observer : (write:bool -> string -> int -> unit) option -> t -> unit
+(** Install (or clear) an access observer: every subsequent [get_*]/[set_*]
+    on this memory reports to it.  Used by {!Validate} to check that
+    statement semantics stay within their declared footprints. *)

@@ -1,0 +1,22 @@
+let idmap = "idmap"
+
+let wrap_access (a : Access.t) =
+  { a with Access.index = Expr.Load (idmap, a.Access.index) }
+
+let wrap_stmt (s : Stmt.t) =
+  {
+    s with
+    Stmt.reads = List.map wrap_access s.Stmt.reads;
+    writes = List.map wrap_access s.Stmt.writes;
+  }
+
+let wrap_inner (il : Program.inner) =
+  { il with Program.body = List.map wrap_stmt il.Program.body }
+
+let wrap (p : Program.t) =
+  { p with Program.inners = List.map wrap_inner p.Program.inners }
+
+let extend_env (env : Env.t) ~size =
+  let specs = Memory.to_specs env.Env.mem in
+  let mem = Memory.create (specs @ [ Memory.Ints (idmap, Array.init size (fun i -> i)) ]) in
+  { env with Env.mem }

@@ -1,0 +1,14 @@
+(** Rewrites a program so that every array index is loaded through an
+    identity index array ("dynamically allocated arrays" in Figure 2.2 of
+    the dissertation): the semantics and costs are unchanged, but every
+    access becomes irregular to static analysis, reproducing the fragility
+    of analysis-based parallelization. *)
+
+val idmap : string
+(** Name of the identity array the rewritten program loads through. *)
+
+val wrap : Program.t -> Program.t
+
+val extend_env : Env.t -> size:int -> Env.t
+(** Fresh environment whose memory additionally holds the identity array
+    (of [size] entries). *)

@@ -1,0 +1,76 @@
+type side = Scheduler | Worker
+
+type t = { assign : (int * side) list; moved : int list }
+
+let initial_side (l : Pdg.loc) = if l.Pdg.in_body then Worker else Scheduler
+
+let compute (_p : Program.t) (pdg : Pdg.t) =
+  let graph, sids = Pdg.to_graph pdg in
+  let comps, comp_edges = Scc.condense graph in
+  let comps = Array.of_list comps in
+  let ncomps = Array.length comps in
+  (* Initial side per component: scheduler if it contains any sequential
+     statement (rule 1 subsumes the initial partition). *)
+  let side = Array.make ncomps Worker in
+  Array.iteri
+    (fun ci nodes ->
+      if
+        List.exists
+          (fun v -> initial_side (Pdg.loc_of pdg sids.(v)) = Scheduler)
+          nodes
+      then side.(ci) <- Scheduler)
+    comps;
+  (* Rule 2: a worker component with an edge into a scheduler component gets
+     re-partitioned to the scheduler; iterate to fixpoint. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (src, dst) ->
+        if side.(src) = Worker && side.(dst) = Scheduler then begin
+          side.(src) <- Scheduler;
+          changed := true
+        end)
+      comp_edges
+  done;
+  let assign = ref [] and moved = ref [] in
+  Array.iteri
+    (fun ci nodes ->
+      List.iter
+        (fun v ->
+          let sid = sids.(v) in
+          assign := (sid, side.(ci)) :: !assign;
+          if side.(ci) = Scheduler && initial_side (Pdg.loc_of pdg sid) = Worker then
+            moved := sid :: !moved)
+        nodes)
+    comps;
+  { assign = List.rev !assign; moved = List.rev !moved }
+
+let side_of t sid =
+  match List.assoc_opt sid t.assign with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Partition.side_of: unknown sid %d" sid)
+
+let stmts_on side t (pdg : Pdg.t) =
+  List.filter_map
+    (fun (s, _) -> if side_of t s.Stmt.sid = side then Some s else None)
+    pdg.Pdg.stmts
+
+let scheduler_stmts t pdg = stmts_on Scheduler t pdg
+
+let worker_stmts t pdg = stmts_on Worker t pdg
+
+let pipeline_ok t (pdg : Pdg.t) =
+  List.for_all
+    (fun (e : Pdg.edge) ->
+      not (side_of t e.Pdg.src = Worker && side_of t e.Pdg.dst = Scheduler))
+    pdg.Pdg.edges
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>partition:@,";
+  List.iter
+    (fun (sid, s) ->
+      Format.fprintf ppf "  #%d -> %s@," sid
+        (match s with Scheduler -> "scheduler" | Worker -> "worker"))
+    t.assign;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,29 @@
+(** DOMORE scheduler/worker partitioning (dissertation §3.3.1).
+
+    The sequential (pre) statements and loop traversal go to the scheduler,
+    inner-loop bodies to the workers; DAG-SCC fix-ups then (1) pull every SCC
+    containing a scheduler statement entirely into the scheduler and (2)
+    repeatedly move worker SCCs that have an edge back into the scheduler
+    partition, until the scheduler-to-worker pipeline is acyclic. *)
+
+type side = Scheduler | Worker
+
+type t = {
+  assign : (int * side) list;  (** statement id to partition side *)
+  moved : int list;  (** body statements forced into the scheduler *)
+}
+
+val compute : Program.t -> Pdg.t -> t
+
+val side_of : t -> int -> side
+
+val scheduler_stmts : t -> Pdg.t -> Stmt.t list
+
+val worker_stmts : t -> Pdg.t -> Stmt.t list
+
+val pipeline_ok : t -> Pdg.t -> bool
+(** No dependence flows from a worker statement to a scheduler statement
+    (holds for every partition {!compute} returns; worker-to-worker
+    dependences are the runtime engine's job). *)
+
+val pp : Format.formatter -> t -> unit

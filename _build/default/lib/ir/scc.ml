@@ -1,0 +1,59 @@
+type graph = { nodes : int; succs : int -> int list }
+
+(* Iterative Tarjan to avoid stack overflow on large graphs. *)
+let tarjan g =
+  let index = Array.make g.nodes (-1) in
+  let lowlink = Array.make g.nodes 0 in
+  let on_stack = Array.make g.nodes false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let comps = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- Stdlib.min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- Stdlib.min lowlink.(v) index.(w))
+      (g.succs v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> assert false
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      comps := pop [] :: !comps
+    end
+  in
+  for v = 0 to g.nodes - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  (* Tarjan emits components in reverse topological order when accumulated
+     with [comps := c :: !comps] reversed; normalize to reverse-topological:
+     the first component found is a sink. *)
+  List.rev !comps
+
+let condense g =
+  let comps = tarjan g in
+  let comp_of = Array.make g.nodes (-1) in
+  List.iteri (fun ci vs -> List.iter (fun v -> comp_of.(v) <- ci) vs) comps;
+  let edge_set = Hashtbl.create 16 in
+  for v = 0 to g.nodes - 1 do
+    List.iter
+      (fun w ->
+        let cv = comp_of.(v) and cw = comp_of.(w) in
+        if cv <> cw then Hashtbl.replace edge_set (cv, cw) ())
+      (g.succs v)
+  done;
+  (comps, Hashtbl.fold (fun e () acc -> e :: acc) edge_set [] |> List.sort compare)
+
+let topological g = List.rev (tarjan g)

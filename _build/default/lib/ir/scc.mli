@@ -1,0 +1,18 @@
+(** Strongly connected components (Tarjan) and the condensed DAG.
+
+    Operates on integer graphs; the PDG maps statement ids onto dense node
+    indices before calling in. *)
+
+type graph = { nodes : int; succs : int -> int list }
+
+val tarjan : graph -> int list list
+(** SCCs in reverse topological order of the condensation (every edge goes
+    from a later to an earlier component in the returned list). *)
+
+val condense : graph -> int list list * (int * int) list
+(** [(comps, edges)] where [comps] is as {!tarjan} and [edges] are the
+    inter-component edges [(src_comp, dst_comp)] (deduplicated), indices into
+    [comps]. *)
+
+val topological : graph -> int list list
+(** SCCs in topological order (sources first). *)

@@ -1,0 +1,22 @@
+let exec_stmt env (s : Stmt.t) =
+  let c = s.Stmt.cost env in
+  s.Stmt.exec env;
+  c
+
+let run_invocation (il : Program.inner) env =
+  let cost = ref 0. in
+  List.iter (fun s -> cost := !cost +. exec_stmt env s) il.Program.pre;
+  let trip = il.Program.trip env in
+  for j = 0 to trip - 1 do
+    let env_j = Env.with_inner env j in
+    List.iter (fun s -> cost := !cost +. exec_stmt env_j s) il.Program.body
+  done;
+  !cost
+
+let run (p : Program.t) env =
+  let cost = ref 0. in
+  for t = 0 to p.Program.outer_trip - 1 do
+    let env_t = Env.with_outer env t in
+    List.iter (fun il -> cost := !cost +. run_invocation il env_t) p.Program.inners
+  done;
+  !cost

@@ -1,0 +1,11 @@
+(** Sequential reference interpreter.
+
+    Executes the region in program order, mutating the environment's memory,
+    and returns the accumulated virtual cost — the sequential baseline every
+    speedup in the evaluation is measured against. *)
+
+val run : Program.t -> Env.t -> float
+
+val run_invocation : Program.inner -> Env.t -> float
+(** One invocation (pre statements + all iterations) at the environment's
+    current outer index. *)

@@ -1,0 +1,42 @@
+(** IR statements.
+
+    A statement carries its static memory footprint (read and write access
+    expressions) for the compiler passes, and a dynamic semantics [exec] plus
+    a cost model [cost] for simulated execution.  The static footprint must
+    over-approximate what [exec] touches; property tests check this. *)
+
+type t = {
+  sid : int;  (** unique id, assigned by {!make} *)
+  name : string;
+  reads : Access.t list;
+  writes : Access.t list;
+  commutes : bool;  (** updates commute (DOANY may lock instead of order) *)
+  side_effect : bool;  (** irreversible (I/O): cannot be speculated/duplicated *)
+  cost : Env.t -> float;
+  exec : Env.t -> unit;
+}
+
+val make :
+  ?reads:Access.t list ->
+  ?writes:Access.t list ->
+  ?commutes:bool ->
+  ?side_effect:bool ->
+  ?cost:(Env.t -> float) ->
+  ?exec:(Env.t -> unit) ->
+  string ->
+  t
+(** Defaults: empty footprints, non-commutative, no side effect, zero cost,
+    no-op semantics. *)
+
+val fixed_cost : float -> Env.t -> float
+
+val accesses : t -> Access.t list
+(** Reads then writes. *)
+
+val touched_arrays : t -> string list
+(** Sorted, deduplicated base arrays of all accesses including index loads. *)
+
+val index_arrays : t -> string list
+(** Arrays read inside index expressions (what [computeAddr] must load). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+type violation = {
+  stmt : string;
+  write : bool;
+  arr : string;
+  idx : int;
+  t_outer : int;
+  j_inner : int;
+}
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s: undeclared %s of %s[%d] at (t=%d, j=%d)" v.stmt
+    (if v.write then "write" else "read")
+    v.arr v.idx v.t_outer v.j_inner
+
+(* The declared footprint of a statement in a context, as (arr, idx) pairs.
+   Reads include index-array loads; evaluating the declaration itself also
+   reads memory, so evaluation happens before the observer is installed. *)
+let declared env (s : Stmt.t) =
+  let of_access (a : Access.t) =
+    (a.Access.base, Expr.eval env a.Access.index)
+  in
+  let idx_loads =
+    List.concat_map
+      (fun (a : Access.t) ->
+        List.map (fun (arr, ix) -> (arr, Expr.eval env ix)) (Expr.loads a.Access.index))
+      (Stmt.accesses s)
+  in
+  let reads = List.map of_access s.Stmt.reads @ idx_loads in
+  let writes = List.map of_access s.Stmt.writes in
+  (reads, writes)
+
+let stmt env (s : Stmt.t) =
+  let reads, writes = declared env s in
+  let out = ref [] in
+  let observer ~write arr idx =
+    let ok = if write then List.mem (arr, idx) writes else List.mem (arr, idx) reads in
+    if not ok then
+      out :=
+        {
+          stmt = s.Stmt.name;
+          write;
+          arr;
+          idx;
+          t_outer = env.Env.t_outer;
+          j_inner = env.Env.j_inner;
+        }
+        :: !out
+  in
+  Memory.set_observer (Some observer) env.Env.mem;
+  Fun.protect
+    ~finally:(fun () -> Memory.set_observer None env.Env.mem)
+    (fun () -> s.Stmt.exec env);
+  List.rev !out
+
+let program ?(max_outer = max_int) ?(max_inner = max_int) (p : Program.t) env =
+  let out = ref [] in
+  for t = 0 to Stdlib.min max_outer p.Program.outer_trip - 1 do
+    let env_t = Env.with_outer env t in
+    List.iter
+      (fun (il : Program.inner) ->
+        List.iter (fun s -> out := stmt env_t s @ !out) il.Program.pre;
+        let trip = il.Program.trip env_t in
+        for j = 0 to Stdlib.min max_inner trip - 1 do
+          let env_j = Env.with_inner env_t j in
+          List.iter (fun s -> out := stmt env_j s @ !out) il.Program.body
+        done)
+      p.Program.inners
+  done;
+  List.rev !out

@@ -1,0 +1,29 @@
+(** Dynamic validation that statement semantics respect their declared
+    footprints.
+
+    Every compiler decision in this library — dependence edges, partitions,
+    slices, signatures — is derived from the statements' declared [reads]
+    and [writes].  This module executes statements under a memory observer
+    and reports any access outside the declaration, so a workload whose
+    [exec] closure disagrees with its static footprint is caught by tests
+    instead of corrupting an experiment. *)
+
+type violation = {
+  stmt : string;  (** statement name *)
+  write : bool;
+  arr : string;
+  idx : int;
+  t_outer : int;
+  j_inner : int;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val stmt : Env.t -> Stmt.t -> violation list
+(** Execute one statement in the given context and report undeclared
+    accesses (the declared footprint is evaluated in the same context). *)
+
+val program : ?max_outer:int -> ?max_inner:int -> Program.t -> Env.t -> violation list
+(** Walk the region in program order (like the sequential interpreter),
+    validating every statement execution; optionally bound the outer/inner
+    iterations visited.  Mutates the environment's memory. *)

@@ -1,0 +1,1 @@
+lib/parallel/barrier_exec.ml: Array Intra List Printf Run Xinv_ir Xinv_sim

@@ -1,0 +1,1 @@
+lib/parallel/barrier_exec.mli: Intra Run Xinv_ir Xinv_sim

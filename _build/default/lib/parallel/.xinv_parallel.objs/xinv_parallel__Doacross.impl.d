@@ -1,0 +1,1 @@
+lib/parallel/doacross.ml: Hashtbl List Printf Run Xinv_ir Xinv_sim

@@ -1,0 +1,1 @@
+lib/parallel/doacross.mli: Run Xinv_ir Xinv_sim

@@ -1,0 +1,1 @@
+lib/parallel/dswp.ml: Array Hashtbl List Printf Run Xinv_ir Xinv_sim

@@ -1,0 +1,1 @@
+lib/parallel/dswp.mli: Run Xinv_ir Xinv_sim

@@ -1,0 +1,1 @@
+lib/parallel/inspector.ml: Array Hashtbl List Printf Run Stdlib Xinv_ir Xinv_sim

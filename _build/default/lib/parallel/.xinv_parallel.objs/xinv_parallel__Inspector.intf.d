@@ -1,0 +1,1 @@
+lib/parallel/inspector.mli: Run Xinv_ir Xinv_sim

@@ -1,0 +1,1 @@
+lib/parallel/intra.ml: Array List Stdlib String Xinv_ir Xinv_sim

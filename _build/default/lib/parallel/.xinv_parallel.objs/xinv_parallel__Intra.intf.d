@@ -1,0 +1,1 @@
+lib/parallel/intra.mli: Xinv_ir Xinv_sim

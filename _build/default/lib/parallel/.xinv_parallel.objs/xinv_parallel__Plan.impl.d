@@ -1,0 +1,1 @@
+lib/parallel/plan.ml: Intra List Printf String Xinv_ir

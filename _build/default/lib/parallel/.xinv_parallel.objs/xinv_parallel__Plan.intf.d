@@ -1,0 +1,1 @@
+lib/parallel/plan.mli: Intra Xinv_ir

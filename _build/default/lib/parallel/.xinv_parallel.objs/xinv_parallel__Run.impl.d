@@ -1,0 +1,1 @@
+lib/parallel/run.ml: Format Xinv_sim

@@ -1,0 +1,1 @@
+lib/parallel/run.mli: Format Xinv_sim

@@ -1,0 +1,1 @@
+lib/parallel/tls.mli: Run Xinv_ir Xinv_sim

@@ -1,0 +1,13 @@
+(** DOACROSS baseline (dissertation §2.2, Figure 2.5a).
+
+    Iterations are distributed cyclically; the statements participating in a
+    cross-iteration dependence cycle execute strictly in iteration order,
+    enforced by thread-wise synchronization, while the remaining statements
+    overlap freely.  Barriers still separate invocations. *)
+
+val run :
+  ?machine:Xinv_sim.Machine.t ->
+  threads:int ->
+  Xinv_ir.Program.t ->
+  Xinv_ir.Env.t ->
+  Run.t

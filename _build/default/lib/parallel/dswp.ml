@@ -1,0 +1,113 @@
+module Sim = Xinv_sim
+module Ir = Xinv_ir
+
+let stages_of_inner (pdg : Ir.Pdg.t) ii (il : Ir.Program.inner) =
+  let body = il.Ir.Program.body in
+  let sids = Array.of_list (List.map (fun s -> s.Ir.Stmt.sid) body) in
+  let idx_of = Hashtbl.create 8 in
+  Array.iteri (fun i sid -> Hashtbl.replace idx_of sid i) sids;
+  let n = Array.length sids in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (e : Ir.Pdg.edge) ->
+      match (Hashtbl.find_opt idx_of e.Ir.Pdg.src, Hashtbl.find_opt idx_of e.Ir.Pdg.dst) with
+      | Some i, Some j
+        when (Ir.Pdg.loc_of pdg e.Ir.Pdg.src).Ir.Pdg.inner_idx = ii
+             && (Ir.Pdg.loc_of pdg e.Ir.Pdg.dst).Ir.Pdg.inner_idx = ii
+             && i <> j ->
+          if not (List.mem j adj.(i)) then adj.(i) <- j :: adj.(i)
+      | _ -> ())
+    pdg.Ir.Pdg.edges;
+  let comps = Ir.Scc.topological { Ir.Scc.nodes = n; succs = (fun i -> adj.(i)) } in
+  List.map (fun comp -> List.map (fun i -> sids.(i)) comp) comps
+
+let stages (p : Ir.Program.t) =
+  let pdg = Ir.Pdg.build p in
+  List.mapi
+    (fun ii (il : Ir.Program.inner) ->
+      (il.Ir.Program.ilabel, stages_of_inner pdg ii il))
+    p.Ir.Program.inners
+
+let merge_stages ~max_stages groups =
+  let n = List.length groups in
+  if n <= max_stages then groups
+  else begin
+    let keep = max_stages - 1 in
+    let rec split i = function
+      | [] -> ([], [])
+      | g :: rest ->
+          if i < keep then
+            let front, back = split (i + 1) rest in
+            (g :: front, back)
+          else ([], g :: rest)
+    in
+    let front, back = split 0 groups in
+    front @ [ List.concat back ]
+  end
+
+let run ?(machine = Sim.Machine.default) ~threads (p : Ir.Program.t) env =
+  assert (threads > 0);
+  let eng = Sim.Engine.create () in
+  let bar = Sim.Barrier.create ~parties:threads in
+  let all_stages = stages p in
+  let barrier_cost =
+    machine.Sim.Machine.barrier_base
+    +. (machine.Sim.Machine.barrier_per_thread *. float_of_int threads)
+  in
+  let tasks = ref 0 and invocations = ref 0 in
+  (* Queues between consecutive stages, shared across invocations: the token
+     is the iteration number. *)
+  let queues =
+    Array.init threads (fun _ ->
+        Sim.Channel.create ~produce_cost:machine.Sim.Machine.queue_produce
+          ~consume_cost:machine.Sim.Machine.queue_consume ())
+  in
+  let worker tid () =
+    for t = 0 to p.Ir.Program.outer_trip - 1 do
+      let env_t = Ir.Env.with_outer env t in
+      List.iter
+        (fun (il : Ir.Program.inner) ->
+          if tid = 0 then begin
+            List.iter (fun (s : Ir.Stmt.t) -> s.Ir.Stmt.exec env_t) il.Ir.Program.pre;
+            incr invocations
+          end;
+          List.iter
+            (fun (s : Ir.Stmt.t) ->
+              let cat =
+                if tid = 0 then Sim.Category.Sequential else Sim.Category.Redundant
+              in
+              Sim.Proc.advance ~label:s.Ir.Stmt.name cat (s.Ir.Stmt.cost env_t))
+            il.Ir.Program.pre;
+          let groups =
+            merge_stages ~max_stages:threads
+              (List.assoc il.Ir.Program.ilabel all_stages)
+          in
+          let nstages = List.length groups in
+          let trip = il.Ir.Program.trip env_t in
+          if tid = 0 then tasks := !tasks + trip;
+          if tid < nstages then begin
+            let my_sids = List.nth groups tid in
+            for j = 0 to trip - 1 do
+              if tid > 0 then ignore (Sim.Channel.consume queues.(tid));
+              let env_j = Ir.Env.with_inner env_t j in
+              List.iter
+                (fun (s : Ir.Stmt.t) ->
+                  if List.mem s.Ir.Stmt.sid my_sids then begin
+                    Sim.Proc.work ~label:s.Ir.Stmt.name
+                    (Sim.Machine.work_factor machine ~threads *. s.Ir.Stmt.cost env_j);
+                    s.Ir.Stmt.exec env_j
+                  end)
+                il.Ir.Program.body;
+              if tid < nstages - 1 then Sim.Channel.produce queues.(tid + 1) j
+            done
+          end;
+          Sim.Barrier.wait ~cost:barrier_cost bar)
+        p.Ir.Program.inners
+    done
+  in
+  for tid = 0 to threads - 1 do
+    ignore (Sim.Engine.spawn eng ~name:(Printf.sprintf "dswp%d" tid) (worker tid))
+  done;
+  Sim.Engine.run eng;
+  Run.make ~technique:"DSWP+barrier" ~threads ~makespan:(Sim.Engine.now eng) ~engine:eng
+    ~tasks:!tasks ~invocations:!invocations ~barrier_episodes:(Sim.Barrier.waits bar) ()

@@ -1,0 +1,17 @@
+(** DSWP baseline (dissertation §2.2, Figure 2.5b).
+
+    The inner-loop body is partitioned into pipeline stages along the
+    topological order of its dependence SCCs; each stage runs on its own
+    thread for all iterations of the invocation, with produce/consume queues
+    between consecutive stages.  Stages beyond the thread budget are merged
+    into the last stage. *)
+
+val stages : Xinv_ir.Program.t -> (string * int list list) list
+(** Per inner label: statement-id groups, pipeline order. *)
+
+val run :
+  ?machine:Xinv_sim.Machine.t ->
+  threads:int ->
+  Xinv_ir.Program.t ->
+  Xinv_ir.Env.t ->
+  Run.t

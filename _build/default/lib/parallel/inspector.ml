@@ -1,0 +1,106 @@
+module Sim = Xinv_sim
+module Ir = Xinv_ir
+
+(* Topological wavefront per iteration: a read depends on the last write of
+   the address, a write on the last write and on every read since it. *)
+let wavefronts (slice : Ir.Slice.t) env ~trip =
+  let last_write : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let max_read : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let wave = Array.make trip 0 in
+  let get tbl addr = match Hashtbl.find_opt tbl addr with Some w -> w | None -> -1 in
+  for j = 0 to trip - 1 do
+    let env_j = Ir.Env.with_inner env j in
+    let raddrs = Ir.Slice.read_addresses slice env_j in
+    let waddrs = Ir.Slice.write_addresses slice env_j in
+    let req = ref (-1) in
+    List.iter (fun a -> req := Stdlib.max !req (get last_write a)) raddrs;
+    List.iter
+      (fun a ->
+        req := Stdlib.max !req (get last_write a);
+        req := Stdlib.max !req (get max_read a))
+      waddrs;
+    wave.(j) <- !req + 1;
+    List.iter
+      (fun a -> Hashtbl.replace max_read a (Stdlib.max (get max_read a) wave.(j)))
+      raddrs;
+    List.iter
+      (fun a ->
+        Hashtbl.replace last_write a wave.(j);
+        Hashtbl.remove max_read a)
+      waddrs
+  done;
+  wave
+
+let run ?(machine = Sim.Machine.default) ~threads ~(plan : Ir.Mtcg.plan)
+    (p : Ir.Program.t) env =
+  assert (threads > 0);
+  let eng = Sim.Engine.create () in
+  let bar = Sim.Barrier.create ~parties:threads in
+  let barrier_cost =
+    machine.Sim.Machine.barrier_base
+    +. (machine.Sim.Machine.barrier_per_thread *. float_of_int threads)
+  in
+  let wf = Sim.Machine.work_factor machine ~threads in
+  let tasks = ref 0 and invocations = ref 0 in
+  (* The inspection result for the current invocation, published by thread 0
+     before the wavefront barrier releases the others. *)
+  let current = ref [||] in
+  let worker tid () =
+    for t = 0 to p.Ir.Program.outer_trip - 1 do
+      let env_t = Ir.Env.with_outer env t in
+      List.iter
+        (fun (il : Ir.Program.inner) ->
+          if tid = 0 then
+            List.iter (fun (s : Ir.Stmt.t) -> s.Ir.Stmt.exec env_t) il.Ir.Program.pre;
+          List.iter
+            (fun (s : Ir.Stmt.t) ->
+              let cat =
+                if tid = 0 then Sim.Category.Sequential else Sim.Category.Redundant
+              in
+              Sim.Proc.advance ~label:s.Ir.Stmt.name cat (wf *. s.Ir.Stmt.cost env_t))
+            il.Ir.Program.pre;
+          let slice = Ir.Mtcg.slice_for plan il.Ir.Program.ilabel in
+          let trip = il.Ir.Program.trip env_t in
+          (* Inspection phase: serialized on thread 0 while the others wait
+             at the barrier. *)
+          if tid = 0 then begin
+            incr invocations;
+            tasks := !tasks + trip;
+            Sim.Proc.advance ~label:"inspect" Sim.Category.Runtime
+              ((Ir.Slice.cost_per_iter slice +. machine.Sim.Machine.shadow_per_addr)
+              *. float_of_int trip);
+            current := wavefronts slice env_t ~trip
+          end;
+          Sim.Barrier.wait ~cost:barrier_cost bar;
+          let wave = !current in
+          let nwaves =
+            Array.fold_left (fun acc w -> Stdlib.max acc (w + 1)) 0 wave
+          in
+          for w = 0 to nwaves - 1 do
+            (* Iterations of one wavefront, distributed cyclically. *)
+            let k = ref 0 in
+            for j = 0 to trip - 1 do
+              if wave.(j) = w then begin
+                if !k mod threads = tid then begin
+                  let env_j = Ir.Env.with_inner env_t j in
+                  List.iter
+                    (fun (s : Ir.Stmt.t) ->
+                      Sim.Proc.work ~label:s.Ir.Stmt.name (wf *. s.Ir.Stmt.cost env_j);
+                      s.Ir.Stmt.exec env_j)
+                    il.Ir.Program.body
+                end;
+                incr k
+              end
+            done;
+            Sim.Barrier.wait ~cost:barrier_cost bar
+          done)
+        p.Ir.Program.inners
+    done
+  in
+  for tid = 0 to threads - 1 do
+    ignore (Sim.Engine.spawn eng ~name:(Printf.sprintf "ie%d" tid) (worker tid))
+  done;
+  Sim.Engine.run eng;
+  Run.make ~technique:"Inspector-Executor" ~threads ~makespan:(Sim.Engine.now eng)
+    ~engine:eng ~tasks:!tasks ~invocations:!invocations
+    ~barrier_episodes:(Sim.Barrier.waits bar) ()

@@ -1,0 +1,119 @@
+type technique = Doall | Doany | Localwrite | Spec_doall
+
+let name = function
+  | Doall -> "DOALL"
+  | Doany -> "DOANY"
+  | Localwrite -> "LOCALWRITE"
+  | Spec_doall -> "Spec-DOALL"
+
+let of_name s =
+  match String.uppercase_ascii s with
+  | "DOALL" -> Some Doall
+  | "DOANY" -> Some Doany
+  | "LOCALWRITE" -> Some Localwrite
+  | "SPEC-DOALL" | "SPECDOALL" -> Some Spec_doall
+  | _ -> None
+
+let visits_all_iterations = function Localwrite -> true | _ -> false
+
+type ctx = {
+  machine : Xinv_sim.Machine.t;
+  threads : int;
+  tid : int;
+  locks : Xinv_sim.Mutex.t array;
+  nlocks : int;
+  total_words : int;
+}
+
+let make_ctx ~machine ~threads ~tid ~locks ~total_words =
+  { machine; threads; tid; locks; nlocks = Array.length locks; total_words }
+
+let owner ctx env (a : Xinv_ir.Access.t) =
+  let mem = env.Xinv_ir.Env.mem in
+  let idx = Xinv_ir.Expr.eval env a.Xinv_ir.Access.index in
+  let size = Xinv_ir.Memory.size mem a.Xinv_ir.Access.base in
+  assert (idx >= 0 && idx < size);
+  idx * ctx.threads / size
+
+let lock_of ctx env (a : Xinv_ir.Access.t) =
+  let addr = Xinv_ir.Access.addr env env.Xinv_ir.Env.mem a in
+  ctx.locks.(addr * ctx.nlocks / Stdlib.max 1 ctx.total_words)
+
+let exec_stmt ctx env (s : Xinv_ir.Stmt.t) =
+  let wf = Xinv_sim.Machine.work_factor ctx.machine ~threads:ctx.threads in
+  Xinv_sim.Proc.work ~label:s.Xinv_ir.Stmt.name (wf *. s.Xinv_ir.Stmt.cost env);
+  s.Xinv_ir.Stmt.exec env
+
+(* Cost of evaluating the write addresses of a statement (the LOCALWRITE
+   ownership check every thread performs on every iteration). *)
+let visit_cost (s : Xinv_ir.Stmt.t) =
+  List.fold_left
+    (fun acc (a : Xinv_ir.Access.t) ->
+      acc +. 2.0 +. (1.5 *. float_of_int (Xinv_ir.Expr.size a.Xinv_ir.Access.index)))
+    0. s.Xinv_ir.Stmt.writes
+
+let exec_doall ctx env (il : Xinv_ir.Program.inner) =
+  List.iter (exec_stmt ctx env) il.Xinv_ir.Program.body
+
+let exec_doany ctx env (il : Xinv_ir.Program.inner) =
+  List.iter
+    (fun (s : Xinv_ir.Stmt.t) ->
+      if s.Xinv_ir.Stmt.commutes && s.Xinv_ir.Stmt.writes <> [] then begin
+        let m = lock_of ctx env (List.hd s.Xinv_ir.Stmt.writes) in
+        Xinv_sim.Mutex.with_lock m (fun () -> exec_stmt ctx env s)
+      end
+      else exec_stmt ctx env s)
+    il.Xinv_ir.Program.body
+
+let exec_localwrite ctx env (il : Xinv_ir.Program.inner) =
+  (* Determine whether this thread owns any write of the iteration; decide
+     who executes the non-writing (traversal) statements. *)
+  let body = il.Xinv_ir.Program.body in
+  let owners_of (s : Xinv_ir.Stmt.t) =
+    List.sort_uniq compare (List.map (owner ctx env) s.Xinv_ir.Stmt.writes)
+  in
+  let my_writes =
+    List.filter
+      (fun s -> s.Xinv_ir.Stmt.writes <> [] && List.mem ctx.tid (owners_of s))
+      body
+  in
+  let all_owners = List.concat_map owners_of body |> List.sort_uniq compare in
+  let executor = match all_owners with o :: _ -> o | [] -> 0 in
+  List.iter
+    (fun (s : Xinv_ir.Stmt.t) ->
+      if s.Xinv_ir.Stmt.writes = [] then begin
+        (* Redundant computation on every thread; semantics applied once. *)
+        let cat =
+          if my_writes <> [] then Xinv_sim.Category.Work else Xinv_sim.Category.Redundant
+        in
+        let wf = Xinv_sim.Machine.work_factor ctx.machine ~threads:ctx.threads in
+        Xinv_sim.Proc.advance ~label:s.Xinv_ir.Stmt.name cat (wf *. s.Xinv_ir.Stmt.cost env);
+        if ctx.tid = executor then s.Xinv_ir.Stmt.exec env
+      end
+      else begin
+        let owners = owners_of s in
+        assert (List.length owners = 1);
+        if List.mem ctx.tid owners then exec_stmt ctx env s
+        else
+          Xinv_sim.Proc.advance ~label:"own?" Xinv_sim.Category.Redundant (visit_cost s)
+      end)
+    body
+
+let exec_spec_doall ctx env (il : Xinv_ir.Program.inner) =
+  let accesses =
+    List.fold_left
+      (fun acc (s : Xinv_ir.Stmt.t) -> acc + List.length (Xinv_ir.Stmt.accesses s))
+      0 il.Xinv_ir.Program.body
+  in
+  Xinv_sim.Proc.advance ~label:"validate" Xinv_sim.Category.Runtime
+    (ctx.machine.Xinv_sim.Machine.sig_per_access *. float_of_int accesses);
+  List.iter (exec_stmt ctx env) il.Xinv_ir.Program.body;
+  (* Commit bookkeeping (version check + publish). *)
+  Xinv_sim.Proc.advance ~label:"commit" Xinv_sim.Category.Runtime 10.
+
+let exec_iteration tech ctx env il =
+  match tech with
+  | Doall -> exec_doall ctx env il
+  | Doany -> exec_doany ctx env il
+  | Localwrite -> exec_localwrite ctx env il
+  | Spec_doall -> exec_spec_doall ctx env il

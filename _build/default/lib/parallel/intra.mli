@@ -1,0 +1,45 @@
+(** Intra-invocation parallelization techniques (dissertation §2.2).
+
+    Each technique defines how one inner-loop iteration executes on one
+    worker thread; {!Barrier_exec} supplies the loop driving and the global
+    synchronization between invocations. *)
+
+type technique =
+  | Doall  (** iterations provably independent; cyclic distribution *)
+  | Doany  (** commutative conflicting updates protected by a lock array *)
+  | Localwrite
+      (** every thread visits every iteration; writes applied by the owner of
+          the written partition; non-write statements computed redundantly *)
+  | Spec_doall
+      (** iterations speculated independent; per-iteration validation cost *)
+
+val name : technique -> string
+
+val of_name : string -> technique option
+
+val visits_all_iterations : technique -> bool
+
+type ctx = {
+  machine : Xinv_sim.Machine.t;
+  threads : int;
+  tid : int;
+  locks : Xinv_sim.Mutex.t array;  (** shared lock array for DOANY *)
+  nlocks : int;
+  total_words : int;  (** size of the flat address space *)
+}
+
+val make_ctx :
+  machine:Xinv_sim.Machine.t ->
+  threads:int ->
+  tid:int ->
+  locks:Xinv_sim.Mutex.t array ->
+  total_words:int ->
+  ctx
+
+val owner : ctx -> Xinv_ir.Env.t -> Xinv_ir.Access.t -> int
+(** LOCALWRITE owner of a write access: contiguous block partition of the
+    written array across worker threads. *)
+
+val exec_iteration : technique -> ctx -> Xinv_ir.Env.t -> Xinv_ir.Program.inner -> unit
+(** Execute (or, for LOCALWRITE non-owners, visit) the iteration whose
+    induction values are in the environment. *)

@@ -1,0 +1,38 @@
+type t = {
+  technique : string;
+  threads : int;
+  makespan : float;
+  engine : Xinv_sim.Engine.t;
+  tasks : int;
+  invocations : int;
+  barrier_episodes : int;
+  checks : int;
+  misspecs : int;
+}
+
+let make ~technique ~threads ~makespan ~engine ?(tasks = 0) ?(invocations = 0)
+    ?(barrier_episodes = 0) ?(checks = 0) ?(misspecs = 0) () =
+  { technique; threads; makespan; engine; tasks; invocations; barrier_episodes; checks; misspecs }
+
+let speedup ~seq_cost r = if r.makespan <= 0. then infinity else seq_cost /. r.makespan
+
+let category_total r cat = Xinv_sim.Engine.total r.engine cat
+
+let barrier_overhead_pct r =
+  let cap = float_of_int r.threads *. r.makespan in
+  if cap <= 0. then 0.
+  else 100. *. category_total r Xinv_sim.Category.Barrier_wait /. cap
+
+let utilization r =
+  let cap = float_of_int r.threads *. r.makespan in
+  if cap <= 0. then 0.
+  else
+    (category_total r Xinv_sim.Category.Work +. category_total r Xinv_sim.Category.Sequential)
+    /. cap
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>%s: %d threads, makespan %.0f@,tasks %d, invocations %d, barriers %d, checks %d, misspecs %d@,barrier overhead %.1f%%, utilization %.1f%%@]"
+    r.technique r.threads r.makespan r.tasks r.invocations r.barrier_episodes r.checks
+    r.misspecs (barrier_overhead_pct r)
+    (100. *. utilization r)

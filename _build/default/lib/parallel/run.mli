@@ -1,0 +1,38 @@
+(** Result of one simulated parallel execution of a region. *)
+
+type t = {
+  technique : string;
+  threads : int;  (** worker threads (excluding scheduler/checker helpers) *)
+  makespan : float;  (** virtual time from region start to completion *)
+  engine : Xinv_sim.Engine.t;  (** retained for per-category accounting *)
+  tasks : int;  (** inner-loop iterations executed (first try) *)
+  invocations : int;
+  barrier_episodes : int;
+  checks : int;  (** speculation checking requests processed *)
+  misspecs : int;  (** misspeculation recoveries *)
+}
+
+val make :
+  technique:string ->
+  threads:int ->
+  makespan:float ->
+  engine:Xinv_sim.Engine.t ->
+  ?tasks:int ->
+  ?invocations:int ->
+  ?barrier_episodes:int ->
+  ?checks:int ->
+  ?misspecs:int ->
+  unit ->
+  t
+
+val speedup : seq_cost:float -> t -> float
+
+val category_total : t -> Xinv_sim.Category.t -> float
+
+val barrier_overhead_pct : t -> float
+(** Share of all cores' time spent at barriers: Figure 4.3's metric. *)
+
+val utilization : t -> float
+(** Fraction of [threads * makespan] charged to useful work. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/runtime/checkpoint.ml: Option Xinv_ir

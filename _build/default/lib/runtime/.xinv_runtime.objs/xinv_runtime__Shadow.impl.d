@@ -1,0 +1,1 @@
+lib/runtime/shadow.ml: Hashtbl List Stdlib

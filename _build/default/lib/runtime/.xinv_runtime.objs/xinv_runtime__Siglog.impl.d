@@ -1,0 +1,1 @@
+lib/runtime/siglog.ml: Array Hashtbl List Signature

@@ -1,0 +1,1 @@
+lib/runtime/siglog.mli: Signature

@@ -1,0 +1,1 @@
+lib/runtime/signature.ml: Array Format Hashtbl Int64 List Stdlib

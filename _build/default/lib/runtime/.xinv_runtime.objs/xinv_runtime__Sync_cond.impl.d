@@ -1,0 +1,1 @@
+lib/runtime/sync_cond.ml: Format

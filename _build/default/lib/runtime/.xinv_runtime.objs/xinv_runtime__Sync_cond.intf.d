@@ -1,0 +1,1 @@
+lib/runtime/sync_cond.mli: Format

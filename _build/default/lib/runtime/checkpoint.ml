@@ -1,0 +1,21 @@
+type t = {
+  mutable snap : (int * Xinv_ir.Memory.t) option;
+  mutable saves : int;
+}
+
+let create () = { snap = None; saves = 0 }
+
+let save t ~epoch mem =
+  t.snap <- Some (epoch, Xinv_ir.Memory.snapshot mem);
+  t.saves <- t.saves + 1
+
+let latest_epoch t = Option.map fst t.snap
+
+let restore t ~into =
+  match t.snap with
+  | None -> invalid_arg "Checkpoint.restore: no checkpoint saved"
+  | Some (epoch, snap) ->
+      Xinv_ir.Memory.restore ~dst:into ~src:snap;
+      epoch
+
+let saves t = t.saves

@@ -1,0 +1,21 @@
+(** Checkpoint store for misspeculation recovery (dissertation §4.2.2).
+
+    The real runtime forks the process and parks the child; we snapshot the
+    simulated shared memory.  Only the most recent checkpoint is retained —
+    recovery always restores the latest safe state. *)
+
+type t
+
+val create : unit -> t
+
+val save : t -> epoch:int -> Xinv_ir.Memory.t -> unit
+(** Snapshot the memory as the state at the start of [epoch]. *)
+
+val latest_epoch : t -> int option
+
+val restore : t -> into:Xinv_ir.Memory.t -> int
+(** Copy the latest snapshot back into live memory; returns the epoch the
+    snapshot was taken at.  @raise Invalid_argument when no checkpoint. *)
+
+val saves : t -> int
+(** Number of checkpoints taken so far. *)

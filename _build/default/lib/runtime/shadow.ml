@@ -1,0 +1,49 @@
+type entry = { tid : int; iter : int }
+
+(* Per address: the last write, plus the latest read per worker since that
+   write.  A write must wait for every foreign reader's latest read (waiting
+   for a worker's latest iteration covers its earlier ones, since each worker
+   executes its iterations in dispatch order); reads only wait for the last
+   write, so read-after-read never synchronizes. *)
+type slot = { mutable w : entry option; mutable rs : (int * int) list }
+
+type t = (int, slot) Hashtbl.t
+
+let create () = Hashtbl.create 4096
+
+let slot sh addr =
+  match Hashtbl.find_opt sh addr with
+  | Some s -> s
+  | None ->
+      let s = { w = None; rs = [] } in
+      Hashtbl.replace sh addr s;
+      s
+
+let foreign e = function Some d when d.tid <> e.tid -> [ d ] | _ -> []
+
+let note_read sh addr e =
+  let s = slot sh addr in
+  let deps = foreign e s.w in
+  let rest = List.remove_assoc e.tid s.rs in
+  let prev = try List.assoc e.tid s.rs with Not_found -> min_int in
+  s.rs <- (e.tid, Stdlib.max prev e.iter) :: rest;
+  deps
+
+let note_write sh addr e =
+  let s = slot sh addr in
+  let readers =
+    List.filter_map
+      (fun (tid, iter) -> if tid <> e.tid then Some { tid; iter } else None)
+      s.rs
+  in
+  let deps = foreign e s.w @ readers in
+  s.w <- Some e;
+  s.rs <- [];
+  deps
+
+let last_write sh addr =
+  match Hashtbl.find_opt sh addr with Some s -> s.w | None -> None
+
+let reset sh = Hashtbl.reset sh
+
+let entries sh = Hashtbl.length sh

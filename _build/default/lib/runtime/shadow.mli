@@ -1,0 +1,27 @@
+(** DOMORE shadow memory (dissertation §3.2.1).
+
+    Tracks, per flat address, the worker/iteration of the most recent write
+    and of the most recent read, so the scheduler emits synchronization
+    conditions for true, anti and output dependences but not for
+    read-after-read. *)
+
+type t
+
+type entry = { tid : int; iter : int }
+
+val create : unit -> t
+
+val note_read : t -> int -> entry -> entry list
+(** Record a read; returns the prior conflicting access (the last write, if
+    by another worker) the reader must wait for. *)
+
+val note_write : t -> int -> entry -> entry list
+(** Record a write; returns prior conflicting accesses by other workers
+    (last write and last read). *)
+
+val last_write : t -> int -> entry option
+
+val reset : t -> unit
+
+val entries : t -> int
+(** Number of addresses currently tracked. *)

@@ -1,0 +1,38 @@
+type t = { logs : (int, (int * Signature.t) list) Hashtbl.t array }
+
+(* logs.(w) maps epoch -> (task, signature) list, newest first. *)
+
+let create ~workers =
+  assert (workers > 0);
+  { logs = Array.init workers (fun _ -> Hashtbl.create 64) }
+
+let store t ~worker ~epoch ~task sg =
+  let tbl = t.logs.(worker) in
+  let cur = try Hashtbl.find tbl epoch with Not_found -> [] in
+  Hashtbl.replace tbl epoch ((task, sg) :: cur)
+
+let between t ~worker ~from_epoch ~from_task ~upto_epoch =
+  let tbl = t.logs.(worker) in
+  let out = ref [] in
+  for e = from_epoch to upto_epoch - 1 do
+    match Hashtbl.find_opt tbl e with
+    | None -> ()
+    | Some entries ->
+        List.iter
+          (fun (task, sg) ->
+            if e > from_epoch || task >= from_task then out := (e, task, sg) :: !out)
+          entries
+  done;
+  List.sort (fun (e1, t1, _) (e2, t2, _) -> compare (e1, t1) (e2, t2)) !out
+
+let clear_before t ~epoch =
+  Array.iter
+    (fun tbl ->
+      let stale = Hashtbl.fold (fun e _ acc -> if e < epoch then e :: acc else acc) tbl [] in
+      List.iter (Hashtbl.remove tbl) stale)
+    t.logs
+
+let stored t =
+  Array.fold_left
+    (fun acc tbl -> Hashtbl.fold (fun _ l a -> a + List.length l) tbl acc)
+    0 t.logs

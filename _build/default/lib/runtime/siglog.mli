@@ -1,0 +1,25 @@
+(** Signature log (dissertation Figure 4.8).
+
+    Per-worker, per-epoch storage of task signatures.  The checker queries
+    the window of another worker's signatures between the epoch/task position
+    observed when a task began and the task's own epoch; entries older than
+    the last checkpoint are recycled. *)
+
+type t
+
+val create : workers:int -> t
+
+val store : t -> worker:int -> epoch:int -> task:int -> Signature.t -> unit
+
+val between :
+  t -> worker:int -> from_epoch:int -> from_task:int -> upto_epoch:int ->
+  (int * int * Signature.t) list
+(** [(epoch, task, signature)] entries of [worker] with
+    [from_epoch <= epoch < upto_epoch], excluding tasks before [from_task]
+    within [from_epoch]; oldest first. *)
+
+val clear_before : t -> epoch:int -> unit
+(** Drop entries of epochs [< epoch] (after a checkpoint). *)
+
+val stored : t -> int
+(** Total signatures currently held. *)

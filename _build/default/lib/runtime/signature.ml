@@ -1,0 +1,144 @@
+type kind =
+  | Range
+  | Segmented of int array
+  | Bloom of { bits : int; hashes : int }
+  | Exact
+
+type seg_repr = { bounds : int array; ranges : (int, int * int) Hashtbl.t }
+
+type repr =
+  | R_range of { mutable lo : int; mutable hi : int }
+  | R_seg of seg_repr
+  | R_bloom of { bits : int; hashes : int; words : int array }
+  | R_exact of (int, unit) Hashtbl.t
+
+(* Index of the segment containing [addr]: greatest i with bounds.(i) <= addr. *)
+let segment_of bounds addr =
+  let lo = ref 0 and hi = ref (Array.length bounds - 1) in
+  assert (Array.length bounds > 0 && addr >= bounds.(0));
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if bounds.(mid) <= addr then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+type t = { k : kind; repr : repr; mutable adds : int }
+
+let create k =
+  let repr =
+    match k with
+    | Range -> R_range { lo = max_int; hi = min_int }
+    | Segmented bounds ->
+        assert (Array.length bounds > 0);
+        R_seg { bounds; ranges = Hashtbl.create 8 }
+    | Bloom { bits; hashes } ->
+        assert (bits > 0 && hashes > 0);
+        R_bloom { bits; hashes; words = Array.make (((bits - 1) / 63) + 1) 0 }
+    | Exact -> R_exact (Hashtbl.create 64)
+  in
+  { k; repr; adds = 0 }
+
+let kind t = t.k
+
+(* splitmix-style avalanche, salted per hash function. *)
+let hash salt addr =
+  let z = Int64.of_int ((addr * 0x9E3779B9) lxor (salt * 0x85EBCA6B)) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.logxor z (Int64.shift_right_logical z 27) in
+  Int64.to_int (Int64.logand z 0x3FFFFFFFFFFFFFFFL)
+
+let set_bit words bits salt addr =
+  let b = hash salt addr mod bits in
+  words.(b / 63) <- words.(b / 63) lor (1 lsl (b mod 63))
+
+let add t addr =
+  t.adds <- t.adds + 1;
+  match t.repr with
+  | R_range r ->
+      if addr < r.lo then r.lo <- addr;
+      if addr > r.hi then r.hi <- addr
+  | R_seg sgm ->
+      let seg = segment_of sgm.bounds addr in
+      let lo, hi =
+        match Hashtbl.find_opt sgm.ranges seg with
+        | Some (lo, hi) -> (Stdlib.min lo addr, Stdlib.max hi addr)
+        | None -> (addr, addr)
+      in
+      Hashtbl.replace sgm.ranges seg (lo, hi)
+  | R_bloom b ->
+      for s = 0 to b.hashes - 1 do
+        set_bit b.words b.bits s addr
+      done
+  | R_exact h -> Hashtbl.replace h addr ()
+
+let add_list t addrs = List.iter (add t) addrs
+
+let count t = t.adds
+
+let is_empty t = t.adds = 0
+
+let intersects a b =
+  if is_empty a || is_empty b then false
+  else
+    match (a.repr, b.repr) with
+    | R_range ra, R_range rb -> ra.lo <= rb.hi && rb.lo <= ra.hi
+    | R_seg sa, R_seg sb ->
+        let small, large =
+          if Hashtbl.length sa.ranges <= Hashtbl.length sb.ranges then (sa, sb)
+          else (sb, sa)
+        in
+        Hashtbl.fold
+          (fun seg (lo, hi) acc ->
+            acc
+            ||
+            match Hashtbl.find_opt large.ranges seg with
+            | Some (lo', hi') -> lo <= hi' && lo' <= hi
+            | None -> false)
+          small.ranges false
+    | R_bloom ba, R_bloom bb ->
+        assert (ba.bits = bb.bits && ba.hashes = bb.hashes);
+        (* Conservative: an address present in both sets every one of its
+           bits in both filters; we test whether any word shares bits, which
+           over-approximates membership overlap. *)
+        let shared = ref false in
+        Array.iteri (fun i w -> if w land bb.words.(i) <> 0 then shared := true) ba.words;
+        !shared
+    | R_exact ha, R_exact hb ->
+        let small, large = if Hashtbl.length ha <= Hashtbl.length hb then (ha, hb) else (hb, ha) in
+        Hashtbl.fold (fun addr () acc -> acc || Hashtbl.mem large addr) small false
+    | _ -> invalid_arg "Signature.intersects: kind mismatch"
+
+let merge ~into src =
+  match (into.repr, src.repr) with
+  | R_range a, R_range b ->
+      if b.lo < a.lo then a.lo <- b.lo;
+      if b.hi > a.hi then a.hi <- b.hi;
+      into.adds <- into.adds + src.adds
+  | R_seg a, R_seg b ->
+      Hashtbl.iter
+        (fun seg (lo, hi) ->
+          let lo', hi' =
+            match Hashtbl.find_opt a.ranges seg with
+            | Some (l, h) -> (Stdlib.min l lo, Stdlib.max h hi)
+            | None -> (lo, hi)
+          in
+          Hashtbl.replace a.ranges seg (lo', hi'))
+        b.ranges;
+      into.adds <- into.adds + src.adds
+  | R_bloom a, R_bloom b ->
+      assert (a.bits = b.bits && a.hashes = b.hashes);
+      Array.iteri (fun i w -> a.words.(i) <- a.words.(i) lor w) b.words;
+      into.adds <- into.adds + src.adds
+  | R_exact a, R_exact b ->
+      Hashtbl.iter (fun addr () -> Hashtbl.replace a addr ()) b;
+      into.adds <- into.adds + src.adds
+  | _ -> invalid_arg "Signature.merge: kind mismatch"
+
+let pp ppf t =
+  match t.repr with
+  | R_range r ->
+      if is_empty t then Format.fprintf ppf "range(empty)"
+      else Format.fprintf ppf "range[%d, %d]" r.lo r.hi
+  | R_seg sgm -> Format.fprintf ppf "segmented(%d segments)" (Hashtbl.length sgm.ranges)
+  | R_bloom b -> Format.fprintf ppf "bloom(%d bits, %d adds)" b.bits t.adds
+  | R_exact h -> Format.fprintf ppf "exact(%d addrs)" (Hashtbl.length h)

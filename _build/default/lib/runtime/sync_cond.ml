@@ -1,0 +1,11 @@
+type t =
+  | Wait of { dep_tid : int; dep_iter : int }
+  | No_sync of { iter : int }
+  | End_token
+
+let pp ppf = function
+  | Wait { dep_tid; dep_iter } -> Format.fprintf ppf "(T%d, I%d)" dep_tid dep_iter
+  | No_sync { iter } -> Format.fprintf ppf "(NO_SYNC, I%d)" iter
+  | End_token -> Format.fprintf ppf "END_TOKEN"
+
+let equal a b = a = b

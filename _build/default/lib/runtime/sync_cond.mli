@@ -1,0 +1,15 @@
+(** Synchronization conditions forwarded from the DOMORE scheduler to the
+    workers (dissertation §3.2.2).
+
+    [Wait] tells a worker to stall until another worker finishes a given
+    combined iteration; [No_sync] releases the iteration it names;
+    [End_token] terminates a worker. *)
+
+type t =
+  | Wait of { dep_tid : int; dep_iter : int }
+  | No_sync of { iter : int }
+  | End_token
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

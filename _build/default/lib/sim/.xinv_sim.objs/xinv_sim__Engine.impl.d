@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Category Effect Hashtbl List Printf Stdlib String Trace Xinv_util

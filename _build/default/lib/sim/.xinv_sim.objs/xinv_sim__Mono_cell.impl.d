@@ -1,0 +1,1 @@
+lib/sim/mono_cell.ml: Category List Proc

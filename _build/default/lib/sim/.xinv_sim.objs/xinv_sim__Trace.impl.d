@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Category Hashtbl List Printf Stdlib String

@@ -1,0 +1,20 @@
+(** Simulated pthread-style cyclic barrier.
+
+    Arrival costs [cost] cycles of runtime bookkeeping; time spent blocked
+    until the last party arrives is charged to {!Category.Barrier_wait} —
+    the quantity Figure 4.3 of the dissertation reports. *)
+
+type t
+
+val create : parties:int -> t
+
+val wait : ?cost:float -> ?cost_cat:Category.t -> t -> unit
+(** Block until [parties] threads (including self) have called [wait] in the
+    current generation.  The arrival cost is charged to [cost_cat]
+    (default {!Category.Barrier_wait}, matching how the dissertation counts
+    barrier overhead). *)
+
+val parties : t -> int
+
+val waits : t -> int
+(** Total number of completed barrier episodes so far. *)

@@ -1,0 +1,42 @@
+type t =
+  | Work
+  | Sequential
+  | Redundant
+  | Barrier_wait
+  | Sync_wait
+  | Queue
+  | Runtime
+  | Checker
+  | Checkpoint
+  | Idle
+
+let to_string = function
+  | Work -> "work"
+  | Sequential -> "sequential"
+  | Redundant -> "redundant"
+  | Barrier_wait -> "barrier-wait"
+  | Sync_wait -> "sync-wait"
+  | Queue -> "queue"
+  | Runtime -> "runtime"
+  | Checker -> "checker"
+  | Checkpoint -> "checkpoint"
+  | Idle -> "idle"
+
+let all =
+  [ Work; Sequential; Redundant; Barrier_wait; Sync_wait; Queue; Runtime; Checker; Checkpoint; Idle ]
+
+let equal a b = a = b
+
+let index = function
+  | Work -> 0
+  | Sequential -> 1
+  | Redundant -> 2
+  | Barrier_wait -> 3
+  | Sync_wait -> 4
+  | Queue -> 5
+  | Runtime -> 6
+  | Checker -> 7
+  | Checkpoint -> 8
+  | Idle -> 9
+
+let count = 10

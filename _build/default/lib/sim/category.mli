@@ -1,0 +1,29 @@
+(** Accounting categories for simulated virtual time.
+
+    Every cycle a simulated thread spends is charged to exactly one category,
+    which is what lets the experiment harness report barrier overhead
+    (Figure 4.3), scheduler/worker ratios (Table 5.2) and processor
+    utilization the way the dissertation does. *)
+
+type t =
+  | Work  (** useful computation from the original program *)
+  | Sequential  (** sequential region executed by one thread *)
+  | Redundant  (** duplicated computation (LOCALWRITE, duplicated scheduler) *)
+  | Barrier_wait  (** stalled at a barrier *)
+  | Sync_wait  (** stalled on a DOMORE synchronization condition *)
+  | Queue  (** produce/consume bookkeeping on communication queues *)
+  | Runtime  (** runtime-engine bookkeeping (shadow memory, signatures) *)
+  | Checker  (** speculation checker thread activity *)
+  | Checkpoint  (** checkpointing and misspeculation recovery *)
+  | Idle  (** no work left before the end of the region *)
+
+val to_string : t -> string
+
+val all : t list
+
+val equal : t -> t -> bool
+
+val index : t -> int
+(** Dense index, [0 .. List.length all - 1]. *)
+
+val count : int

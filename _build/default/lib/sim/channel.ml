@@ -1,0 +1,43 @@
+type 'a t = {
+  items : 'a Queue.t;
+  mutable waiters : (unit -> unit) list;  (* consumers blocked on empty *)
+  produce_cost : float;
+  consume_cost : float;
+  mutable produced : int;
+}
+
+let create ?(produce_cost = 0.) ?(consume_cost = 0.) () =
+  { items = Queue.create (); waiters = []; produce_cost; consume_cost; produced = 0 }
+
+let length q = Queue.length q.items
+
+let produced q = q.produced
+
+let produce q x =
+  if q.produce_cost > 0. then Proc.advance Category.Queue q.produce_cost;
+  Queue.push x q.items;
+  q.produced <- q.produced + 1;
+  match q.waiters with
+  | [] -> ()
+  | w :: rest ->
+      q.waiters <- rest;
+      w ()
+
+let rec consume q =
+  if Queue.is_empty q.items then begin
+    let t0 = Proc.now () in
+    Proc.suspend (fun waker -> q.waiters <- q.waiters @ [ waker ]);
+    Proc.charge_wait Category.Queue ~since:t0;
+    consume q
+  end
+  else begin
+    if q.consume_cost > 0. then Proc.advance Category.Queue q.consume_cost;
+    Queue.pop q.items
+  end
+
+let try_consume q =
+  if Queue.is_empty q.items then None
+  else begin
+    if q.consume_cost > 0. then Proc.advance Category.Queue q.consume_cost;
+    Some (Queue.pop q.items)
+  end

@@ -1,0 +1,163 @@
+type tid = int
+
+type thread_state = Ready | Running | Suspended | Finished
+
+type thread = { id : tid; name : string; mutable state : thread_state }
+
+type t = {
+  events : (float * (unit -> unit)) Xinv_util.Heap.t;
+  mutable clock : float;
+  mutable threads : thread list;  (* newest first *)
+  mutable next_tid : int;
+  mutable cur : tid;
+  charges : (tid * int, float) Hashtbl.t;
+  trace_on : bool;
+  mutable trace : Trace.segment list;  (* newest first *)
+}
+
+exception Deadlock of string
+
+type _ Effect.t +=
+  | E_advance : Category.t * string option * float -> unit Effect.t
+  | E_suspend : ((unit -> unit) -> unit) -> unit Effect.t
+  | E_now : float Effect.t
+  | E_self : tid Effect.t
+  | E_engine : t Effect.t
+  | E_spawn : string * (unit -> unit) -> tid Effect.t
+
+let create ?(trace = false) () =
+  {
+    events = Xinv_util.Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b);
+    clock = 0.;
+    threads = [];
+    next_tid = 0;
+    cur = -1;
+    charges = Hashtbl.create 64;
+    trace_on = trace;
+    trace = [];
+  }
+
+let now eng = eng.clock
+
+let thread_count eng = List.length eng.threads
+
+let find_thread eng id = List.find (fun th -> th.id = id) eng.threads
+
+let name_of eng id = (find_thread eng id).name
+
+let charge eng id cat dt =
+  let key = (id, Category.index cat) in
+  let cur = try Hashtbl.find eng.charges key with Not_found -> 0. in
+  Hashtbl.replace eng.charges key (cur +. dt)
+
+let charged eng id cat =
+  try Hashtbl.find eng.charges (id, Category.index cat) with Not_found -> 0.
+
+let total eng cat =
+  List.fold_left (fun acc th -> acc +. charged eng th.id cat) 0. eng.threads
+
+let busy eng id =
+  List.fold_left (fun acc cat -> acc +. charged eng id cat) 0. Category.all
+
+let add_segment eng seg = if eng.trace_on then eng.trace <- seg :: eng.trace
+
+let segments eng = List.rev eng.trace
+
+let schedule eng time thunk = Xinv_util.Heap.push eng.events (time, thunk)
+
+(* Run [body] as a simulated thread under the effect handler.  Continuations
+   captured by the handler are resumed from the engine loop, re-entering the
+   same handler frame. *)
+let rec start_thread eng th body =
+  let open Effect.Deep in
+  match_with
+    (fun () ->
+      th.state <- Running;
+      body ())
+    ()
+    {
+      retc = (fun () -> th.state <- Finished);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_advance (cat, label, dt) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  assert (dt >= 0.);
+                  charge eng th.id cat dt;
+                  if eng.trace_on then
+                    add_segment eng
+                      {
+                        Trace.tid = th.id;
+                        label = (match label with Some l -> l | None -> Category.to_string cat);
+                        cat;
+                        t_start = eng.clock;
+                        t_end = eng.clock +. dt;
+                      };
+                  th.state <- Ready;
+                  schedule eng (eng.clock +. dt) (fun () ->
+                      eng.cur <- th.id;
+                      th.state <- Running;
+                      continue k ()))
+          | E_suspend register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  th.state <- Suspended;
+                  let woken = ref false in
+                  let waker () =
+                    if not !woken then begin
+                      woken := true;
+                      th.state <- Ready;
+                      schedule eng eng.clock (fun () ->
+                          eng.cur <- th.id;
+                          th.state <- Running;
+                          continue k ())
+                    end
+                  in
+                  register waker)
+          | E_now -> Some (fun k -> continue k eng.clock)
+          | E_self -> Some (fun k -> continue k th.id)
+          | E_engine -> Some (fun k -> continue k eng)
+          | E_spawn (name, f) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let id = spawn_at eng ~name f in
+                  continue k id)
+          | _ -> None);
+    }
+
+and spawn_at : t -> name:string -> (unit -> unit) -> int =
+ fun eng ~name body ->
+  let id = eng.next_tid in
+  eng.next_tid <- id + 1;
+  let th = { id; name; state = Ready } in
+  eng.threads <- th :: eng.threads;
+  schedule eng eng.clock (fun () ->
+      eng.cur <- th.id;
+      start_thread eng th body);
+  id
+
+let spawn eng ?name body =
+  let name = match name with Some n -> n | None -> Printf.sprintf "t%d" eng.next_tid in
+  spawn_at eng ~name body
+
+let run eng =
+  let rec loop () =
+    match Xinv_util.Heap.pop eng.events with
+    | None ->
+        let stuck =
+          List.filter (fun th -> th.state = Suspended || th.state = Ready) eng.threads
+        in
+        if stuck <> [] then
+          raise
+            (Deadlock
+               (String.concat ", "
+                  (List.map (fun th -> Printf.sprintf "%s(#%d)" th.name th.id) stuck)))
+    | Some (time, thunk) ->
+        assert (time >= eng.clock -. 1e-9);
+        eng.clock <- Stdlib.max eng.clock time;
+        thunk ();
+        loop ()
+  in
+  loop ()

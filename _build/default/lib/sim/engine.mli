@@ -1,0 +1,60 @@
+(** Deterministic discrete-event simulator of a shared-memory multicore.
+
+    Simulated threads are OCaml effect-handler coroutines.  Each thread is
+    pinned to its own core, consumes virtual cycles via {!Proc.advance}, and
+    blocks/wakes through the primitives built on {!Proc.suspend}
+    ({!Barrier}, {!Channel}, {!Mono_cell}, {!Mutex}).
+
+    Events at equal virtual times fire in FIFO order of scheduling, so a run
+    is a pure function of its inputs — reproducibility the dissertation's
+    evaluation relies on. *)
+
+type t
+
+type tid = int
+
+exception Deadlock of string
+(** Raised by {!run} when no event is pending but live threads remain
+    suspended; the message lists the stuck threads. *)
+
+type _ Effect.t +=
+  | E_advance : Category.t * string option * float -> unit Effect.t
+  | E_suspend : ((unit -> unit) -> unit) -> unit Effect.t
+  | E_now : float Effect.t
+  | E_self : tid Effect.t
+  | E_engine : t Effect.t
+  | E_spawn : string * (unit -> unit) -> tid Effect.t
+
+val create : ?trace:bool -> unit -> t
+
+val spawn : t -> ?name:string -> (unit -> unit) -> tid
+(** [spawn eng f] registers a thread whose body runs when {!run} reaches its
+    start time (the engine's current time). *)
+
+val run : t -> unit
+(** Runs until no event remains.  @raise Deadlock if threads are stuck. *)
+
+val now : t -> float
+(** Current virtual time (also the makespan once {!run} returned). *)
+
+val thread_count : t -> int
+
+val name_of : t -> tid -> string
+
+val charged : t -> tid -> Category.t -> float
+(** Virtual cycles charged by thread [tid] to a category. *)
+
+val total : t -> Category.t -> float
+(** Sum of {!charged} over all threads. *)
+
+val busy : t -> tid -> float
+(** Sum over all categories for one thread. *)
+
+val charge : t -> tid -> Category.t -> float -> unit
+(** Bookkeeping-only charge (no virtual time consumed); used by blocking
+    primitives to attribute waiting time. *)
+
+val segments : t -> Trace.segment list
+(** Captured trace segments, oldest first (empty unless [~trace:true]). *)
+
+val add_segment : t -> Trace.segment -> unit

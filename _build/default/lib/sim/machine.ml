@@ -1,0 +1,48 @@
+type t = {
+  barrier_base : float;
+  barrier_per_thread : float;
+  queue_produce : float;
+  queue_consume : float;
+  lock_cost : float;
+  sched_per_iter : float;
+  shadow_per_addr : float;
+  sig_per_access : float;
+  check_per_sig : float;
+  task_enter : float;
+  task_exit : float;
+  checkpoint_cost : float;
+  recovery_cost : float;
+  spawn_cost : float;
+  contention : float;
+}
+
+let default =
+  {
+    barrier_base = 4_000.;
+    barrier_per_thread = 350.;
+    queue_produce = 22.;
+    queue_consume = 18.;
+    lock_cost = 70.;
+    sched_per_iter = 14.;
+    shadow_per_addr = 8.;
+    sig_per_access = 6.;
+    check_per_sig = 3.;
+    task_enter = 35.;
+    task_exit = 25.;
+    checkpoint_cost = 60_000.;
+    recovery_cost = 120_000.;
+    spawn_cost = 8_000.;
+    contention = 0.022;
+  }
+
+let work_factor m ~threads =
+  1. +. (m.contention *. float_of_int (Stdlib.max 0 (threads - 1)))
+
+let pp ppf m =
+  Format.fprintf ppf
+    "@[<v>barrier: %.0f + %.0f/thread@ queue: produce %.0f consume %.0f@ lock: %.0f@ \
+     scheduler/iter: %.0f  shadow/addr: %.0f@ signature/access: %.0f  check/sig: %.0f@ \
+     task enter/exit: %.0f/%.0f@ checkpoint: %.0f  recovery: %.0f  spawn: %.0f@]"
+    m.barrier_base m.barrier_per_thread m.queue_produce m.queue_consume m.lock_cost
+    m.sched_per_iter m.shadow_per_addr m.sig_per_access m.check_per_sig m.task_enter
+    m.task_exit m.checkpoint_cost m.recovery_cost m.spawn_cost

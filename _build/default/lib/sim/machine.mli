@@ -1,0 +1,36 @@
+(** Cost model of the simulated multicore (virtual cycles).
+
+    Default values are calibrated so that the relative costs match the
+    evaluation platform of the dissertation (24-core Xeon X7460, pthreads):
+    queue operations are tens of cycles, barriers hundreds of cycles plus a
+    per-thread convoy component, checkpoints tens of thousands.  Absolute
+    values are arbitrary; experiments only compare executions under the same
+    model. *)
+
+type t = {
+  barrier_base : float;  (** fixed cost of one barrier episode *)
+  barrier_per_thread : float;  (** additional cost per participating thread *)
+  queue_produce : float;
+  queue_consume : float;
+  lock_cost : float;  (** uncontended lock acquire+release *)
+  sched_per_iter : float;  (** DOMORE scheduler dispatch bookkeeping per iteration *)
+  shadow_per_addr : float;  (** shadow-memory lookup+update per address *)
+  sig_per_access : float;  (** signature update per instrumented access *)
+  check_per_sig : float;  (** checker cost per signature comparison *)
+  task_enter : float;  (** SPECCROSS enter_task: read other threads' positions *)
+  task_exit : float;  (** SPECCROSS exit_task: log signature, bump counter *)
+  checkpoint_cost : float;  (** fork + register save *)
+  recovery_cost : float;  (** kill workers, restore memory, respawn *)
+  spawn_cost : float;  (** thread creation *)
+  contention : float;
+      (** per-extra-thread slowdown of useful work: the shared front-side-bus
+          bandwidth model of the evaluation platform (4-socket X7460) *)
+}
+
+val default : t
+
+val work_factor : t -> threads:int -> float
+(** Multiplier applied to every cycle of useful work when [threads] cores
+    are active. *)
+
+val pp : Format.formatter -> t -> unit

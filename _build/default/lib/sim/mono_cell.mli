@@ -1,0 +1,24 @@
+(** Monotonically increasing integer cell with threshold waiters.
+
+    Models the [latestFinished] status array of DOMORE (Algorithm 2) and the
+    epoch/task progress counters of SPECCROSS: a thread can block until the
+    cell reaches a given value.  Waiting time is charged to the category
+    supplied at the wait site. *)
+
+type t
+
+val create : ?init:int -> unit -> t
+
+val get : t -> int
+
+val set : t -> int -> unit
+(** [set c v] requires [v >= get c]; wakes every waiter whose threshold is
+    now satisfied. *)
+
+val wait_ge : ?cat:Category.t -> t -> int -> unit
+(** Block until the cell value is [>=] the threshold. *)
+
+val raise_to : t -> int -> unit
+(** [raise_to c v] is [set c v] when [v] exceeds the current value and a
+    no-op otherwise (safe under concurrent monotone bumps, e.g. abort
+    wake-ups racing normal progress). *)

@@ -1,0 +1,17 @@
+(** Simulated mutual-exclusion lock (used by the DOANY baseline).
+
+    Acquisition costs a fixed number of cycles; contention time is charged to
+    {!Category.Sync_wait}. *)
+
+type t
+
+val create : ?acquire_cost:float -> unit -> t
+
+val lock : t -> unit
+
+val unlock : t -> unit
+
+val with_lock : t -> (unit -> 'a) -> 'a
+
+val contended : t -> int
+(** Number of lock acquisitions that had to wait. *)

@@ -1,0 +1,52 @@
+type segment = {
+  tid : int;
+  label : string;
+  cat : Category.t;
+  t_start : float;
+  t_end : float;
+}
+
+let by_thread segs =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let cur = try Hashtbl.find tbl s.tid with Not_found -> [] in
+      Hashtbl.replace tbl s.tid (s :: cur))
+    segs;
+  Hashtbl.fold (fun tid ss acc -> (tid, List.rev ss) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Quantize the timeline into [width] rows and show, for each thread, the
+   label of the segment active at each row's start time. *)
+let render ?(width = 40) segs =
+  match segs with
+  | [] -> "(empty trace)"
+  | _ ->
+      let t_max = List.fold_left (fun acc s -> Stdlib.max acc s.t_end) 0. segs in
+      let groups = by_thread segs in
+      let tids = List.map fst groups in
+      let col_w =
+        List.fold_left
+          (fun acc s -> Stdlib.max acc (String.length s.label))
+          8 segs
+      in
+      let cell tid t =
+        let active =
+          List.find_opt
+            (fun s -> s.tid = tid && s.t_start <= t && t < s.t_end)
+            segs
+        in
+        match active with Some s -> s.label | None -> "." in
+      let header =
+        String.concat " | "
+          (List.map (fun tid -> Printf.sprintf "%-*s" col_w (Printf.sprintf "T%d" tid)) tids)
+      in
+      let rows =
+        List.init width (fun i ->
+            let t = t_max *. float_of_int i /. float_of_int width in
+            let cells =
+              List.map (fun tid -> Printf.sprintf "%-*s" col_w (cell tid t)) tids
+            in
+            Printf.sprintf "%8.0f  %s" t (String.concat " | " cells))
+      in
+      String.concat "\n" ((Printf.sprintf "%8s  %s" "time" header) :: rows)

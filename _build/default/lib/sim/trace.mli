@@ -1,0 +1,19 @@
+(** Execution-plan traces: labelled time segments per simulated thread.
+
+    Used to regenerate the dissertation's execution-plan diagrams
+    (Figures 1.4, 3.2, 4.6) as text. *)
+
+type segment = {
+  tid : int;
+  label : string;
+  cat : Category.t;
+  t_start : float;
+  t_end : float;
+}
+
+val render : ?width:int -> segment list -> string
+(** [render segs] draws one column per thread and one row per time slice,
+    showing which labelled segment each thread was executing. *)
+
+val by_thread : segment list -> (int * segment list) list
+(** Segments grouped by thread id, each group oldest-first. *)

@@ -1,0 +1,1 @@
+lib/speccross/profiler.ml: Format Stdlib Xinv_ir

@@ -1,0 +1,1 @@
+lib/speccross/profiler.mli: Format Xinv_ir

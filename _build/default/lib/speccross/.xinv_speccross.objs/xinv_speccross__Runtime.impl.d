@@ -1,0 +1,1 @@
+lib/speccross/runtime.ml: Array Format Hashtbl List Printf Stdlib String Sys Xinv_domore Xinv_ir Xinv_parallel Xinv_runtime Xinv_sim

@@ -1,0 +1,1 @@
+lib/speccross/runtime.mli: Xinv_domore Xinv_ir Xinv_parallel Xinv_runtime Xinv_sim

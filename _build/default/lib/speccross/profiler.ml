@@ -1,0 +1,37 @@
+module Ir = Xinv_ir
+
+type t = {
+  min_task_distance : int option;
+  avg_tasks_per_epoch : float;
+  epochs : int;
+  tasks : int;
+  spec_distance : int;
+}
+
+let profile (p : Ir.Program.t) env =
+  let res = Ir.Profile.run p env in
+  let epochs = res.Ir.Profile.total_invocations in
+  let tasks = res.Ir.Profile.total_tasks in
+  let avg = if epochs = 0 then 0. else float_of_int tasks /. float_of_int epochs in
+  let spec_distance =
+    match res.Ir.Profile.min_task_distance with
+    | None -> max_int / 4
+    | Some d -> Stdlib.max 1 d
+  in
+  {
+    min_task_distance = res.Ir.Profile.min_task_distance;
+    avg_tasks_per_epoch = avg;
+    epochs;
+    tasks;
+    spec_distance;
+  }
+
+let profitable t ~workers =
+  match t.min_task_distance with None -> true | Some d -> d >= workers
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>profile: %d epochs, %d tasks (%.1f tasks/epoch)@,min dependence distance: %s@,speculative range: %d tasks@]"
+    t.epochs t.tasks t.avg_tasks_per_epoch
+    (match t.min_task_distance with None -> "*" | Some d -> string_of_int d)
+    t.spec_distance

@@ -1,0 +1,23 @@
+(** SPECCROSS profiling mode (dissertation §4.4).
+
+    Runs the program sequentially under the dependence profiler, measures the
+    minimum task distance between cross-invocation conflicts, and converts it
+    into a speculative range (in epochs) for the runtime.  A distance below
+    the worker count recommends against speculation. *)
+
+type t = {
+  min_task_distance : int option;  (** [None]: no conflict ever manifested *)
+  avg_tasks_per_epoch : float;
+  epochs : int;
+  tasks : int;
+  spec_distance : int;  (** how many tasks a thread may lead the slowest *)
+}
+
+val profile : Xinv_ir.Program.t -> Xinv_ir.Env.t -> t
+(** Mutates the environment's memory (a profiling run on the train input). *)
+
+val profitable : t -> workers:int -> bool
+(** False when the minimum dependence distance is smaller than the worker
+    count (the dissertation's default threshold). *)
+
+val pp : Format.formatter -> t -> unit

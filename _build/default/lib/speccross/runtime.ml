@@ -1,0 +1,624 @@
+module Sim = Xinv_sim
+module Ir = Xinv_ir
+module Rt = Xinv_runtime
+
+type mode = M_doall | M_localwrite | M_domore of Xinv_domore.Policy.t
+
+type config = {
+  machine : Sim.Machine.t;
+  workers : int;
+  sig_kind : Rt.Signature.kind;
+  checkpoint_every : int;
+  spec_distance : int;  (* max task lead over the slowest thread *)
+  mode_of : string -> mode;
+  inject_misspec : (int * int) option;
+  non_spec_barriers : bool;
+  tm_style : bool;
+}
+
+let default_config ~workers =
+  {
+    machine = Sim.Machine.default;
+    workers;
+    sig_kind = Rt.Signature.Range;
+    checkpoint_every = 1000;
+    spec_distance = max_int / 4;
+    mode_of = (fun _ -> M_doall);
+    inject_misspec = None;
+    non_spec_barriers = false;
+    tm_style = false;
+  }
+
+(* Sentinel larger than any epoch number, used to release waiters on abort. *)
+let wake = max_int / 2
+
+type gstate = {
+  g_id : int;
+  progress : Sim.Mono_cell.t array;  (** epoch boundary reached per worker *)
+  tpos : Sim.Mono_cell.t array;  (** global task position per worker *)
+  positions : (int * int) array;  (** live (epoch, task) per worker *)
+  submitted : int ref;
+  processed : Sim.Mono_cell.t;
+  abort : bool ref;
+  arrived_n : int ref;
+  arrived : Sim.Mono_cell.t;
+  recovery_done : Sim.Mono_cell.t;
+  ckpt_done : Sim.Mono_cell.t;  (** highest checkpointed epoch boundary *)
+  io_done : Sim.Mono_cell.t;  (** highest completed irreversible epoch *)
+  mutable redo_barrier : Sim.Barrier.t;
+}
+
+let fresh_gstate ~id ~workers =
+  {
+    g_id = id;
+    progress = Array.init workers (fun _ -> Sim.Mono_cell.create ~init:(-1) ());
+    tpos = Array.init workers (fun _ -> Sim.Mono_cell.create ~init:(-1) ());
+    positions = Array.make workers (0, 0);
+    submitted = ref 0;
+    processed = Sim.Mono_cell.create ~init:0 ();
+    abort = ref false;
+    arrived_n = ref 0;
+    arrived = Sim.Mono_cell.create ~init:0 ();
+    recovery_done = Sim.Mono_cell.create ~init:0 ();
+    ckpt_done = Sim.Mono_cell.create ~init:(-1) ();
+    io_done = Sim.Mono_cell.create ~init:(-1) ();
+    redo_barrier = Sim.Barrier.create ~parties:workers;
+  }
+
+type cmsg =
+  | Request of {
+      gen : int;
+      worker : int;
+      epoch : int;
+      task : int;
+      sg : Rt.Signature.t;
+      started : (int * int) array;
+      force : bool;
+    }
+  | Reset of int
+  | Finish of int
+
+let run ?config ?(trace = false) (p : Ir.Program.t) env =
+  let cfg = match config with Some c -> c | None -> default_config ~workers:3 in
+  let { machine; workers; _ } = cfg in
+  assert (workers > 0);
+  let mem = env.Ir.Env.mem in
+  let inners = Array.of_list p.Ir.Program.inners in
+  let ninners = Array.length inners in
+  let nepochs = p.Ir.Program.outer_trip * ninners in
+  let eng = Sim.Engine.create ~trace () in
+  let siglog = Rt.Siglog.create ~workers in
+  let ckpts = Rt.Checkpoint.create () in
+  Rt.Checkpoint.save ckpts ~epoch:0 mem;
+  let states : (int, gstate) Hashtbl.t = Hashtbl.create 4 in
+  let gen = ref 0 in
+  let st = ref (fresh_gstate ~id:0 ~workers) in
+  Hashtbl.replace states 0 !st;
+  let checker_q =
+    Sim.Channel.create ~produce_cost:machine.Sim.Machine.queue_produce
+      ~consume_cost:machine.Sim.Machine.queue_consume ()
+  in
+  let max_epoch = ref 0 in
+  let redo_from = ref 0 and redo_to = ref 0 and resume_from = ref 0 in
+  let requests_total = ref 0 in
+  let comparisons = ref 0 in
+  let misspecs = ref 0 in
+  let tasks_total = ref 0 in
+  let injected = ref false in
+
+  let env_of_epoch e =
+    let t = e / ninners in
+    (inners.(e mod ninners), Ir.Env.with_outer env t)
+  in
+  (* SPECCROSS only instruments accesses that may alias across invocations:
+     anything touching an array some inner-loop body writes. *)
+  let hot_arrays =
+    List.concat_map
+      (fun (st_ : Ir.Stmt.t) ->
+        List.map (fun (a : Ir.Access.t) -> a.Ir.Access.base) st_.Ir.Stmt.writes)
+      (Ir.Program.body_stmts p)
+    |> List.sort_uniq String.compare
+  in
+  let hot arr = List.mem arr hot_arrays in
+  (* Epochs containing irreversible (side-effecting) statements execute
+     non-speculatively: all workers synchronize, one executes, and a fresh
+     checkpoint follows so recovery never replays them (§4.2.2). *)
+  let irreversible =
+    Array.map
+      (fun (il : Ir.Program.inner) ->
+        List.exists
+          (fun (st_ : Ir.Stmt.t) -> st_.Ir.Stmt.side_effect)
+          (il.Ir.Program.pre @ il.Ir.Program.body))
+      inners
+  in
+  (* Global task index of each epoch's first task; trip counts only read
+     input data the region never writes. *)
+  let epoch_base = Array.make (nepochs + 1) 0 in
+  for e = 0 to nepochs - 1 do
+    let il, env_t = env_of_epoch e in
+    epoch_base.(e + 1) <- epoch_base.(e) + il.Ir.Program.trip env_t
+  done;
+
+  (* Within-epoch DOMORE completion cells, keyed by generation:epoch; shared
+     between the workers that execute the epoch. *)
+  let domore_cells : (string, Sim.Mono_cell.t array) Hashtbl.t = Hashtbl.create 64 in
+  (* ---------- checker thread ---------- *)
+  let do_abort (s : gstate) =
+    if not !(s.abort) then begin
+      s.abort := true;
+      incr misspecs;
+      Array.iter (fun c -> Sim.Mono_cell.raise_to c wake) s.progress;
+      Array.iter (fun c -> Sim.Mono_cell.raise_to c wake) s.tpos;
+      Sim.Mono_cell.raise_to s.processed wake;
+      Sim.Mono_cell.raise_to s.ckpt_done wake;
+      Sim.Mono_cell.raise_to s.io_done wake;
+      (* Release workers blocked on within-epoch DOMORE conditions: whatever
+         they then compute is discarded when the checkpoint is restored. *)
+      Hashtbl.iter
+        (fun _ cells -> Array.iter (fun c -> Sim.Mono_cell.raise_to c wake) cells)
+        domore_cells
+    end
+  in
+  let checker () =
+    let cur = ref 0 in
+    let finished = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      match Sim.Channel.consume checker_q with
+      | Reset g ->
+          cur := g;
+          finished := 0
+      | Finish g ->
+          if g = !cur then begin
+            incr finished;
+            if !finished = workers then continue_ := false
+          end
+      | Request r when r.gen <> !cur -> ()
+      | Request r -> (
+          let s = Hashtbl.find states r.gen in
+          if not !(s.abort) then begin
+            (* Defer until every other worker's signatures for epochs below
+               [r.epoch] are complete (it reached that epoch boundary). *)
+            for w' = 0 to workers - 1 do
+              if w' <> r.worker then
+                Sim.Mono_cell.wait_ge ~cat:Sim.Category.Checker s.progress.(w') r.epoch
+            done
+          end;
+          if r.gen <> !gen || !(s.abort) then ()
+          else begin
+            let conflict = ref r.force in
+            for w' = 0 to workers - 1 do
+              if w' <> r.worker then begin
+                let e0, t0 = r.started.(w') in
+                let upto = if cfg.tm_style then r.epoch + 1 else r.epoch in
+                let window =
+                  Rt.Siglog.between siglog ~worker:w' ~from_epoch:e0 ~from_task:t0
+                    ~upto_epoch:upto
+                in
+                if window <> [] then
+                  Sim.Proc.advance ~label:"check" Sim.Category.Checker
+                    (machine.Sim.Machine.check_per_sig
+                    *. float_of_int (List.length window));
+                comparisons := !comparisons + List.length window;
+                List.iter
+                  (fun (we, wt, sg') ->
+                    (* Same-epoch pairs are provably independent: TM-style
+                       checking pays for them but cannot flag them. *)
+                    if we < r.epoch && Rt.Signature.intersects r.sg sg' then begin
+                      if Sys.getenv_opt "XINV_DEBUG" <> None then
+                        Format.eprintf
+                          "[speccross] conflict: w%d e%d t%d (%a) vs w%d e%d t%d (%a)@."
+                          r.worker r.epoch r.task Rt.Signature.pp r.sg w' we wt
+                          Rt.Signature.pp sg';
+                      conflict := true
+                    end)
+                  window
+              end
+            done;
+            if !conflict then do_abort s
+            else Sim.Mono_cell.raise_to s.processed (Sim.Mono_cell.get s.processed + 1)
+          end)
+    done
+  in
+
+  (* ---------- per-epoch execution ---------- *)
+  let wf = Sim.Machine.work_factor machine ~threads:(workers + 1) in
+  let exec_pre w env_t (il : Ir.Program.inner) =
+    List.iter
+      (fun (s : Ir.Stmt.t) ->
+        let cat = if w = 0 then Sim.Category.Sequential else Sim.Category.Redundant in
+        Sim.Proc.advance ~label:s.Ir.Stmt.name cat (wf *. s.Ir.Stmt.cost env_t);
+        s.Ir.Stmt.exec env_t)
+      il.Ir.Program.pre
+  in
+  let plain_body env_j (il : Ir.Program.inner) =
+    List.iter
+      (fun (s : Ir.Stmt.t) ->
+        Sim.Proc.work ~label:s.Ir.Stmt.name (wf *. s.Ir.Stmt.cost env_j);
+        s.Ir.Stmt.exec env_j)
+      il.Ir.Program.body
+  in
+  (* Speculative-range throttle (dissertation 4.2.1): before advancing to
+     global task position [g], wait until no thread trails by more than the
+     profiled minimum dependence distance. *)
+  let throttle (s : gstate) ~w g =
+    (* Publish first (a blocked thread still tells the others where it is),
+       then wait for every trailing thread to come within range. *)
+    Sim.Mono_cell.raise_to s.tpos.(w) g;
+    let floor_ = g - cfg.spec_distance + 1 in
+    if floor_ > 0 then
+      for w' = 0 to workers - 1 do
+        if w' <> w then
+          Sim.Mono_cell.wait_ge ~cat:Sim.Category.Barrier_wait s.tpos.(w') floor_
+      done
+  in
+  (* Speculative bracket around one task. *)
+  let run_task (s : gstate) ~w ~epoch ~task ~addrs body =
+    if cfg.non_spec_barriers then body ()
+    else begin
+      s.positions.(w) <- (epoch, task);
+      Sim.Proc.advance ~label:"enter_task" Sim.Category.Runtime
+        machine.Sim.Machine.task_enter;
+      let started = Array.copy s.positions in
+      Sim.Proc.advance ~label:"spec_access" Sim.Category.Runtime
+        (machine.Sim.Machine.sig_per_access *. float_of_int (List.length addrs));
+      body ();
+      let sg = Rt.Signature.create cfg.sig_kind in
+      Rt.Signature.add_list sg addrs;
+      Sim.Proc.advance ~label:"exit_task" Sim.Category.Runtime
+        machine.Sim.Machine.task_exit;
+      Rt.Siglog.store siglog ~worker:w ~epoch ~task sg;
+      let force =
+        (not !injected)
+        && match cfg.inject_misspec with
+           | Some (e, iw) when e = epoch && iw = w ->
+               injected := true;
+               true
+           | _ -> false
+      in
+      incr s.submitted;
+      incr requests_total;
+      Sim.Channel.produce checker_q
+        (Request { gen = s.g_id; worker = w; epoch; task; sg; started; force });
+      (* Everything strictly below (epoch, task+1) is now complete, so later
+         tasks' comparison windows exclude this one once it is finished. *)
+      s.positions.(w) <- (epoch, task + 1)
+    end
+  in
+  let exec_epoch_spec (s : gstate) w e =
+    let il, env_t = env_of_epoch e in
+    exec_pre w env_t il;
+    let trip = il.Ir.Program.trip env_t in
+    if w = 0 then tasks_total := !tasks_total + trip;
+    let task = ref 0 in
+    match cfg.mode_of il.Ir.Program.ilabel with
+    | M_doall ->
+        let j = ref w in
+        while !j < trip do
+          let env_j = Ir.Env.with_inner env_t !j in
+          let addrs = Ir.Footprint.body_filtered ~hot env_j il in
+          throttle s ~w (epoch_base.(e) + !j);
+          run_task s ~w ~epoch:e ~task:!task ~addrs (fun () -> plain_body env_j il);
+          incr task;
+          j := !j + workers
+        done
+    | M_localwrite ->
+        for j = 0 to trip - 1 do
+          let env_j = Ir.Env.with_inner env_t j in
+          throttle s ~w (epoch_base.(e) + j);
+          let owned (st_ : Ir.Stmt.t) =
+            List.exists
+              (fun (a : Ir.Access.t) ->
+                let idx = Ir.Expr.eval env_j a.Ir.Access.index in
+                let size = Ir.Memory.size mem a.Ir.Access.base in
+                idx * workers / size = w)
+              st_.Ir.Stmt.writes
+          in
+          let mine = List.exists owned il.Ir.Program.body in
+          if mine then begin
+            let addrs = Ir.Footprint.body_filtered ~hot env_j il in
+            run_task s ~w ~epoch:e ~task:!task ~addrs (fun () ->
+                List.iter
+                  (fun (stm : Ir.Stmt.t) ->
+                    if stm.Ir.Stmt.writes = [] then begin
+                      Sim.Proc.work ~label:stm.Ir.Stmt.name (wf *. stm.Ir.Stmt.cost env_j);
+                      stm.Ir.Stmt.exec env_j
+                    end
+                    else if owned stm then begin
+                      Sim.Proc.work ~label:stm.Ir.Stmt.name (wf *. stm.Ir.Stmt.cost env_j);
+                      stm.Ir.Stmt.exec env_j
+                    end
+                    else
+                      Sim.Proc.advance ~label:"own?" Sim.Category.Redundant 4.)
+                  il.Ir.Program.body);
+            incr task
+          end
+          else begin
+            (* Redundant visit: the non-writing traversal plus the ownership
+               check; publish progress so checker windows stay tight. *)
+            s.positions.(w) <- (e, !task);
+            let traversal =
+              List.fold_left
+                (fun acc (stm : Ir.Stmt.t) ->
+                  if stm.Ir.Stmt.writes = [] then acc +. stm.Ir.Stmt.cost env_j else acc)
+                0. il.Ir.Program.body
+            in
+            Sim.Proc.advance ~label:"visit" Sim.Category.Redundant
+              ((wf *. traversal) +. 4.
+              +. (2. *. float_of_int (List.length il.Ir.Program.body)))
+          end
+        done
+    | M_domore policy ->
+        (* §3.4 duplicated scheduler, scoped to this epoch: private shadow,
+           shared completion cells created by the first worker to arrive. *)
+        let cells =
+          let key = Printf.sprintf "%d:%d" s.g_id e in
+          let tbl = domore_cells in
+          match Hashtbl.find_opt tbl key with
+          | Some c -> c
+          | None ->
+              let c = Array.init workers (fun _ -> Sim.Mono_cell.create ~init:(-1) ()) in
+              Hashtbl.replace tbl key c;
+              c
+        in
+        let shadow = Rt.Shadow.create () in
+        for j = 0 to trip - 1 do
+          let env_j = Ir.Env.with_inner env_t j in
+          throttle s ~w (epoch_base.(e) + j);
+          let addrs = Ir.Footprint.body_filtered ~hot env_j il in
+          let waddrs =
+            List.concat_map (fun stm -> Ir.Footprint.writes env_j stm) il.Ir.Program.body
+          in
+          let raddrs =
+            List.concat_map
+              (fun (stm : Ir.Stmt.t) ->
+                List.filter_map
+                  (fun (a : Ir.Access.t) ->
+                    if hot a.Ir.Access.base then Some (Ir.Access.addr env_j mem a)
+                    else None)
+                  stm.Ir.Stmt.reads)
+              il.Ir.Program.body
+          in
+          Sim.Proc.advance ~label:"sched" Sim.Category.Redundant
+            (machine.Sim.Machine.sched_per_iter
+            +. (machine.Sim.Machine.shadow_per_addr *. float_of_int (List.length addrs)));
+          let owner =
+            Xinv_domore.Policy.pick policy ~loads:None ~mem ~threads:workers ~iter:j
+              ~write_addrs:waddrs
+          in
+          let me = { Rt.Shadow.tid = owner; iter = j } in
+          let deps = ref [] in
+          let note found =
+            List.iter
+              (fun (d : Rt.Shadow.entry) ->
+                let c = (d.Rt.Shadow.tid, d.Rt.Shadow.iter) in
+                if not (List.mem c !deps) then deps := c :: !deps)
+              found
+          in
+          List.iter (fun addr -> note (Rt.Shadow.note_read shadow addr me)) raddrs;
+          List.iter (fun addr -> note (Rt.Shadow.note_write shadow addr me)) waddrs;
+          if owner <> w then s.positions.(w) <- (e, !task);
+          if owner = w then begin
+            run_task s ~w ~epoch:e ~task:!task ~addrs (fun () ->
+                List.iter
+                  (fun (dt, di) ->
+                    Sim.Mono_cell.wait_ge ~cat:Sim.Category.Sync_wait cells.(dt) di)
+                  (List.rev !deps);
+                plain_body env_j il;
+                Sim.Mono_cell.raise_to cells.(w) j);
+            incr task
+          end
+        done
+  in
+  (* Non-speculative re-execution of one epoch (technique preserved, barriers
+     added by the caller). *)
+  let exec_epoch_nonspec w e =
+    let il, env_t = env_of_epoch e in
+    exec_pre w env_t il;
+    let trip = il.Ir.Program.trip env_t in
+    match cfg.mode_of il.Ir.Program.ilabel with
+    | M_doall ->
+        let j = ref w in
+        while !j < trip do
+          plain_body (Ir.Env.with_inner env_t !j) il;
+          j := !j + workers
+        done
+    | M_localwrite | M_domore _ ->
+        (* Owner-compute, no speculation bookkeeping. *)
+        for j = 0 to trip - 1 do
+          let env_j = Ir.Env.with_inner env_t j in
+          List.iter
+            (fun (stm : Ir.Stmt.t) ->
+              let owned =
+                stm.Ir.Stmt.writes = []
+                || List.exists
+                     (fun (a : Ir.Access.t) ->
+                       let idx = Ir.Expr.eval env_j a.Ir.Access.index in
+                       let size = Ir.Memory.size mem a.Ir.Access.base in
+                       idx * workers / size = w)
+                     stm.Ir.Stmt.writes
+              in
+              if owned then begin
+                let cat =
+                  if stm.Ir.Stmt.writes = [] && w <> 0 then Sim.Category.Redundant
+                  else Sim.Category.Work
+                in
+                Sim.Proc.advance ~label:stm.Ir.Stmt.name cat (wf *. stm.Ir.Stmt.cost env_j);
+                if stm.Ir.Stmt.writes <> [] || w = 0 then stm.Ir.Stmt.exec env_j
+              end)
+            il.Ir.Program.body
+        done
+  in
+
+  (* ---------- recovery ---------- *)
+  let recover w (s : gstate) =
+    s.arrived_n := !(s.arrived_n) + 1;
+    Sim.Mono_cell.raise_to s.arrived !(s.arrived_n);
+    if w = 0 then begin
+      Sim.Mono_cell.wait_ge ~cat:Sim.Category.Checkpoint s.arrived workers;
+      Sim.Proc.advance ~label:"recover" Sim.Category.Checkpoint
+        machine.Sim.Machine.recovery_cost;
+      let ck = Rt.Checkpoint.restore ckpts ~into:mem in
+      redo_from := ck;
+      redo_to := Stdlib.min !max_epoch (nepochs - 1);
+      resume_from := !redo_to + 1;
+      Rt.Siglog.clear_before siglog ~epoch:max_int;
+      let g' = s.g_id + 1 in
+      let s' = fresh_gstate ~id:g' ~workers in
+      Hashtbl.replace states g' s';
+      gen := g';
+      st := s';
+      Sim.Channel.produce checker_q (Reset g');
+      Sim.Mono_cell.raise_to s.recovery_done 1
+    end
+    else Sim.Mono_cell.wait_ge ~cat:Sim.Category.Checkpoint s.recovery_done 1;
+    (* Re-execute the misspeculated epochs with non-speculative barriers. *)
+    let bar = (!st).redo_barrier in
+    let barrier_cost =
+      machine.Sim.Machine.barrier_base
+      +. (machine.Sim.Machine.barrier_per_thread *. float_of_int workers)
+    in
+    for e' = !redo_from to !redo_to do
+      exec_epoch_nonspec w e';
+      Sim.Barrier.wait ~cost:barrier_cost bar
+    done;
+    (* Fresh checkpoint at the resume point. *)
+    if w = 0 then begin
+      Sim.Proc.advance ~label:"checkpoint" Sim.Category.Checkpoint
+        machine.Sim.Machine.checkpoint_cost;
+      Rt.Checkpoint.save ckpts ~epoch:!resume_from mem
+    end;
+    Sim.Barrier.wait ~cost:0. bar;
+    !resume_from
+  in
+
+  (* ---------- worker ---------- *)
+  let worker w () =
+    let e = ref 0 in
+    let running = ref true in
+    while !running do
+      let s = !st in
+      if !(s.abort) then e := recover w s
+      else if !e >= nepochs then begin
+        (* Region end: wait for everyone, then for the checker to drain. *)
+        Sim.Mono_cell.raise_to s.progress.(w) nepochs;
+        Sim.Mono_cell.raise_to s.tpos.(w) epoch_base.(nepochs);
+        for w' = 0 to workers - 1 do
+          if w' <> w then
+            Sim.Mono_cell.wait_ge ~cat:Sim.Category.Barrier_wait s.progress.(w') nepochs
+        done;
+        Sim.Mono_cell.wait_ge ~cat:Sim.Category.Checker s.processed !(s.submitted);
+        if !(s.abort) then e := recover w s
+        else begin
+          Sim.Channel.produce checker_q (Finish s.g_id);
+          running := false
+        end
+      end
+      else begin
+        (* Epoch boundary. *)
+        s.positions.(w) <- (!e, 0);
+        Sim.Mono_cell.raise_to s.progress.(w) !e;
+        if cfg.non_spec_barriers && !e > 0 then begin
+          Sim.Proc.advance ~label:"barrier" Sim.Category.Barrier_wait
+            (machine.Sim.Machine.barrier_base
+            +. (machine.Sim.Machine.barrier_per_thread *. float_of_int workers));
+          for w' = 0 to workers - 1 do
+            if w' <> w then
+              Sim.Mono_cell.wait_ge ~cat:Sim.Category.Barrier_wait s.progress.(w') !e
+          done
+        end;
+        if !max_epoch < !e then max_epoch := !e;
+        if
+          cfg.checkpoint_every > 0
+          && !e > 0
+          && !e mod cfg.checkpoint_every = 0
+          && Sim.Mono_cell.get s.ckpt_done < !e
+        then begin
+          if w = 0 then begin
+            for w' = 0 to workers - 1 do
+              if w' <> w then
+                Sim.Mono_cell.wait_ge ~cat:Sim.Category.Checkpoint s.progress.(w') !e
+            done;
+            Sim.Mono_cell.wait_ge ~cat:Sim.Category.Checkpoint s.processed !(s.submitted);
+            if not !(s.abort) then begin
+              Sim.Proc.advance ~label:"checkpoint" Sim.Category.Checkpoint
+                machine.Sim.Machine.checkpoint_cost;
+              Rt.Checkpoint.save ckpts ~epoch:!e mem;
+              Rt.Siglog.clear_before siglog ~epoch:!e;
+              Sim.Mono_cell.raise_to s.ckpt_done !e
+            end
+          end
+          else Sim.Mono_cell.wait_ge ~cat:Sim.Category.Checkpoint s.ckpt_done !e
+        end;
+        if !(s.abort) then e := recover w s
+        else if irreversible.(!e mod ninners) && not cfg.non_spec_barriers then begin
+          (* Irreversible epoch: rally everyone, drain the checker, let one
+             worker execute the epoch exactly once, checkpoint, resume. *)
+          if w = 0 then begin
+            for w' = 0 to workers - 1 do
+              if w' <> w then
+                Sim.Mono_cell.wait_ge ~cat:Sim.Category.Barrier_wait s.progress.(w') !e
+            done;
+            Sim.Mono_cell.wait_ge ~cat:Sim.Category.Checker s.processed !(s.submitted);
+            if not !(s.abort) then begin
+              let il, env_t = env_of_epoch !e in
+              List.iter
+                (fun (st_ : Ir.Stmt.t) ->
+                  Sim.Proc.advance ~label:st_.Ir.Stmt.name Sim.Category.Sequential
+                    (wf *. st_.Ir.Stmt.cost env_t);
+                  st_.Ir.Stmt.exec env_t)
+                il.Ir.Program.pre;
+              let trip = il.Ir.Program.trip env_t in
+              tasks_total := !tasks_total + trip;
+              for j = 0 to trip - 1 do
+                let env_j = Ir.Env.with_inner env_t j in
+                List.iter
+                  (fun (st_ : Ir.Stmt.t) ->
+                    Sim.Proc.advance ~label:st_.Ir.Stmt.name Sim.Category.Sequential
+                      (wf *. st_.Ir.Stmt.cost env_j);
+                    st_.Ir.Stmt.exec env_j)
+                  il.Ir.Program.body
+              done;
+              Sim.Proc.advance ~label:"checkpoint" Sim.Category.Checkpoint
+                machine.Sim.Machine.checkpoint_cost;
+              Rt.Checkpoint.save ckpts ~epoch:(!e + 1) mem;
+              Rt.Siglog.clear_before siglog ~epoch:(!e + 1);
+              Sim.Mono_cell.raise_to s.io_done !e
+            end
+          end
+          else Sim.Mono_cell.wait_ge ~cat:Sim.Category.Barrier_wait s.io_done !e;
+          if !(s.abort) then e := recover w s
+          else begin
+            Sim.Mono_cell.raise_to s.tpos.(w) (epoch_base.(!e + 1) - 1);
+            incr e
+          end
+        end
+        else begin
+          (* Everything of mine below this epoch is complete. *)
+          Sim.Mono_cell.raise_to s.tpos.(w) (epoch_base.(!e) - 1);
+          exec_epoch_spec s w !e;
+          incr e
+        end
+      end
+    done
+  in
+  for w = 0 to workers - 1 do
+    ignore (Sim.Engine.spawn eng ~name:(Printf.sprintf "spec%d" w) (worker w))
+  done;
+  ignore (Sim.Engine.spawn eng ~name:"checker" checker);
+  Sim.Engine.run eng;
+  if Sys.getenv_opt "XINV_DEBUG" <> None then
+    Format.eprintf
+      "[speccross] makespan %.0f requests %d comparisons %d misspecs %d@\n\
+      \  work %.0f runtime %.0f checker %.0f barrier %.0f queue %.0f ckpt %.0f@."
+      (Sim.Engine.now eng) !requests_total !comparisons !misspecs
+      (Sim.Engine.total eng Sim.Category.Work)
+      (Sim.Engine.total eng Sim.Category.Runtime)
+      (Sim.Engine.total eng Sim.Category.Checker)
+      (Sim.Engine.total eng Sim.Category.Barrier_wait)
+      (Sim.Engine.total eng Sim.Category.Queue)
+      (Sim.Engine.total eng Sim.Category.Checkpoint);
+  Xinv_parallel.Run.make ~technique:"SPECCROSS" ~threads:(workers + 1)
+    ~makespan:(Sim.Engine.now eng) ~engine:eng ~tasks:!tasks_total
+    ~invocations:(Ir.Program.invocations p) ~checks:!requests_total
+    ~misspecs:!misspecs ()

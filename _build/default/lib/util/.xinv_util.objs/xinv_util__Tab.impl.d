@@ -1,0 +1,1 @@
+lib/util/tab.ml: Float List Printf Stdlib String

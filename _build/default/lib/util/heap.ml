@@ -1,0 +1,81 @@
+type 'a entry = { item : 'a; seq : int }
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable arr : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create ~cmp = { cmp; arr = [||]; len = 0; next_seq = 0 }
+
+let size h = h.len
+
+let is_empty h = h.len = 0
+
+(* Order by user comparison, then insertion sequence: a stable heap. *)
+let lt h a b =
+  let c = h.cmp a.item b.item in
+  c < 0 || (c = 0 && a.seq < b.seq)
+
+let swap h i j =
+  let t = h.arr.(i) in
+  h.arr.(i) <- h.arr.(j);
+  h.arr.(j) <- t
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt h h.arr.(i) h.arr.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && lt h h.arr.(l) h.arr.(!smallest) then smallest := l;
+  if r < h.len && lt h h.arr.(r) h.arr.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let grow h =
+  let cap = Array.length h.arr in
+  let ncap = if cap = 0 then 16 else 2 * cap in
+  let narr = Array.make ncap h.arr.(0) in
+  Array.blit h.arr 0 narr 0 h.len;
+  h.arr <- narr
+
+let push h x =
+  let e = { item = x; seq = h.next_seq } in
+  h.next_seq <- h.next_seq + 1;
+  if h.len = 0 && Array.length h.arr = 0 then h.arr <- Array.make 16 e;
+  if h.len = Array.length h.arr then grow h;
+  h.arr.(h.len) <- e;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.arr.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.arr.(0) <- h.arr.(h.len);
+      sift_down h 0
+    end;
+    Some top.item
+  end
+
+let peek h = if h.len = 0 then None else Some h.arr.(0).item
+
+let clear h =
+  h.len <- 0;
+  h.next_seq <- 0
+
+let to_list h =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (h.arr.(i).item :: acc) in
+  go (h.len - 1) []

@@ -1,0 +1,26 @@
+(** Imperative binary min-heap.
+
+    Used as the event queue of the discrete-event simulator.  Elements are
+    ordered by a comparison function fixed at creation; ties are broken by
+    insertion order, which makes simulator runs deterministic. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (ties broken FIFO). *)
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** [pop h] removes and returns a minimal element, or [None] if empty. *)
+
+val peek : 'a t -> 'a option
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** [to_list h] is the heap contents in unspecified order. *)

@@ -1,0 +1,38 @@
+let render ~header rows =
+  let ncols = List.length header in
+  assert (List.for_all (fun r -> List.length r = ncols) rows);
+  let all = header :: rows in
+  let width c =
+    List.fold_left (fun acc row -> Stdlib.max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun c cell ->
+           let w = List.nth widths c in
+           cell ^ String.make (w - String.length cell) ' ')
+         row)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line header :: sep :: List.map line rows)
+
+let render_bars ?(width = 50) items =
+  let vmax = List.fold_left (fun acc (_, v) -> Stdlib.max acc v) 0. items in
+  let lw =
+    List.fold_left (fun acc (l, _) -> Stdlib.max acc (String.length l)) 0 items
+  in
+  let bar (label, v) =
+    let n =
+      if vmax <= 0. then 0
+      else int_of_float (Float.round (float_of_int width *. v /. vmax))
+    in
+    Printf.sprintf "%-*s | %s %.2f" lw label (String.make n '#') v
+  in
+  String.concat "\n" (List.map bar items)
+
+let fmt_f ?(d = 2) x = Printf.sprintf "%.*f" d x
+
+let fmt_speedup x = Printf.sprintf "%.2fx" x

@@ -1,0 +1,15 @@
+(** ASCII rendering of experiment tables and figure data series. *)
+
+val render : header:string list -> string list list -> string
+(** [render ~header rows] is an aligned plain-text table.  All rows must have
+    the same number of columns as the header. *)
+
+val render_bars : ?width:int -> (string * float) list -> string
+(** [render_bars items] renders one horizontal bar per labelled value, scaled
+    to the maximum value. *)
+
+val fmt_f : ?d:int -> float -> string
+(** Fixed-point float formatting, default 2 decimals. *)
+
+val fmt_speedup : float -> string
+(** [fmt_speedup 3.14159] is ["3.14x"]. *)

@@ -1,0 +1,1 @@
+lib/workloads/cg.ml: Array Lazy Wl_util Workload Xinv_ir Xinv_parallel Xinv_util

@@ -1,0 +1,1 @@
+lib/workloads/equake.ml: Array Float Hashtbl Wl_util Workload Xinv_ir Xinv_parallel Xinv_util

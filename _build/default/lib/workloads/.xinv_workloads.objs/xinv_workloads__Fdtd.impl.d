@@ -1,0 +1,1 @@
+lib/workloads/fdtd.ml: Array Float Hashtbl List Printf String Wl_util Workload Xinv_ir Xinv_parallel

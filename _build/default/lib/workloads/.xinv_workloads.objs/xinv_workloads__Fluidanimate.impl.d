@@ -1,0 +1,1 @@
+lib/workloads/fluidanimate.ml: Array Float Hashtbl List Stdlib Wl_util Workload Xinv_ir Xinv_parallel Xinv_util

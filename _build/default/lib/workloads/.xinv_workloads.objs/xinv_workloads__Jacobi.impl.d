@@ -1,0 +1,1 @@
+lib/workloads/jacobi.ml: Array Float Hashtbl Printf Wl_util Workload Xinv_ir Xinv_parallel

@@ -1,0 +1,1 @@
+lib/workloads/llubench.ml: Array Hashtbl Wl_util Workload Xinv_ir Xinv_parallel Xinv_util

@@ -1,0 +1,1 @@
+lib/workloads/llubench.mli: Workload

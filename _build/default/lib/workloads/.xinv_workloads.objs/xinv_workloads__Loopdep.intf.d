@@ -1,0 +1,1 @@
+lib/workloads/loopdep.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Blackscholes Cg Eclat Equake Fdtd Fluidanimate Jacobi List Llubench Loopdep Printf String Symm Workload

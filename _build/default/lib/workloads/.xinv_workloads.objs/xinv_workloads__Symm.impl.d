@@ -1,0 +1,1 @@
+lib/workloads/symm.ml: Array Float Hashtbl Wl_util Workload Xinv_ir Xinv_parallel

@@ -1,0 +1,1 @@
+lib/workloads/symm.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/synth.ml: Array List Printf Wl_util Xinv_ir Xinv_util

@@ -1,0 +1,1 @@
+lib/workloads/wl_util.ml: Array Float Hashtbl Int64 Xinv_ir Xinv_util

@@ -1,0 +1,1 @@
+lib/workloads/wl_util.mli: Xinv_ir Xinv_util

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: List Printf Xinv_ir Xinv_parallel

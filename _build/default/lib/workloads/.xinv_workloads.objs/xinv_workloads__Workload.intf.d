@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Xinv_ir Xinv_parallel

@@ -1,0 +1,6 @@
+(** PARSEC BLACKSCHOLES ([bs_thread]): option-pricing sweeps writing through
+    a static permutation.  Spec-DOALL plan (Table 5.1), hence SPECCROSS
+    inapplicable; DOMORE's memory-partition scheduling turns the
+    every-sweep rewrite dependence into same-worker ordering. *)
+
+val make : unit -> Workload.t

@@ -1,0 +1,9 @@
+(** NAS CG, function [sparse] (dissertation Figure 3.1): an outer loop over
+    matrix rows whose inner loop updates [C] through a column index array.
+    Iterations within a row touch distinct columns (inner loop DOALL-able at
+    runtime), but ~72% of rows share a column with an earlier row — the
+    cross-invocation dependence DOMORE synchronizes dynamically.  The
+    [Ref_spec] input uses a banded sparsity with no cross-row sharing (the
+    conflict-free behaviour Table 5.3 reports for the SPECCROSS runs). *)
+
+val make : unit -> Workload.t

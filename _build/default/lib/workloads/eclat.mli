@@ -1,0 +1,5 @@
+(** MineBench ECLAT ([process_inverti]): vertical-database inversion whose
+    consecutive graph nodes conflict almost every invocation — the frequent-
+    conflict DOMORE case with the heaviest scheduler slice (Table 5.2). *)
+
+val make : unit -> Workload.t

@@ -1,0 +1,5 @@
+(** SpecFP EQUAKE: per-timestep sparse matrix-vector product with irregular
+    read indirection; dynamically conflict-free (Table 5.3 "*") but
+    statically opaque. *)
+
+val make : unit -> Workload.t

@@ -1,0 +1,4 @@
+(** PolyBench FDTD: three coupled field-update invocations per timestep;
+    like JACOBI, DOMORE-blocked by a sequential-region field probe. *)
+
+val make : unit -> Workload.t

@@ -1,0 +1,11 @@
+(** PARSEC FLUIDANIMATE (dissertation §5.4 case study). *)
+
+val make1 : unit -> Workload.t
+(** FLUIDANIMATE-1: the ComputeForce loop nest alone — the standard DOMORE
+    target with a heavy [computeAddr] slice. *)
+
+val make2 : unit -> Workload.t
+(** FLUIDANIMATE-2: the whole eight-invocation frame loop of Figure 5.5;
+    classic DOMORE is blocked by the worker-written grid index array, and
+    Figure 5.6's configurations compose within-epoch DOMORE with
+    speculative barriers. *)

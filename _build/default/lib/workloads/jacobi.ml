@@ -1,0 +1,80 @@
+module Ir = Xinv_ir
+module E = Xinv_ir.Expr
+
+(* PolyBench JACOBI: ping-pong 1-D stencil.  Two invocations per timestep
+   (U -> V, then V -> U); the stencil's halo makes consecutive invocations
+   truly dependent, at a task distance of about one invocation (Table 5.3:
+   497 train / 997 ref at the paper's scale).  A residual diagnostic in the
+   sequential region reads the field, which drags the bodies into the DOMORE
+   scheduler partition — DOMORE inapplicable, exactly the Table 5.1 row. *)
+
+let trip_of = function Workload.Train | Workload.Train_spec -> 60 | _ -> 100
+
+let outer_of = function Workload.Train | Workload.Train_spec -> 20 | _ -> 50
+
+let build_input input =
+  let n = trip_of input in
+  let u = Array.init (n + 2) (fun i -> float_of_int ((i * 37) mod 1021)) in
+  let v = Array.make (n + 2) 0. in
+  Ir.Memory.create [ Ir.Memory.Floats ("U", u); Ir.Memory.Floats ("V", v) ]
+
+let stencil ~label ~src ~dst n =
+  let out = E.(i + c 1) in
+  let body =
+    Ir.Stmt.make
+      ~reads:
+        [
+          Ir.Access.make src E.i;
+          Ir.Access.make src E.(i + c 1);
+          Ir.Access.make src E.(i + c 2);
+        ]
+      ~writes:[ Ir.Access.make dst out ]
+      ~cost:(fun env -> Wl_util.jittered ~base:900. ~salt:31 env)
+      ~exec:(fun env ->
+        let mem = env.Ir.Env.mem in
+        let j = env.Ir.Env.j_inner in
+        let s =
+          Ir.Memory.get_float mem src j
+          +. Ir.Memory.get_float mem src (j + 1)
+          +. Ir.Memory.get_float mem src (j + 2)
+        in
+        Ir.Memory.set_float mem dst (j + 1) (Float.rem (s +. 1.) Wl_util.modulus))
+      (Printf.sprintf "%s[j+1] = avg(%s[j..j+2])" dst src)
+  in
+  let residual =
+    Ir.Stmt.make
+      ~reads:[ Ir.Access.make src E.(Bin (Mod, o, c n) + c 1) ]
+      ~cost:(Ir.Stmt.fixed_cost 140.)
+      "residual_check(field)"
+  in
+  Ir.Program.inner ~pre:[ residual ] ~label ~trip:(Ir.Program.const_trip n) [ body ]
+
+let build_program input =
+  let n = trip_of input in
+  Ir.Program.make ~name:"JACOBI" ~outer_trip:(outer_of input)
+    [ stencil ~label:"fwd" ~src:"U" ~dst:"V" n; stencil ~label:"bwd" ~src:"V" ~dst:"U" n ]
+
+let make () =
+  let progs = Hashtbl.create 3 in
+  let program input =
+    let key = (trip_of input, outer_of input) in
+    match Hashtbl.find_opt progs key with
+    | Some p -> p
+    | None ->
+        let p = build_program input in
+        Hashtbl.replace progs key p;
+        p
+  in
+  {
+    Workload.name = "JACOBI";
+    suite = "PolyBench";
+    func = "main";
+    exec_pct = 100.0;
+    program;
+    fresh_env = (fun input -> Ir.Env.make (build_input input));
+    plan =
+      [ ("fwd", Xinv_parallel.Intra.Doall); ("bwd", Xinv_parallel.Intra.Doall) ];
+    mem_partition = false;
+    domore_expected = false;
+    speccross_expected = true;
+  }

@@ -1,0 +1,5 @@
+(** PolyBench JACOBI: ping-pong stencil with one-invocation dependence
+    distances (Table 5.3) and a residual diagnostic that blocks the DOMORE
+    partition (Table 5.1). *)
+
+val make : unit -> Workload.t

@@ -1,0 +1,6 @@
+(** LLVMBENCH LLUBENCH: linked-list update micro-benchmark.  Every dynamic
+    access is distinct (Table 5.3 reports no conflicts) but the pointer
+    indirection defeats static analysis, so the barrier baseline synchronizes
+    after every invocation anyway. *)
+
+val make : unit -> Workload.t

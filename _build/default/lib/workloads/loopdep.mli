@@ -1,0 +1,5 @@
+(** OmpBench LOOPDEP: the Figure 4.1 pattern — one loop reads through an
+    index array another loop rewrites, which is exactly what the DOMORE
+    slice cannot run ahead of. *)
+
+val make : unit -> Workload.t

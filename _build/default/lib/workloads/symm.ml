@@ -1,0 +1,65 @@
+module Ir = Xinv_ir
+module E = Xinv_ir.Expr
+
+(* PolyBench SYMM: symmetric rank-k style kernel.  Fully affine: iteration
+   (t, j) writes Cm[t*TRIP + j], so invocations are provably independent
+   within themselves and actually independent across invocations — yet the
+   parallelizer still synchronizes after every invocation, which is exactly
+   the waste SPECCROSS removes.  Small, regular iterations also make it the
+   DOMORE stress case: invocations are only tens of thousands of cycles, so
+   per-iteration scheduling overhead dominates (§5.1). *)
+
+let trip = 60
+
+let outer_of = function Workload.Train | Workload.Train_spec -> 200 | _ -> 700
+
+let build_input input =
+  let n = outer_of input in
+  let a = Array.init trip (fun i -> float_of_int ((i * 7) mod 97)) in
+  let b = Array.init n (fun i -> float_of_int ((i * 13) mod 89)) in
+  let cm = Array.make (n * trip) 0. in
+  Ir.Memory.create
+    [ Ir.Memory.Floats ("A", a); Ir.Memory.Floats ("B", b); Ir.Memory.Floats ("Cm", cm) ]
+
+let out_expr = E.((o * c trip) + i)
+
+let build_program outer =
+  let body =
+    Ir.Stmt.make
+      ~reads:[ Ir.Access.make "A" E.i; Ir.Access.make "B" E.o ]
+      ~writes:[ Ir.Access.make "Cm" out_expr ]
+      ~cost:(fun env -> Wl_util.jittered ~base:400. ~spread:0.3 ~salt:11 env)
+      ~exec:(fun env ->
+        let mem = env.Ir.Env.mem in
+        let av = Ir.Memory.get_float mem "A" env.Ir.Env.j_inner in
+        let bv = Ir.Memory.get_float mem "B" env.Ir.Env.t_outer in
+        Ir.Memory.set_float mem "Cm" (E.eval env out_expr)
+          (Float.rem ((av *. bv) +. av +. bv) Wl_util.modulus))
+      "C[i][j] = acc(A, B)"
+  in
+  Ir.Program.make ~name:"SYMM" ~outer_trip:outer
+    [ Ir.Program.inner ~label:"symm" ~trip:(Ir.Program.const_trip trip) [ body ] ]
+
+let make () =
+  let progs = Hashtbl.create 3 in
+  let program input =
+    let n = outer_of input in
+    match Hashtbl.find_opt progs n with
+    | Some p -> p
+    | None ->
+        let p = build_program n in
+        Hashtbl.replace progs n p;
+        p
+  in
+  {
+    Workload.name = "SYMM";
+    suite = "PolyBench";
+    func = "main";
+    exec_pct = 100.0;
+    program;
+    fresh_env = (fun input -> Ir.Env.make (build_input input));
+    plan = [ ("symm", Xinv_parallel.Intra.Doall) ];
+    mem_partition = false;
+    domore_expected = true;
+    speccross_expected = true;
+  }

@@ -1,0 +1,6 @@
+(** PolyBench SYMM: fully affine kernel with provably independent
+    invocations, yet barrier-synchronized by the conventional pipeline.  Its
+    deliberately tiny iterations make it the DOMORE overhead stress case
+    (§5.1). *)
+
+val make : unit -> Workload.t

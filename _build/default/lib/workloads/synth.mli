@@ -1,0 +1,24 @@
+(** Synthetic workload generator for property-based testing.
+
+    Produces loop-nest programs with randomly drawn irregular access
+    patterns whose conflict density is controlled, so tests can exercise the
+    runtime techniques across the whole spectrum from conflict-free to
+    conflict-heavy. *)
+
+type spec = {
+  outer : int;
+  inners : int;  (** number of inner loops per outer iteration *)
+  trip : int;
+  cells : int;  (** size of the shared array; fewer cells, more conflicts *)
+  within_safe : bool;
+      (** true: iterations of one invocation touch distinct cells (DOALL
+          legal at runtime); false: within-invocation conflicts too *)
+  base_cost : float;
+  seed : int;
+}
+
+val default : spec
+
+val make : spec -> Xinv_ir.Program.t * (unit -> Xinv_ir.Env.t)
+(** A program and a fresh-state generator (every call returns an identical
+    initial environment). *)

@@ -1,0 +1,34 @@
+let hash01 salt t j =
+  let z = Int64.of_int (((salt * 0x9E3779B9) + (t * 0x85EBCA6B)) lxor (j * 0xC2B2AE35)) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.logxor z (Int64.shift_right_logical z 27) in
+  let r = Int64.to_float (Int64.shift_right_logical z 11) in
+  r /. 9007199254740992.0
+
+let jittered ~base ?(spread = 0.5) ~salt (env : Xinv_ir.Env.t) =
+  let h = hash01 salt env.Xinv_ir.Env.t_outer env.Xinv_ir.Env.j_inner in
+  base *. (1. +. (spread *. ((2. *. h) -. 1.)))
+
+let modulus = 1048576.0
+
+let mix x k = Float.rem ((3.0 *. x) +. k) modulus
+
+let distinct_ints rng ~bound ~n =
+  assert (n <= bound);
+  let seen = Hashtbl.create (2 * n) in
+  let out = Array.make n 0 in
+  let i = ref 0 in
+  while !i < n do
+    let v = Xinv_util.Prng.int rng bound in
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.replace seen v ();
+      out.(!i) <- v;
+      incr i
+    end
+  done;
+  out
+
+let permutation rng n =
+  let a = Array.init n (fun i -> i) in
+  Xinv_util.Prng.shuffle rng a;
+  a

@@ -1,0 +1,23 @@
+(** Shared helpers for workload construction. *)
+
+val hash01 : int -> int -> int -> float
+(** [hash01 salt t j] is a deterministic pseudo-random float in [\[0, 1)]. *)
+
+val jittered : base:float -> ?spread:float -> salt:int -> Xinv_ir.Env.t -> float
+(** Cost model: [base * (1 +- spread)], deterministic per (outer, inner)
+    iteration.  Default spread 0.5 — load imbalance is what makes barriers
+    expensive. *)
+
+val mix : float -> float -> float
+(** Order-sensitive exact float update: [mix x k = (3x + k) mod 2^20].  Both
+    operations are exact in double precision, so any reordering of dependent
+    updates changes the final bits — the property the correctness tests
+    rely on. *)
+
+val distinct_ints : Xinv_util.Prng.t -> bound:int -> n:int -> int array
+(** [n] distinct values below [bound]. *)
+
+val permutation : Xinv_util.Prng.t -> int -> int array
+
+val modulus : float
+(** The modulus used by {!mix} (2^20). *)

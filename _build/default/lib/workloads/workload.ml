@@ -1,0 +1,34 @@
+type input = Train | Train_spec | Ref | Ref_spec
+
+type t = {
+  name : string;
+  suite : string;
+  func : string;
+  exec_pct : float;
+  program : input -> Xinv_ir.Program.t;
+  fresh_env : input -> Xinv_ir.Env.t;
+  plan : (string * Xinv_parallel.Intra.technique) list;
+  mem_partition : bool;
+  domore_expected : bool;
+  speccross_expected : bool;
+}
+
+let technique_of t label =
+  match List.assoc_opt label t.plan with
+  | Some tech -> tech
+  | None -> invalid_arg (Printf.sprintf "Workload %s: no plan for inner %s" t.name label)
+
+let plan_fn t label = technique_of t label
+
+let input_of_string = function
+  | "train" -> Some Train
+  | "train-spec" | "trainspec" -> Some Train_spec
+  | "ref" -> Some Ref
+  | "ref-spec" | "refspec" -> Some Ref_spec
+  | _ -> None
+
+let input_name = function
+  | Train -> "train"
+  | Train_spec -> "train-spec"
+  | Ref -> "ref"
+  | Ref_spec -> "ref-spec"

@@ -1,0 +1,38 @@
+(** Benchmark workload descriptor (the rows of Table 5.1).
+
+    Each workload packages the performance-dominating loop nest of one
+    benchmark as an IR program, fresh input states (train and reference, as
+    in the dissertation's profiling/performance split), the parallelization
+    plan Table 5.1 assigns to its inner loops, and the expected DOMORE /
+    SPECCROSS applicability. *)
+
+type input =
+  | Train  (** profiling input *)
+  | Train_spec
+      (** profiling input matching [Ref_spec]'s characteristics (defaults to
+          the same data as [Train] where the two do not differ) *)
+  | Ref  (** performance input *)
+  | Ref_spec
+      (** performance input used for the SPECCROSS experiments when it
+          differs from [Ref] (CG: the conflict-free sparsity of Table 5.3) *)
+
+type t = {
+  name : string;
+  suite : string;
+  func : string;  (** the paper's "Function" column *)
+  exec_pct : float;  (** share of whole-program execution time *)
+  program : input -> Xinv_ir.Program.t;
+  fresh_env : input -> Xinv_ir.Env.t;
+  plan : (string * Xinv_parallel.Intra.technique) list;  (** per inner label *)
+  mem_partition : bool;  (** DOMORE uses the memory-partition policy *)
+  domore_expected : bool;  (** Table 5.1 applicability *)
+  speccross_expected : bool;
+}
+
+val technique_of : t -> string -> Xinv_parallel.Intra.technique
+
+val plan_fn : t -> string -> Xinv_parallel.Intra.technique
+
+val input_of_string : string -> input option
+
+val input_name : input -> string

@@ -1,0 +1,1 @@
+test/test_domore.ml: Alcotest Array List Printf QCheck QCheck_alcotest Xinv_domore Xinv_ir Xinv_parallel Xinv_sim Xinv_workloads

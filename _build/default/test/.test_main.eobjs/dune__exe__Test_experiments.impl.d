@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List Option Printf String Xinv_core Xinv_experiments Xinv_workloads

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Fun List Option QCheck QCheck_alcotest String Xinv_ir Xinv_workloads

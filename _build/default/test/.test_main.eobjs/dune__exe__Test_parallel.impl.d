@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array List Printf QCheck QCheck_alcotest Xinv_ir Xinv_parallel Xinv_sim Xinv_workloads

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Format List QCheck QCheck_alcotest Xinv_ir Xinv_runtime

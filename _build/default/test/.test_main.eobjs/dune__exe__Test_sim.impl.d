@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Format Fun Gen List QCheck QCheck_alcotest Stdlib String Xinv_sim

@@ -1,0 +1,1 @@
+test/test_speccross.ml: Alcotest Array List Printf QCheck QCheck_alcotest Xinv_ir Xinv_parallel Xinv_runtime Xinv_sim Xinv_speccross Xinv_workloads

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Format List Option Printf String Xinv_core Xinv_domore Xinv_ir Xinv_parallel Xinv_speccross Xinv_util Xinv_workloads

@@ -1,0 +1,236 @@
+(* Tests for the DOMORE runtime engine: correctness under arbitrary dynamic
+   dependence patterns, scheduling policies, the duplicated-scheduler
+   variant, accounting. *)
+
+module Ir = Xinv_ir
+module Par = Xinv_parallel
+module Dm = Xinv_domore
+module Wl = Xinv_workloads
+
+let synth ?(seed = 1) ?(cells = 12) ?(outer = 5) ?(trip = 9) ?(inners = 2) () =
+  Wl.Synth.make
+    {
+      Wl.Synth.default with
+      Wl.Synth.seed;
+      cells;
+      outer;
+      trip;
+      inners;
+      within_safe = true;
+    }
+
+let run_domore ?(workers = 3) ?(policy = Dm.Policy.Round_robin) (p, fresh) =
+  let seq_env = fresh () in
+  let seq_cost = Ir.Seq_interp.run p seq_env in
+  let env = fresh () in
+  match Ir.Mtcg.generate p env with
+  | Ir.Mtcg.Inapplicable r -> Alcotest.failf "unexpectedly inapplicable: %s" r
+  | Ir.Mtcg.Plan plan ->
+      let config = { (Dm.Domore.default_config ~workers) with Dm.Domore.policy } in
+      let r = Dm.Domore.run ~config ~plan p env in
+      (seq_env, env, seq_cost, r)
+
+let check_equal name seq_env env =
+  Alcotest.(check int)
+    (name ^ ": matches sequential")
+    0
+    (List.length (Ir.Memory.diff seq_env.Ir.Env.mem env.Ir.Env.mem))
+
+let test_domore_correct_round_robin () =
+  List.iter
+    (fun workers ->
+      let seq_env, env, _, _ = run_domore ~workers (synth ~seed:3 ()) in
+      check_equal (Printf.sprintf "rr@%d" workers) seq_env env)
+    [ 1; 2; 3; 7 ]
+
+let test_domore_correct_mem_partition () =
+  let seq_env, env, _, _ =
+    run_domore ~workers:4 ~policy:Dm.Policy.Mem_partition (synth ~seed:4 ())
+  in
+  check_equal "mem-partition" seq_env env
+
+let test_domore_correct_least_loaded () =
+  let seq_env, env, _, _ =
+    run_domore ~workers:4 ~policy:Dm.Policy.Least_loaded (synth ~seed:6 ~cells:10 ())
+  in
+  check_equal "least-loaded" seq_env env
+
+let test_domore_sync_conditions_emitted () =
+  (* cells=6 over 90 tasks: conflicts are guaranteed; the scheduler must
+     emit Wait conditions and execution must stay exact. *)
+  let seq_env, env, _, r = run_domore ~workers:3 (synth ~seed:7 ~cells:9 ()) in
+  check_equal "conflict-heavy" seq_env env;
+  Alcotest.(check bool) "sync conditions emitted" true (r.Par.Run.checks > 0)
+
+let test_domore_no_sync_when_disjoint () =
+  (* Large cell space, distinct targets per invocation AND globally unique
+     across the region: no Wait conditions at all. *)
+  let p, fresh =
+    Wl.Synth.make
+      {
+        Wl.Synth.default with
+        Wl.Synth.seed = 13;
+        cells = 2 * 5 * 9 * 2;
+        outer = 5;
+        trip = 9;
+        inners = 2;
+      }
+  in
+  (* Replace targets with globally distinct cells. *)
+  let env = fresh () in
+  let n = Ir.Memory.size env.Ir.Env.mem "tgt" in
+  for i = 0 to n - 1 do
+    Ir.Memory.set_int env.Ir.Env.mem "tgt" i i
+  done;
+  let seq_env = fresh () in
+  for i = 0 to n - 1 do
+    Ir.Memory.set_int seq_env.Ir.Env.mem "tgt" i i
+  done;
+  ignore (Ir.Seq_interp.run p seq_env);
+  match Ir.Mtcg.generate p env with
+  | Ir.Mtcg.Inapplicable r -> Alcotest.failf "inapplicable: %s" r
+  | Ir.Mtcg.Plan plan ->
+      let r = Dm.Domore.run ~config:(Dm.Domore.default_config ~workers:3) ~plan p env in
+      check_equal "disjoint" seq_env env;
+      Alcotest.(check int) "no sync conditions" 0 r.Par.Run.checks
+
+let test_domore_scheduler_is_thread0 () =
+  let _, _, _, r = run_domore ~workers:3 (synth ()) in
+  let eng = r.Par.Run.engine in
+  Alcotest.(check string) "thread 0 named scheduler" "scheduler"
+    (Xinv_sim.Engine.name_of eng 0);
+  Alcotest.(check bool) "scheduler did runtime work" true
+    (Xinv_sim.Engine.charged eng 0 Xinv_sim.Category.Runtime > 0.);
+  Alcotest.(check bool) "scheduler never does Work" true
+    (Xinv_sim.Engine.charged eng 0 Xinv_sim.Category.Work = 0.);
+  let ratio = Dm.Domore.scheduler_worker_ratio r in
+  Alcotest.(check bool) "ratio positive and below 1" true (ratio > 0. && ratio < 1.)
+
+let test_domore_outperforms_barrier_on_cg_pattern () =
+  (* Many short invocations: barriers collapse, DOMORE overlaps. *)
+  let p, fresh = synth ~outer:30 ~trip:5 ~inners:1 ~cells:200 ~seed:21 () in
+  let seq_cost = Ir.Seq_interp.run p (fresh ()) in
+  let env_b = fresh () in
+  let rb = Par.Barrier_exec.run ~threads:8 ~plan:(fun _ -> Par.Intra.Doall) p env_b in
+  let _, _, _, rd = run_domore ~workers:7 (p, fresh) in
+  Alcotest.(check bool) "domore faster than barrier" true
+    (Par.Run.speedup ~seq_cost rd > Par.Run.speedup ~seq_cost rb)
+
+let test_duplicated_correct () =
+  List.iter
+    (fun workers ->
+      let p, fresh = synth ~seed:31 ~cells:10 () in
+      let seq_env = fresh () in
+      ignore (Ir.Seq_interp.run p seq_env);
+      let env = fresh () in
+      match Ir.Mtcg.generate p env with
+      | Ir.Mtcg.Inapplicable r -> Alcotest.failf "inapplicable: %s" r
+      | Ir.Mtcg.Plan plan ->
+          let config = Dm.Domore.default_config ~workers in
+          ignore (Dm.Duplicated.run ~config ~plan p env);
+          check_equal (Printf.sprintf "dup@%d" workers) seq_env env)
+    [ 1; 2; 4 ]
+
+let test_duplicated_redundant_scheduling () =
+  let p, fresh = synth ~seed:33 () in
+  let env = fresh () in
+  match Ir.Mtcg.generate p env with
+  | Ir.Mtcg.Inapplicable r -> Alcotest.failf "inapplicable: %s" r
+  | Ir.Mtcg.Plan plan ->
+      let r = Dm.Duplicated.run ~config:(Dm.Domore.default_config ~workers:3) ~plan p env in
+      Alcotest.(check bool) "redundant scheduling charged" true
+        (Par.Run.category_total r Xinv_sim.Category.Redundant > 0.)
+
+let test_policy () =
+  let mem =
+    Ir.Memory.create
+      [ Ir.Memory.Ints ("x", Array.make 4 0); Ir.Memory.Floats ("d", Array.make 100 0.) ]
+  in
+  Alcotest.(check int) "round robin" 2
+    (Dm.Policy.pick Dm.Policy.Round_robin ~loads:None ~mem ~threads:3 ~iter:5
+       ~write_addrs:[ 50 ]);
+  (* d[75] with 4 threads: owner 3 (per-array block partition). *)
+  Alcotest.(check int) "mem partition by array index" 3
+    (Dm.Policy.pick Dm.Policy.Mem_partition ~loads:None ~mem ~threads:4 ~iter:0
+       ~write_addrs:[ Ir.Memory.addr mem "d" 75 ]);
+  Alcotest.(check int) "fallback without writes" 1
+    (Dm.Policy.pick Dm.Policy.Mem_partition ~loads:None ~mem ~threads:4 ~iter:5
+       ~write_addrs:[]);
+  Alcotest.(check int) "least loaded picks shortest queue" 1
+    (Dm.Policy.pick Dm.Policy.Least_loaded ~loads:(Some [| 4; 0; 2 |]) ~mem ~threads:3
+       ~iter:0 ~write_addrs:[ 50 ]);
+  Alcotest.(check int) "least loaded without loads falls back" 2
+    (Dm.Policy.pick Dm.Policy.Least_loaded ~loads:None ~mem ~threads:3 ~iter:5
+       ~write_addrs:[])
+
+let test_domore_run_deterministic () =
+  let run () =
+    let _, _, _, r = run_domore ~workers:3 (synth ~seed:41 ~cells:10 ()) in
+    r.Par.Run.makespan
+  in
+  Alcotest.(check (float 1e-9)) "same makespan across runs" (run ()) (run ())
+
+(* Property: DOMORE preserves sequential semantics on random conflict-dense
+   programs at random worker counts, under both policies. *)
+let prop_domore_correct =
+  QCheck.Test.make ~name:"DOMORE exact on random dependence patterns" ~count:30
+    QCheck.(triple (int_range 1 10_000) (int_range 1 6) bool)
+    (fun (seed, workers, mem_partition) ->
+      let p, fresh =
+        Wl.Synth.make
+          {
+            Wl.Synth.default with
+            Wl.Synth.seed;
+            cells = 14;
+            outer = 4;
+            trip = 8;
+            inners = 2;
+          }
+      in
+      let seq_env = fresh () in
+      ignore (Ir.Seq_interp.run p seq_env);
+      let env = fresh () in
+      match Ir.Mtcg.generate p env with
+      | Ir.Mtcg.Inapplicable _ -> false
+      | Ir.Mtcg.Plan plan ->
+          let policy =
+            if mem_partition then Dm.Policy.Mem_partition else Dm.Policy.Round_robin
+          in
+          let config = { (Dm.Domore.default_config ~workers) with Dm.Domore.policy } in
+          ignore (Dm.Domore.run ~config ~plan p env);
+          Ir.Memory.equal seq_env.Ir.Env.mem env.Ir.Env.mem)
+
+let prop_duplicated_equals_domore_semantics =
+  QCheck.Test.make ~name:"duplicated scheduler produces identical state" ~count:15
+    QCheck.(pair (int_range 1 10_000) (int_range 1 5))
+    (fun (seed, workers) ->
+      let p, fresh =
+        Wl.Synth.make
+          { Wl.Synth.default with Wl.Synth.seed; cells = 14; outer = 3; trip = 6 }
+      in
+      let env1 = fresh () and env2 = fresh () in
+      match Ir.Mtcg.generate p env1 with
+      | Ir.Mtcg.Inapplicable _ -> false
+      | Ir.Mtcg.Plan plan ->
+          let config = Dm.Domore.default_config ~workers in
+          ignore (Dm.Domore.run ~config ~plan p env1);
+          ignore (Dm.Duplicated.run ~config ~plan p env2);
+          Ir.Memory.equal env1.Ir.Env.mem env2.Ir.Env.mem)
+
+let suite =
+  [
+    Alcotest.test_case "correct (round robin)" `Quick test_domore_correct_round_robin;
+    Alcotest.test_case "correct (mem partition)" `Quick test_domore_correct_mem_partition;
+    Alcotest.test_case "correct (least loaded)" `Quick test_domore_correct_least_loaded;
+    Alcotest.test_case "sync conditions emitted" `Quick test_domore_sync_conditions_emitted;
+    Alcotest.test_case "no sync when disjoint" `Quick test_domore_no_sync_when_disjoint;
+    Alcotest.test_case "scheduler thread accounting" `Quick test_domore_scheduler_is_thread0;
+    Alcotest.test_case "beats barriers on CG pattern" `Quick
+      test_domore_outperforms_barrier_on_cg_pattern;
+    Alcotest.test_case "duplicated variant correct" `Quick test_duplicated_correct;
+    Alcotest.test_case "duplicated redundancy" `Quick test_duplicated_redundant_scheduling;
+    Alcotest.test_case "scheduling policies" `Quick test_policy;
+    Alcotest.test_case "run deterministic" `Quick test_domore_run_deterministic;
+    QCheck_alcotest.to_alcotest prop_domore_correct;
+    QCheck_alcotest.to_alcotest prop_duplicated_equals_domore_semantics;
+  ]

@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "xinv"
+    [
+      ("util", Test_util.suite);
+      ("sim", Test_sim.suite);
+      ("ir", Test_ir.suite);
+      ("runtime", Test_runtime.suite);
+      ("parallel", Test_parallel.suite);
+      ("domore", Test_domore.suite);
+      ("speccross", Test_speccross.suite);
+      ("workloads", Test_workloads.suite);
+      ("experiments", Test_experiments.suite);
+    ]

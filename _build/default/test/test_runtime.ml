@@ -1,0 +1,171 @@
+(* Tests for the runtime substrate: shadow memory, signatures, signature log,
+   checkpoints. *)
+
+module Rt = Xinv_runtime
+module Ir = Xinv_ir
+
+let e tid iter = { Rt.Shadow.tid; iter }
+
+let deps_eq = Alcotest.(check (list (pair int int)))
+
+let as_pairs = List.map (fun (d : Rt.Shadow.entry) -> (d.Rt.Shadow.tid, d.Rt.Shadow.iter))
+
+let test_shadow_war_waw_raw () =
+  let sh = Rt.Shadow.create () in
+  (* write by t0/i0; read by t1/i1 must wait for the write *)
+  deps_eq "first write no deps" [] (as_pairs (Rt.Shadow.note_write sh 5 (e 0 0)));
+  deps_eq "RAW" [ (0, 0) ] (as_pairs (Rt.Shadow.note_read sh 5 (e 1 1)));
+  (* write by t2/i2 waits for last write and the reader *)
+  deps_eq "WAW+WAR" [ (0, 0); (1, 1) ] (as_pairs (Rt.Shadow.note_write sh 5 (e 2 2)));
+  (* same-thread accesses never synchronize *)
+  deps_eq "same tid" [] (as_pairs (Rt.Shadow.note_write sh 5 (e 2 3)))
+
+let test_shadow_no_rar () =
+  let sh = Rt.Shadow.create () in
+  deps_eq "r1" [] (as_pairs (Rt.Shadow.note_read sh 9 (e 0 0)));
+  deps_eq "read-after-read free" [] (as_pairs (Rt.Shadow.note_read sh 9 (e 1 1)));
+  (* but a write must wait for all foreign readers *)
+  let deps = as_pairs (Rt.Shadow.note_write sh 9 (e 2 2)) in
+  Alcotest.(check bool) "write waits for both readers" true
+    (List.mem (0, 0) deps && List.mem (1, 1) deps)
+
+let test_shadow_reader_latest_kept () =
+  let sh = Rt.Shadow.create () in
+  ignore (Rt.Shadow.note_read sh 1 (e 0 3));
+  ignore (Rt.Shadow.note_read sh 1 (e 0 7));
+  deps_eq "latest read per tid" [ (0, 7) ] (as_pairs (Rt.Shadow.note_write sh 1 (e 1 9)))
+
+let test_sync_cond () =
+  let open Rt.Sync_cond in
+  Alcotest.(check bool) "eq" true (equal End_token End_token);
+  Alcotest.(check bool) "neq" false
+    (equal (No_sync { iter = 1 }) (Wait { dep_tid = 0; dep_iter = 1 }));
+  Alcotest.(check string) "pp" "(T1, I2)"
+    (Format.asprintf "%a" pp (Wait { dep_tid = 1; dep_iter = 2 }))
+
+let kinds =
+  [
+    ("range", Rt.Signature.Range);
+    ("segmented", Rt.Signature.Segmented [| 0; 100; 200 |]);
+    ("bloom", Rt.Signature.Bloom { bits = 512; hashes = 3 });
+    ("exact", Rt.Signature.Exact);
+  ]
+
+let test_signature_basics () =
+  List.iter
+    (fun (name, kind) ->
+      let s = Rt.Signature.create kind in
+      Alcotest.(check bool) (name ^ " empty") true (Rt.Signature.is_empty s);
+      Rt.Signature.add_list s [ 5; 42; 199 ];
+      Alcotest.(check int) (name ^ " count") 3 (Rt.Signature.count s);
+      let t = Rt.Signature.create kind in
+      Alcotest.(check bool) (name ^ " empty never intersects") false
+        (Rt.Signature.intersects s t);
+      Rt.Signature.add t 42;
+      Alcotest.(check bool) (name ^ " overlap detected") true
+        (Rt.Signature.intersects s t))
+    kinds
+
+(* Soundness: if two address sets share an element, every signature kind
+   must report an intersection (no false negatives). *)
+let prop_signature_sound =
+  QCheck.Test.make ~name:"signatures have no false negatives" ~count:300
+    QCheck.(pair (list (int_range 0 299)) (list (int_range 0 299)))
+    (fun (xs, ys) ->
+      let shared = List.exists (fun x -> List.mem x ys) xs in
+      (not shared)
+      || List.for_all
+           (fun (_, kind) ->
+             let a = Rt.Signature.create kind and b = Rt.Signature.create kind in
+             Rt.Signature.add_list a xs;
+             Rt.Signature.add_list b ys;
+             Rt.Signature.intersects a b)
+           kinds)
+
+(* Exact signatures are precise: intersection iff a shared address exists. *)
+let prop_exact_precise =
+  QCheck.Test.make ~name:"exact signature is precise" ~count:300
+    QCheck.(pair (list (int_range 0 99)) (list (int_range 0 99)))
+    (fun (xs, ys) ->
+      let shared = xs <> [] && ys <> [] && List.exists (fun x -> List.mem x ys) xs in
+      let a = Rt.Signature.create Rt.Signature.Exact in
+      let b = Rt.Signature.create Rt.Signature.Exact in
+      Rt.Signature.add_list a xs;
+      Rt.Signature.add_list b ys;
+      Rt.Signature.intersects a b = shared)
+
+(* Segmented ranges are strictly more precise than a global range. *)
+let test_segmented_beats_range () =
+  let bounds = [| 0; 100 |] in
+  let a = Rt.Signature.create (Rt.Signature.Segmented bounds) in
+  let b = Rt.Signature.create (Rt.Signature.Segmented bounds) in
+  (* a touches array0[5] and array1[150]; b touches array0[50]: the global
+     ranges [5,150] and [50,50] overlap, the per-array ranges do not. *)
+  Rt.Signature.add_list a [ 5; 150 ];
+  Rt.Signature.add b 50;
+  Alcotest.(check bool) "segmented disjoint" false (Rt.Signature.intersects a b);
+  let ra = Rt.Signature.create Rt.Signature.Range in
+  let rb = Rt.Signature.create Rt.Signature.Range in
+  Rt.Signature.add_list ra [ 5; 150 ];
+  Rt.Signature.add rb 50;
+  Alcotest.(check bool) "plain range false positive" true (Rt.Signature.intersects ra rb)
+
+let test_signature_merge () =
+  List.iter
+    (fun (name, kind) ->
+      let a = Rt.Signature.create kind and b = Rt.Signature.create kind in
+      Rt.Signature.add a 10;
+      Rt.Signature.add b 210;
+      Rt.Signature.merge ~into:a b;
+      let probe = Rt.Signature.create kind in
+      Rt.Signature.add probe 210;
+      Alcotest.(check bool) (name ^ " merged content visible") true
+        (Rt.Signature.intersects a probe))
+    kinds
+
+let test_siglog () =
+  let log = Rt.Siglog.create ~workers:2 in
+  let sg i =
+    let s = Rt.Signature.create Rt.Signature.Exact in
+    Rt.Signature.add s i;
+    s
+  in
+  Rt.Siglog.store log ~worker:0 ~epoch:1 ~task:0 (sg 1);
+  Rt.Siglog.store log ~worker:0 ~epoch:1 ~task:1 (sg 2);
+  Rt.Siglog.store log ~worker:0 ~epoch:2 ~task:0 (sg 3);
+  Rt.Siglog.store log ~worker:1 ~epoch:1 ~task:0 (sg 4);
+  Alcotest.(check int) "stored" 4 (Rt.Siglog.stored log);
+  let w = Rt.Siglog.between log ~worker:0 ~from_epoch:1 ~from_task:1 ~upto_epoch:3 in
+  Alcotest.(check (list (pair int int))) "window (epoch, task)" [ (1, 1); (2, 0) ]
+    (List.map (fun (e, t, _) -> (e, t)) w);
+  let empty = Rt.Siglog.between log ~worker:1 ~from_epoch:2 ~from_task:0 ~upto_epoch:2 in
+  Alcotest.(check int) "empty window" 0 (List.length empty);
+  Rt.Siglog.clear_before log ~epoch:2;
+  Alcotest.(check int) "cleared" 1 (Rt.Siglog.stored log)
+
+let test_checkpoint () =
+  let m = Ir.Memory.create [ Ir.Memory.Floats ("a", [| 1.; 2. |]) ] in
+  let ck = Rt.Checkpoint.create () in
+  Alcotest.(check (option int)) "none yet" None (Rt.Checkpoint.latest_epoch ck);
+  Rt.Checkpoint.save ck ~epoch:4 m;
+  Ir.Memory.set_float m "a" 0 99.;
+  Alcotest.(check int) "restore epoch" 4 (Rt.Checkpoint.restore ck ~into:m);
+  Alcotest.(check (float 1e-9)) "value restored" 1. (Ir.Memory.get_float m "a" 0);
+  Rt.Checkpoint.save ck ~epoch:9 m;
+  Alcotest.(check int) "saves counted" 2 (Rt.Checkpoint.saves ck);
+  Alcotest.(check (option int)) "latest" (Some 9) (Rt.Checkpoint.latest_epoch ck)
+
+let suite =
+  [
+    Alcotest.test_case "shadow RAW/WAR/WAW" `Quick test_shadow_war_waw_raw;
+    Alcotest.test_case "shadow no RAR sync" `Quick test_shadow_no_rar;
+    Alcotest.test_case "shadow latest reader" `Quick test_shadow_reader_latest_kept;
+    Alcotest.test_case "sync conditions" `Quick test_sync_cond;
+    Alcotest.test_case "signature basics" `Quick test_signature_basics;
+    QCheck_alcotest.to_alcotest prop_signature_sound;
+    QCheck_alcotest.to_alcotest prop_exact_precise;
+    Alcotest.test_case "segmented precision" `Quick test_segmented_beats_range;
+    Alcotest.test_case "signature merge" `Quick test_signature_merge;
+    Alcotest.test_case "signature log" `Quick test_siglog;
+    Alcotest.test_case "checkpoint" `Quick test_checkpoint;
+  ]

@@ -1,0 +1,108 @@
+(* Unit and property tests for the utility library. *)
+
+module Heap = Xinv_util.Heap
+module Prng = Xinv_util.Prng
+module Stats = Xinv_util.Stats
+module Tab = Xinv_util.Tab
+
+let test_heap_ordering () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  Alcotest.(check int) "size" 7 (Heap.size h);
+  let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 2; 3; 4; 5; 9 ] (drain []);
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let test_heap_fifo_ties () =
+  (* Equal keys must come out in insertion order (simulator determinism). *)
+  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+  List.iter (Heap.push h) [ (1, "a"); (1, "b"); (0, "z"); (1, "c") ];
+  let order =
+    List.init 4 (fun _ -> match Heap.pop h with Some (_, s) -> s | None -> "?")
+  in
+  Alcotest.(check (list string)) "fifo" [ "z"; "a"; "b"; "c" ] order
+
+let test_heap_peek_clear () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.(check (option int)) "peek empty" None (Heap.peek h);
+  Heap.push h 3;
+  Heap.push h 1;
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  Alcotest.(check int) "to_list" 2 (List.length (Heap.to_list h));
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  let xs g = List.init 32 (fun _ -> Prng.int g 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (xs a) (xs b);
+  let c = Prng.create ~seed:43 in
+  Alcotest.(check bool) "different seed differs" true (xs (Prng.create ~seed:42) <> xs c)
+
+let test_prng_split () =
+  let a = Prng.create ~seed:7 in
+  let b = Prng.split a in
+  let xa = List.init 16 (fun _ -> Prng.int a 100) in
+  let xb = List.init 16 (fun _ -> Prng.int b 100) in
+  Alcotest.(check bool) "split streams independent" true (xa <> xb)
+
+let prop_prng_bounds =
+  QCheck.Test.make ~name:"Prng.int stays within bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let g = Prng.create ~seed in
+      List.for_all (fun _ -> let v = Prng.int g bound in v >= 0 && v < bound)
+        (List.init 50 Fun.id))
+
+let prop_prng_int_in =
+  QCheck.Test.make ~name:"Prng.int_in inclusive range" ~count:200
+    QCheck.(pair small_int (pair (int_range (-50) 50) (int_range 0 100)))
+    (fun (seed, (lo, span)) ->
+      let g = Prng.create ~seed in
+      let hi = lo + span in
+      let v = Prng.int_in g lo hi in
+      v >= lo && v <= hi)
+
+let test_stats () =
+  Alcotest.(check (float 1e-9)) "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-9)) "geomean" 2. (Stats.geomean [ 1.; 2.; 4. ] ** 1.
+                                              |> fun x -> x /. 1.);
+  Alcotest.(check (float 1e-6)) "geomean 2" 2. (Stats.geomean [ 4.; 1. ]);
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.minimum [ 3.; 1.; 2. ]);
+  Alcotest.(check (float 1e-9)) "max" 3. (Stats.maximum [ 3.; 1.; 2. ]);
+  Alcotest.(check (float 1e-9)) "pct" 50. (Stats.pct 1. 2.);
+  Alcotest.(check (float 1e-9)) "round" 3.14 (Stats.round_to 2 3.14159);
+  Alcotest.(check (float 1e-9)) "stddev const" 0. (Stats.stddev [ 2.; 2.; 2. ])
+
+let test_tab () =
+  let t = Tab.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "33"; "4" ] ] in
+  Alcotest.(check bool) "has header" true
+    (String.length t > 0 && String.sub t 0 1 = "a");
+  Alcotest.(check string) "speedup fmt" "3.14x" (Tab.fmt_speedup 3.14159);
+  let bars = Tab.render_bars [ ("x", 1.); ("y", 2.) ] in
+  Alcotest.(check bool) "bars render" true (String.length bars > 0)
+
+let suite =
+  [
+    Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
+    Alcotest.test_case "heap fifo ties" `Quick test_heap_fifo_ties;
+    Alcotest.test_case "heap peek/clear" `Quick test_heap_peek_clear;
+    QCheck_alcotest.to_alcotest prop_heap_sorted;
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng split" `Quick test_prng_split;
+    QCheck_alcotest.to_alcotest prop_prng_bounds;
+    QCheck_alcotest.to_alcotest prop_prng_int_in;
+    Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "tab" `Quick test_tab;
+  ]

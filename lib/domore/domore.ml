@@ -29,6 +29,11 @@ let run ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
   let iternum = ref 0 in
   let conds = ref 0 in
   let bodies = Array.of_list p.Ir.Program.inners in
+  (* Scratch reused across every iteration: the queue-load snapshot for the
+     scheduling policy and the deduplicated dependence set. *)
+  let loads = Array.make workers 0 in
+  let loads_opt = Some loads in
+  let deps = Rt.Shadow.Deps.create () in
   let scheduler () =
     for t = 0 to p.Ir.Program.outer_trip - 1 do
       let env_t = Ir.Env.with_outer env t in
@@ -42,38 +47,39 @@ let run ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
             il.Ir.Program.pre;
           let slice = Ir.Mtcg.slice_for plan il.Ir.Program.ilabel in
           let slice_cost = Ir.Slice.cost_per_iter slice in
+          (* The slice's access count is static, so the per-iteration shadow
+             charge is too. *)
+          let shadow_cost =
+            machine.Sim.Machine.shadow_per_addr
+            *. float_of_int
+                 (List.length slice.Ir.Slice.reads + List.length slice.Ir.Slice.writes)
+          in
           let trip = il.Ir.Program.trip env_t in
           for j = 0 to trip - 1 do
             let env_j = Ir.Env.with_inner env_t j in
             Sim.Proc.advance ~label:"computeAddr" Sim.Category.Runtime
               (slice_cost +. machine.Sim.Machine.sched_per_iter);
-            let raddrs = Ir.Slice.read_addresses slice env_j in
             let waddrs = Ir.Slice.write_addresses slice env_j in
-            let loads = Array.map Sim.Channel.length queues in
+            for w = 0 to workers - 1 do
+              loads.(w) <- Sim.Channel.length queues.(w)
+            done;
             let tid =
-              Policy.pick policy ~loads:(Some loads) ~mem:env.Ir.Env.mem
-                ~threads:workers ~iter:!iternum ~write_addrs:waddrs
+              Policy.pick policy ~loads:loads_opt ~mem:env.Ir.Env.mem ~threads:workers
+                ~iter:!iternum ~write_addrs:waddrs
             in
-            Sim.Proc.advance ~label:"shadow" Sim.Category.Runtime
-              (machine.Sim.Machine.shadow_per_addr
-              *. float_of_int (List.length raddrs + List.length waddrs));
-            let me = { Rt.Shadow.tid; iter = !iternum } in
-            let deps = ref [] in
-            let note found =
-              List.iter
-                (fun (d : Rt.Shadow.entry) ->
-                  let c = (d.Rt.Shadow.tid, d.Rt.Shadow.iter) in
-                  if not (List.mem c !deps) then deps := c :: !deps)
-                found
-            in
-            List.iter (fun addr -> note (Rt.Shadow.note_read shadow addr me)) raddrs;
-            List.iter (fun addr -> note (Rt.Shadow.note_write shadow addr me)) waddrs;
+            Sim.Proc.advance ~label:"shadow" Sim.Category.Runtime shadow_cost;
+            Rt.Shadow.Deps.clear deps;
+            Ir.Slice.iter_read_addresses slice env_j (fun addr ->
+                Rt.Shadow.note_read_deps shadow addr ~tid ~iter:!iternum deps);
             List.iter
-              (fun (dt, di) ->
+              (fun addr -> Rt.Shadow.note_write_deps shadow addr ~tid ~iter:!iternum deps)
+              waddrs;
+            Rt.Shadow.Deps.iter
+              (fun ~tid:dt ~iter:di ->
                 incr conds;
                 Sim.Channel.produce queues.(tid)
                   (Sync (Rt.Sync_cond.Wait { dep_tid = dt; dep_iter = di })))
-              (List.rev !deps);
+              deps;
             Sim.Channel.produce queues.(tid) (Do { t; j; inner = ii; iter = !iternum });
             incr iternum
           done)

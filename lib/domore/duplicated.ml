@@ -3,13 +3,12 @@ module Ir = Xinv_ir
 module Rt = Xinv_runtime
 
 let iteration_executor ~(config : Domore.config) ~(plan : Ir.Mtcg.plan) ~cells ~shadow
-    ~iternum ~tid env (il : Ir.Program.inner) =
+    ?deps ~iternum ~tid env (il : Ir.Program.inner) =
   let machine = config.Domore.machine in
   let slice = Ir.Mtcg.slice_for plan il.Ir.Program.ilabel in
   (* Duplicated scheduling work: every thread pays it for every iteration. *)
   Sim.Proc.advance ~label:"computeAddr" Sim.Category.Redundant
     (Ir.Slice.cost_per_iter slice +. machine.Sim.Machine.sched_per_iter);
-  let raddrs = Ir.Slice.read_addresses slice env in
   let waddrs = Ir.Slice.write_addresses slice env in
   let owner =
     Policy.pick config.Domore.policy ~loads:None ~mem:env.Ir.Env.mem
@@ -17,27 +16,22 @@ let iteration_executor ~(config : Domore.config) ~(plan : Ir.Mtcg.plan) ~cells ~
   in
   Sim.Proc.advance ~label:"shadow" Sim.Category.Redundant
     (machine.Sim.Machine.shadow_per_addr
-    *. float_of_int (List.length raddrs + List.length waddrs));
-  let me = { Rt.Shadow.tid = owner; iter = !iternum } in
-  let deps = ref [] in
-  let note found =
-    List.iter
-      (fun (d : Rt.Shadow.entry) ->
-        let c = (d.Rt.Shadow.tid, d.Rt.Shadow.iter) in
-        if not (List.mem c !deps) then deps := c :: !deps)
-      found
-  in
-  List.iter (fun addr -> note (Rt.Shadow.note_read shadow addr me)) raddrs;
-  List.iter (fun addr -> note (Rt.Shadow.note_write shadow addr me)) waddrs;
+    *. float_of_int (List.length slice.Ir.Slice.reads + List.length waddrs));
+  let deps = match deps with Some d -> Rt.Shadow.Deps.clear d; d | None -> Rt.Shadow.Deps.create () in
+  Ir.Slice.iter_read_addresses slice env (fun addr ->
+      Rt.Shadow.note_read_deps shadow addr ~tid:owner ~iter:!iternum deps);
+  List.iter
+    (fun addr -> Rt.Shadow.note_write_deps shadow addr ~tid:owner ~iter:!iternum deps)
+    waddrs;
   if owner = tid then begin
     let wf = Sim.Machine.work_factor machine ~threads:config.Domore.workers in
     (* Conditions are self-produced and self-consumed (Figure 3.9). *)
     Sim.Proc.advance ~label:"conds" Sim.Category.Queue
-      (float_of_int (List.length !deps)
+      (float_of_int (Rt.Shadow.Deps.length deps)
       *. (machine.Sim.Machine.queue_produce +. machine.Sim.Machine.queue_consume));
-    List.iter
-      (fun (dt, di) -> Sim.Mono_cell.wait_ge ~cat:Sim.Category.Sync_wait cells.(dt) di)
-      (List.rev !deps);
+    Rt.Shadow.Deps.iter
+      (fun ~tid:dt ~iter:di -> Sim.Mono_cell.wait_ge ~cat:Sim.Category.Sync_wait cells.(dt) di)
+      deps;
     List.iter
       (fun (s : Ir.Stmt.t) ->
         Sim.Proc.work ~label:s.Ir.Stmt.name (wf *. s.Ir.Stmt.cost env);
@@ -58,6 +52,7 @@ let run ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
   let tasks = ref 0 in
   let worker tid () =
     let shadow = Rt.Shadow.create () in
+    let deps = Rt.Shadow.Deps.create () in
     let iternum = ref 0 in
     for t = 0 to p.Ir.Program.outer_trip - 1 do
       let env_t = Ir.Env.with_outer env t in
@@ -79,7 +74,7 @@ let run ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
           let trip = il.Ir.Program.trip env_t in
           if tid = 0 then tasks := !tasks + trip;
           for j = 0 to trip - 1 do
-            iteration_executor ~config ~plan ~cells ~shadow ~iternum ~tid
+            iteration_executor ~config ~plan ~cells ~shadow ~deps ~iternum ~tid
               (Ir.Env.with_inner env_t j) il
           done)
         p.Ir.Program.inners

@@ -1,49 +1,299 @@
 type entry = { tid : int; iter : int }
 
-(* Per address: the last write, plus the latest read per worker since that
-   write.  A write must wait for every foreign reader's latest read (waiting
-   for a worker's latest iteration covers its earlier ones, since each worker
-   executes its iterations in dispatch order); reads only wait for the last
-   write, so read-after-read never synchronizes. *)
-type slot = { mutable w : entry option; mutable rs : (int * int) list }
+(* Open-addressing hash table keyed by flat address, with generation-stamped
+   slots so [reset] is O(1): a slot belongs to the current generation iff
+   [stamps.(i) = gen], and bumping [gen] frees every slot at once.  Within a
+   generation slots only go free -> occupied, so linear-probe chains stay
+   valid.
 
-type t = (int, slot) Hashtbl.t
+   Per slot we track the last write (worker/iteration) and, in a flat
+   [cap * nw] matrix, the latest read iteration per worker together with a
+   recency tick.  The tick reproduces the seed implementation's reader
+   ordering (most recently reading worker first), which the simulator's
+   makespans depend on. *)
 
-let create () = Hashtbl.create 4096
+type t = {
+  mutable cap : int;  (* power of two *)
+  mutable mask : int;
+  mutable keys : int array;
+  mutable stamps : int array;  (* generation that owns the slot; 0 = never *)
+  mutable wtids : int array;  (* last writer tid, [no_entry] = none *)
+  mutable witers : int array;
+  mutable nw : int;  (* reader columns per slot (max tid + 1, rounded up) *)
+  mutable r_iters : int array;  (* cap * nw; [no_entry] = absent *)
+  mutable r_ticks : int array;  (* cap * nw; recency of the latest read *)
+  mutable live : int;
+  mutable gen : int;  (* starts at 1 so fresh [stamps] are all stale *)
+  mutable tick : int;
+  (* scratch for sorting a write's foreign readers by recency *)
+  mutable sc_tid : int array;
+  mutable sc_iter : int array;
+  mutable sc_tick : int array;
+}
 
-let slot sh addr =
-  match Hashtbl.find_opt sh addr with
-  | Some s -> s
-  | None ->
-      let s = { w = None; rs = [] } in
-      Hashtbl.replace sh addr s;
-      s
+let no_entry = min_int
 
-let foreign e = function Some d when d.tid <> e.tid -> [ d ] | _ -> []
+let initial_cap = 4096
 
-let note_read sh addr e =
-  let s = slot sh addr in
-  let deps = foreign e s.w in
-  let rest = List.remove_assoc e.tid s.rs in
-  let prev = try List.assoc e.tid s.rs with Not_found -> min_int in
-  s.rs <- (e.tid, Stdlib.max prev e.iter) :: rest;
-  deps
+let initial_nw = 4
 
-let note_write sh addr e =
-  let s = slot sh addr in
-  let readers =
-    List.filter_map
-      (fun (tid, iter) -> if tid <> e.tid then Some { tid; iter } else None)
-      s.rs
+let create () =
+  {
+    cap = initial_cap;
+    mask = initial_cap - 1;
+    keys = Array.make initial_cap 0;
+    stamps = Array.make initial_cap 0;
+    wtids = Array.make initial_cap no_entry;
+    witers = Array.make initial_cap no_entry;
+    nw = initial_nw;
+    r_iters = Array.make (initial_cap * initial_nw) no_entry;
+    r_ticks = Array.make (initial_cap * initial_nw) 0;
+    live = 0;
+    gen = 1;
+    tick = 0;
+    sc_tid = Array.make initial_nw 0;
+    sc_iter = Array.make initial_nw 0;
+    sc_tick = Array.make initial_nw 0;
+  }
+
+(* Fibonacci-style multiplicative hash; [land mask] keeps it in range. *)
+let hash_addr addr = (addr * 0x2545F4914F6CDD1D) lxor (addr lsr 7)
+
+let clear_readers sh i =
+  let base = i * sh.nw in
+  for k = 0 to sh.nw - 1 do
+    sh.r_iters.(base + k) <- no_entry
+  done
+
+(* Index of the slot holding [addr], or the first free slot of the probe
+   chain (claimed, counted live, write/readers cleared). *)
+let rec find_or_add sh addr =
+  let mask = sh.mask in
+  let i = ref (hash_addr addr land mask) in
+  let found = ref (-1) in
+  (try
+     while true do
+       let j = !i in
+       if sh.stamps.(j) <> sh.gen then begin
+         (* free this generation: claim it *)
+         sh.keys.(j) <- addr;
+         sh.stamps.(j) <- sh.gen;
+         sh.wtids.(j) <- no_entry;
+         clear_readers sh j;
+         sh.live <- sh.live + 1;
+         found := j;
+         raise Exit
+       end
+       else if sh.keys.(j) = addr then begin
+         found := j;
+         raise Exit
+       end
+       else i := (j + 1) land mask
+     done
+   with Exit -> ());
+  if sh.live * 4 > sh.cap * 3 then begin
+    grow sh;
+    find_or_add sh addr
+  end
+  else !found
+
+and grow sh =
+  let ocap = sh.cap and onw = sh.nw in
+  let okeys = sh.keys and ostamps = sh.stamps in
+  let owtids = sh.wtids and owiters = sh.witers in
+  let oriters = sh.r_iters and orticks = sh.r_ticks in
+  let ncap = ocap * 2 in
+  sh.cap <- ncap;
+  sh.mask <- ncap - 1;
+  sh.keys <- Array.make ncap 0;
+  sh.stamps <- Array.make ncap 0;
+  sh.wtids <- Array.make ncap no_entry;
+  sh.witers <- Array.make ncap no_entry;
+  sh.r_iters <- Array.make (ncap * onw) no_entry;
+  sh.r_ticks <- Array.make (ncap * onw) 0;
+  for i = 0 to ocap - 1 do
+    if ostamps.(i) = sh.gen then begin
+      (* re-insert; the new table has room by construction *)
+      let j = ref (hash_addr okeys.(i) land sh.mask) in
+      while sh.stamps.(!j) = sh.gen do
+        j := (!j + 1) land sh.mask
+      done;
+      let j = !j in
+      sh.keys.(j) <- okeys.(i);
+      sh.stamps.(j) <- sh.gen;
+      sh.wtids.(j) <- owtids.(i);
+      sh.witers.(j) <- owiters.(i);
+      Array.blit oriters (i * onw) sh.r_iters (j * onw) onw;
+      Array.blit orticks (i * onw) sh.r_ticks (j * onw) onw
+    end
+  done
+
+(* Widen the reader matrix so column [tid] exists. *)
+let grow_readers sh tid =
+  let onw = sh.nw in
+  let nnw =
+    let n = ref onw in
+    while tid >= !n do
+      n := !n * 2
+    done;
+    !n
   in
-  let deps = foreign e s.w @ readers in
-  s.w <- Some e;
-  s.rs <- [];
-  deps
+  let nriters = Array.make (sh.cap * nnw) no_entry in
+  let nrticks = Array.make (sh.cap * nnw) 0 in
+  for i = 0 to sh.cap - 1 do
+    Array.blit sh.r_iters (i * onw) nriters (i * nnw) onw;
+    Array.blit sh.r_ticks (i * onw) nrticks (i * nnw) onw
+  done;
+  sh.nw <- nnw;
+  sh.r_iters <- nriters;
+  sh.r_ticks <- nrticks;
+  sh.sc_tid <- Array.make nnw 0;
+  sh.sc_iter <- Array.make nnw 0;
+  sh.sc_tick <- Array.make nnw 0
+
+(* Core note operations, emitting each synchronization dependence through
+   [emit] in the order the seed implementation produced them. *)
+
+let note_read_emit sh addr ~tid ~iter emit =
+  if tid >= sh.nw then grow_readers sh tid;
+  let i = find_or_add sh addr in
+  if sh.wtids.(i) <> no_entry && sh.wtids.(i) <> tid then
+    emit ~tid:sh.wtids.(i) ~iter:sh.witers.(i);
+  let o = (i * sh.nw) + tid in
+  let prev = sh.r_iters.(o) in
+  sh.r_iters.(o) <- (if prev = no_entry || iter > prev then iter else prev);
+  sh.r_ticks.(o) <- sh.tick;
+  sh.tick <- sh.tick + 1
+
+let note_write_emit sh addr ~tid ~iter emit =
+  if tid >= sh.nw then grow_readers sh tid;
+  let i = find_or_add sh addr in
+  if sh.wtids.(i) <> no_entry && sh.wtids.(i) <> tid then
+    emit ~tid:sh.wtids.(i) ~iter:sh.witers.(i);
+  (* gather foreign readers, most recent first (insertion sort on tick) *)
+  let base = i * sh.nw in
+  let n = ref 0 in
+  for k = 0 to sh.nw - 1 do
+    let it = sh.r_iters.(base + k) in
+    if it <> no_entry then begin
+      if k <> tid then begin
+        let tk = sh.r_ticks.(base + k) in
+        let j = ref !n in
+        while !j > 0 && sh.sc_tick.(!j - 1) < tk do
+          sh.sc_tid.(!j) <- sh.sc_tid.(!j - 1);
+          sh.sc_iter.(!j) <- sh.sc_iter.(!j - 1);
+          sh.sc_tick.(!j) <- sh.sc_tick.(!j - 1);
+          decr j
+        done;
+        sh.sc_tid.(!j) <- k;
+        sh.sc_iter.(!j) <- it;
+        sh.sc_tick.(!j) <- tk;
+        incr n
+      end;
+      sh.r_iters.(base + k) <- no_entry
+    end
+  done;
+  for j = 0 to !n - 1 do
+    emit ~tid:sh.sc_tid.(j) ~iter:sh.sc_iter.(j)
+  done;
+  sh.wtids.(i) <- tid;
+  sh.witers.(i) <- iter
+
+(* ---------- list-returning API (compatibility; tests, cold paths) ---------- *)
+
+let collect f =
+  let acc = ref [] in
+  f (fun ~tid ~iter -> acc := { tid; iter } :: !acc);
+  List.rev !acc
+
+let note_read sh addr e = collect (note_read_emit sh addr ~tid:e.tid ~iter:e.iter)
+
+let note_write sh addr e = collect (note_write_emit sh addr ~tid:e.tid ~iter:e.iter)
 
 let last_write sh addr =
-  match Hashtbl.find_opt sh addr with Some s -> s.w | None -> None
+  let mask = sh.mask in
+  let i = ref (hash_addr addr land mask) in
+  let res = ref None in
+  (try
+     while true do
+       let j = !i in
+       if sh.stamps.(j) <> sh.gen then raise Exit
+       else if sh.keys.(j) = addr then begin
+         if sh.wtids.(j) <> no_entry then
+           res := Some { tid = sh.wtids.(j); iter = sh.witers.(j) };
+         raise Exit
+       end
+       else i := (j + 1) land mask
+     done
+   with Exit -> ());
+  !res
 
-let reset sh = Hashtbl.reset sh
+let reset sh =
+  sh.gen <- sh.gen + 1;
+  sh.live <- 0
 
-let entries sh = Hashtbl.length sh
+let entries sh = sh.live
+
+let capacity sh = sh.cap
+
+(* ---------- per-iteration dependence accumulator ---------- *)
+
+module Deps = struct
+  (* Distinct (tid, iter) pairs in first-seen order.  A worker bitmask makes
+     the common "first dependence on this worker" case O(1); only when the
+     worker's bit is already set do we scan the (tiny) pair list. *)
+  type t = {
+    mutable tids : int array;
+    mutable iters : int array;
+    mutable n : int;
+    mutable mask : int;
+  }
+
+  let create () = { tids = Array.make 8 0; iters = Array.make 8 0; n = 0; mask = 0 }
+
+  let clear d =
+    d.n <- 0;
+    d.mask <- 0
+
+  let length d = d.n
+
+  let add d ~tid ~iter =
+    let bit = if tid < 62 then 1 lsl tid else 0 in
+    let maybe_seen = if tid < 62 then d.mask land bit <> 0 else d.n > 0 in
+    let dup =
+      maybe_seen
+      &&
+      let rec scan j = j < d.n && ((d.tids.(j) = tid && d.iters.(j) = iter) || scan (j + 1)) in
+      scan 0
+    in
+    if not dup then begin
+      if d.n = Array.length d.tids then begin
+        let ntids = Array.make (2 * d.n) 0 and niters = Array.make (2 * d.n) 0 in
+        Array.blit d.tids 0 ntids 0 d.n;
+        Array.blit d.iters 0 niters 0 d.n;
+        d.tids <- ntids;
+        d.iters <- niters
+      end;
+      d.tids.(d.n) <- tid;
+      d.iters.(d.n) <- iter;
+      d.mask <- d.mask lor bit;
+      d.n <- d.n + 1
+    end
+
+  let iter f d =
+    for j = 0 to d.n - 1 do
+      f ~tid:d.tids.(j) ~iter:d.iters.(j)
+    done
+
+  let to_list d =
+    let acc = ref [] in
+    for j = d.n - 1 downto 0 do
+      acc := (d.tids.(j), d.iters.(j)) :: !acc
+    done;
+    !acc
+end
+
+let note_read_deps sh addr ~tid ~iter deps = note_read_emit sh addr ~tid ~iter (Deps.add deps)
+
+let note_write_deps sh addr ~tid ~iter deps =
+  note_write_emit sh addr ~tid ~iter (Deps.add deps)

@@ -3,7 +3,13 @@
     Tracks, per flat address, the worker/iteration of the most recent write
     and of the most recent read, so the scheduler emits synchronization
     conditions for true, anti and output dependences but not for
-    read-after-read. *)
+    read-after-read.
+
+    The table is an int-keyed open-addressing hash table whose slots are
+    generation-stamped: {!reset} is O(1) (a generation bump) and never
+    releases or rehashes storage.  Per-worker latest reads live in a flat
+    matrix rather than per-slot association lists, so the note operations
+    allocate nothing on the hot path (use the [_deps] variants). *)
 
 type t
 
@@ -22,6 +28,42 @@ val note_write : t -> int -> entry -> entry list
 val last_write : t -> int -> entry option
 
 val reset : t -> unit
+(** O(1): bumps the slot generation.  Capacity is retained, so a table that
+    is reset and refilled every invocation stops allocating entirely. *)
 
 val entries : t -> int
 (** Number of addresses currently tracked. *)
+
+val capacity : t -> int
+(** Internal slot capacity (diagnostics; lets tests check that {!reset} did
+    not shrink or rehash the table). *)
+
+(** Accumulator for one iteration's synchronization dependences: the
+    distinct [(tid, iter)] pairs returned by the note operations, in
+    first-seen order, deduplicated with a per-worker bitmask instead of the
+    O(n²) [List.mem] scan.  Created once and {!Deps.clear}ed per iteration,
+    so the dependence-collection hot path performs zero allocation. *)
+module Deps : sig
+  type t
+
+  val create : unit -> t
+
+  val clear : t -> unit
+
+  val length : t -> int
+
+  val iter : (tid:int -> iter:int -> unit) -> t -> unit
+  (** Iterate in first-seen order (the order the seed implementation's
+      [List.rev !deps] produced). *)
+
+  val to_list : t -> (int * int) list
+  (** [(tid, iter)] pairs, first-seen order; for tests and cold paths. *)
+end
+
+val note_read_deps : t -> int -> tid:int -> iter:int -> Deps.t -> unit
+(** As {!note_read}, but folds the dependences into the accumulator without
+    allocating. *)
+
+val note_write_deps : t -> int -> tid:int -> iter:int -> Deps.t -> unit
+(** As {!note_write}, but folds the dependences into the accumulator without
+    allocating. *)

@@ -4,23 +4,30 @@ type kind =
   | Bloom of { bits : int; hashes : int }
   | Exact
 
-type seg_repr = { bounds : int array; ranges : (int, int * int) Hashtbl.t }
-
 type repr =
   | R_range of { mutable lo : int; mutable hi : int }
-  | R_seg of seg_repr
-  | R_bloom of { bits : int; hashes : int; words : int array }
+  | R_seg of { bounds : int array; lo : int array; hi : int array }
+      (* per-segment min/max accessed address; empty segment iff lo > hi *)
+  | R_bloom of { bits : int; hashes : int; words : int array; pow2mask : int }
+      (* pow2mask = bits - 1 when bits is a power of two (bit index by [land]
+         instead of [mod]), 0 otherwise *)
   | R_exact of (int, unit) Hashtbl.t
 
-(* Index of the segment containing [addr]: greatest i with bounds.(i) <= addr. *)
+(* Index of the segment containing [addr]: greatest i with bounds.(i) <= addr.
+   Out-of-range addresses clamp to the first segment, so a workload address
+   below bounds.(0) degrades precision (the first segment's range widens)
+   instead of crashing. *)
 let segment_of bounds addr =
-  let lo = ref 0 and hi = ref (Array.length bounds - 1) in
-  assert (Array.length bounds > 0 && addr >= bounds.(0));
-  while !lo < !hi do
-    let mid = (!lo + !hi + 1) / 2 in
-    if bounds.(mid) <= addr then lo := mid else hi := mid - 1
-  done;
-  !lo
+  assert (Array.length bounds > 0);
+  if addr < bounds.(0) then 0
+  else begin
+    let lo = ref 0 and hi = ref (Array.length bounds - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if bounds.(mid) <= addr then lo := mid else hi := mid - 1
+    done;
+    !lo
+  end
 
 type t = { k : kind; repr : repr; mutable adds : int }
 
@@ -30,26 +37,41 @@ let create k =
     | Range -> R_range { lo = max_int; hi = min_int }
     | Segmented bounds ->
         assert (Array.length bounds > 0);
-        R_seg { bounds; ranges = Hashtbl.create 8 }
+        let n = Array.length bounds in
+        R_seg { bounds; lo = Array.make n max_int; hi = Array.make n min_int }
     | Bloom { bits; hashes } ->
         assert (bits > 0 && hashes > 0);
-        R_bloom { bits; hashes; words = Array.make (((bits - 1) / 63) + 1) 0 }
+        let pow2mask = if bits land (bits - 1) = 0 then bits - 1 else 0 in
+        (* 32 bits per word: word/bit indexing is a shift and a mask, no
+           integer division.  Word grouping does not affect which bit
+           positions are set, so the filter's precision is unchanged. *)
+        R_bloom { bits; hashes; words = Array.make (((bits - 1) lsr 5) + 1) 0; pow2mask }
     | Exact -> R_exact (Hashtbl.create 64)
   in
   { k; repr; adds = 0 }
 
 let kind t = t.k
 
-(* splitmix-style avalanche, salted per hash function. *)
-let hash salt addr =
-  let z = Int64.of_int ((addr * 0x9E3779B9) lxor (salt * 0x85EBCA6B)) in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.logxor z (Int64.shift_right_logical z 27) in
-  Int64.to_int (Int64.logand z 0x3FFFFFFFFFFFFFFFL)
+(* All-int avalanche (no Int64 boxing).  Constants fit OCaml's 63-bit ints. *)
+let mix x =
+  let x = x lxor (x lsr 33) in
+  let x = x * 0x2545F4914F6CDD1D in
+  let x = x lxor (x lsr 29) in
+  let x = x * 0x1B03738712FAD5C9 in
+  (x lxor (x lsr 32)) land max_int
 
-let set_bit words bits salt addr =
-  let b = hash salt addr mod bits in
-  words.(b / 63) <- words.(b / 63) lor (1 lsl (b mod 63))
+(* Double hashing: two mixes give every probe, instead of one full avalanche
+   round per hash function.  The stride is forced odd, so when [bits] is a
+   power of two the probe positions never collapse onto one bit. *)
+let bloom_set words bits hashes pow2mask addr =
+  let h1 = mix (addr * 0x9E3779B9) in
+  let h2 = mix (addr lxor 0x85EBCA6B) lor 1 in
+  let h = ref h1 in
+  for _ = 1 to hashes do
+    let b = if pow2mask <> 0 then !h land pow2mask else !h mod bits in
+    words.(b lsr 5) <- words.(b lsr 5) lor (1 lsl (b land 31));
+    h := (!h + h2) land max_int
+  done
 
 let add t addr =
   t.adds <- t.adds + 1;
@@ -59,23 +81,25 @@ let add t addr =
       if addr > r.hi then r.hi <- addr
   | R_seg sgm ->
       let seg = segment_of sgm.bounds addr in
-      let lo, hi =
-        match Hashtbl.find_opt sgm.ranges seg with
-        | Some (lo, hi) -> (Stdlib.min lo addr, Stdlib.max hi addr)
-        | None -> (addr, addr)
-      in
-      Hashtbl.replace sgm.ranges seg (lo, hi)
-  | R_bloom b ->
-      for s = 0 to b.hashes - 1 do
-        set_bit b.words b.bits s addr
-      done
+      if addr < sgm.lo.(seg) then sgm.lo.(seg) <- addr;
+      if addr > sgm.hi.(seg) then sgm.hi.(seg) <- addr
+  | R_bloom b -> bloom_set b.words b.bits b.hashes b.pow2mask addr
   | R_exact h -> Hashtbl.replace h addr ()
 
 let add_list t addrs = List.iter (add t) addrs
 
+let add_array t addrs =
+  for i = 0 to Array.length addrs - 1 do
+    add t addrs.(i)
+  done
+
+let add_iter t f = f (add t)
+
 let count t = t.adds
 
 let is_empty t = t.adds = 0
+
+exception Hit
 
 let intersects a b =
   if is_empty a || is_empty b then false
@@ -83,29 +107,35 @@ let intersects a b =
     match (a.repr, b.repr) with
     | R_range ra, R_range rb -> ra.lo <= rb.hi && rb.lo <= ra.hi
     | R_seg sa, R_seg sb ->
-        let small, large =
-          if Hashtbl.length sa.ranges <= Hashtbl.length sb.ranges then (sa, sb)
-          else (sb, sa)
-        in
-        Hashtbl.fold
-          (fun seg (lo, hi) acc ->
-            acc
-            ||
-            match Hashtbl.find_opt large.ranges seg with
-            | Some (lo', hi') -> lo <= hi' && lo' <= hi
-            | None -> false)
-          small.ranges false
+        let n = Stdlib.min (Array.length sa.lo) (Array.length sb.lo) in
+        let i = ref 0 and hit = ref false in
+        while (not !hit) && !i < n do
+          let s = !i in
+          if sa.lo.(s) <= sb.hi.(s) && sb.lo.(s) <= sa.hi.(s) then hit := true;
+          incr i
+        done;
+        !hit
     | R_bloom ba, R_bloom bb ->
         assert (ba.bits = bb.bits && ba.hashes = bb.hashes);
         (* Conservative: an address present in both sets every one of its
            bits in both filters; we test whether any word shares bits, which
            over-approximates membership overlap. *)
-        let shared = ref false in
-        Array.iteri (fun i w -> if w land bb.words.(i) <> 0 then shared := true) ba.words;
-        !shared
-    | R_exact ha, R_exact hb ->
-        let small, large = if Hashtbl.length ha <= Hashtbl.length hb then (ha, hb) else (hb, ha) in
-        Hashtbl.fold (fun addr () acc -> acc || Hashtbl.mem large addr) small false
+        let wa = ba.words and wb = bb.words in
+        let n = Array.length wa in
+        let i = ref 0 and hit = ref false in
+        while (not !hit) && !i < n do
+          if wa.(!i) land wb.(!i) <> 0 then hit := true;
+          incr i
+        done;
+        !hit
+    | R_exact ha, R_exact hb -> (
+        let small, large =
+          if Hashtbl.length ha <= Hashtbl.length hb then (ha, hb) else (hb, ha)
+        in
+        try
+          Hashtbl.iter (fun addr () -> if Hashtbl.mem large addr then raise Hit) small;
+          false
+        with Hit -> true)
     | _ -> invalid_arg "Signature.intersects: kind mismatch"
 
 let merge ~into src =
@@ -115,19 +145,17 @@ let merge ~into src =
       if b.hi > a.hi then a.hi <- b.hi;
       into.adds <- into.adds + src.adds
   | R_seg a, R_seg b ->
-      Hashtbl.iter
-        (fun seg (lo, hi) ->
-          let lo', hi' =
-            match Hashtbl.find_opt a.ranges seg with
-            | Some (l, h) -> (Stdlib.min l lo, Stdlib.max h hi)
-            | None -> (lo, hi)
-          in
-          Hashtbl.replace a.ranges seg (lo', hi'))
-        b.ranges;
+      let n = Stdlib.min (Array.length a.lo) (Array.length b.lo) in
+      for s = 0 to n - 1 do
+        if b.lo.(s) < a.lo.(s) then a.lo.(s) <- b.lo.(s);
+        if b.hi.(s) > a.hi.(s) then a.hi.(s) <- b.hi.(s)
+      done;
       into.adds <- into.adds + src.adds
   | R_bloom a, R_bloom b ->
       assert (a.bits = b.bits && a.hashes = b.hashes);
-      Array.iteri (fun i w -> a.words.(i) <- a.words.(i) lor w) b.words;
+      for i = 0 to Array.length a.words - 1 do
+        a.words.(i) <- a.words.(i) lor b.words.(i)
+      done;
       into.adds <- into.adds + src.adds
   | R_exact a, R_exact b ->
       Hashtbl.iter (fun addr () -> Hashtbl.replace a addr ()) b;
@@ -139,6 +167,9 @@ let pp ppf t =
   | R_range r ->
       if is_empty t then Format.fprintf ppf "range(empty)"
       else Format.fprintf ppf "range[%d, %d]" r.lo r.hi
-  | R_seg sgm -> Format.fprintf ppf "segmented(%d segments)" (Hashtbl.length sgm.ranges)
+  | R_seg sgm ->
+      let populated = ref 0 in
+      Array.iteri (fun s lo -> if lo <= sgm.hi.(s) then incr populated) sgm.lo;
+      Format.fprintf ppf "segmented(%d segments)" !populated
   | R_bloom b -> Format.fprintf ppf "bloom(%d bits, %d adds)" b.bits t.adds
   | R_exact h -> Format.fprintf ppf "exact(%d addrs)" (Hashtbl.length h)

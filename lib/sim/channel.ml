@@ -1,5 +1,9 @@
+(* Ring buffer instead of a linked Queue.t: produce/consume allocate nothing
+   once the ring has grown to the queue's high-water mark. *)
 type 'a t = {
-  items : 'a Queue.t;
+  mutable buf : 'a array;
+  mutable head : int;  (* index of the oldest element *)
+  mutable len : int;
   mutable waiters : (unit -> unit) list;  (* consumers blocked on empty *)
   produce_cost : float;
   consume_cost : float;
@@ -7,24 +11,72 @@ type 'a t = {
 }
 
 let create ?(produce_cost = 0.) ?(consume_cost = 0.) () =
-  { items = Queue.create (); waiters = []; produce_cost; consume_cost; produced = 0 }
+  {
+    buf = [||];
+    head = 0;
+    len = 0;
+    waiters = [];
+    produce_cost;
+    consume_cost;
+    produced = 0;
+  }
 
-let length q = Queue.length q.items
+let length q = q.len
 
 let produced q = q.produced
 
-let produce q x =
-  if q.produce_cost > 0. then Proc.advance Category.Queue q.produce_cost;
-  Queue.push x q.items;
-  q.produced <- q.produced + 1;
+let grow q x =
+  let cap = Array.length q.buf in
+  if cap = 0 then q.buf <- Array.make 16 x
+  else begin
+    let nbuf = Array.make (2 * cap) x in
+    for i = 0 to q.len - 1 do
+      nbuf.(i) <- q.buf.((q.head + i) mod cap)
+    done;
+    q.buf <- nbuf;
+    q.head <- 0
+  end
+
+let push q x =
+  if q.len = Array.length q.buf then grow q x;
+  q.buf.((q.head + q.len) mod Array.length q.buf) <- x;
+  q.len <- q.len + 1;
+  q.produced <- q.produced + 1
+
+let wake_one q =
   match q.waiters with
   | [] -> ()
   | w :: rest ->
       q.waiters <- rest;
       w ()
 
+let produce q x =
+  if q.produce_cost > 0. then Proc.advance Category.Queue q.produce_cost;
+  push q x;
+  wake_one q
+
+let produce_list q xs =
+  (* With a per-element produce cost, element k must become visible at
+     t0 + k*cost (a blocked consumer legally observes the queue between two
+     produces), so batching is only cost-neutral — and only taken — when the
+     machine model charges nothing for a produce. *)
+  if q.produce_cost > 0. then List.iter (produce q) xs
+  else begin
+    List.iter
+      (fun x ->
+        push q x;
+        wake_one q)
+      xs
+  end
+
+let pop q =
+  let x = q.buf.(q.head) in
+  q.head <- (q.head + 1) mod Array.length q.buf;
+  q.len <- q.len - 1;
+  x
+
 let rec consume q =
-  if Queue.is_empty q.items then begin
+  if q.len = 0 then begin
     let t0 = Proc.now () in
     Proc.suspend (fun waker -> q.waiters <- q.waiters @ [ waker ]);
     Proc.charge_wait Category.Queue ~since:t0;
@@ -32,12 +84,12 @@ let rec consume q =
   end
   else begin
     if q.consume_cost > 0. then Proc.advance Category.Queue q.consume_cost;
-    Queue.pop q.items
+    pop q
   end
 
 let try_consume q =
-  if Queue.is_empty q.items then None
+  if q.len = 0 then None
   else begin
     if q.consume_cost > 0. then Proc.advance Category.Queue q.consume_cost;
-    Some (Queue.pop q.items)
+    Some (pop q)
   end

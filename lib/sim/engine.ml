@@ -4,15 +4,20 @@ type thread_state = Ready | Running | Suspended | Finished
 
 type thread = { id : tid; name : string; mutable state : thread_state }
 
+(* Threads live in a growable array indexed by tid (tids are dense,
+   allocated sequentially), charges in a flat float array indexed by
+   [tid * Category.count + category], and trace segments in a growable
+   array — no per-advance boxed tuple keys or list cells. *)
 type t = {
   events : (float * (unit -> unit)) Xinv_util.Heap.t;
   mutable clock : float;
-  mutable threads : thread list;  (* newest first *)
-  mutable next_tid : int;
+  mutable threads : thread array;
+  mutable n_threads : int;
   mutable cur : tid;
-  charges : (tid * int, float) Hashtbl.t;
+  mutable charges : float array;  (* n_threads * Category.count, grown with threads *)
   trace_on : bool;
-  mutable trace : Trace.segment list;  (* newest first *)
+  mutable trace : Trace.segment array;
+  mutable trace_len : int;
 }
 
 exception Deadlock of string
@@ -25,45 +30,98 @@ type _ Effect.t +=
   | E_engine : t Effect.t
   | E_spawn : string * (unit -> unit) -> tid Effect.t
 
+let dummy_thread = { id = -1; name = ""; state = Finished }
+
 let create ?(trace = false) () =
   {
     events = Xinv_util.Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b);
     clock = 0.;
-    threads = [];
-    next_tid = 0;
+    threads = Array.make 8 dummy_thread;
+    n_threads = 0;
     cur = -1;
-    charges = Hashtbl.create 64;
+    charges = Array.make (8 * Category.count) 0.;
     trace_on = trace;
-    trace = [];
+    trace = [||];
+    trace_len = 0;
   }
 
 let now eng = eng.clock
 
-let thread_count eng = List.length eng.threads
+let thread_count eng = eng.n_threads
 
-let find_thread eng id = List.find (fun th -> th.id = id) eng.threads
+let find_thread eng id =
+  if id < 0 || id >= eng.n_threads then raise Not_found;
+  eng.threads.(id)
 
 let name_of eng id = (find_thread eng id).name
 
 let charge eng id cat dt =
-  let key = (id, Category.index cat) in
-  let cur = try Hashtbl.find eng.charges key with Not_found -> 0. in
-  Hashtbl.replace eng.charges key (cur +. dt)
+  let o = (id * Category.count) + Category.index cat in
+  eng.charges.(o) <- eng.charges.(o) +. dt
 
 let charged eng id cat =
-  try Hashtbl.find eng.charges (id, Category.index cat) with Not_found -> 0.
+  if id < 0 || id >= eng.n_threads then 0.
+  else eng.charges.((id * Category.count) + Category.index cat)
 
 let total eng cat =
-  List.fold_left (fun acc th -> acc +. charged eng th.id cat) 0. eng.threads
+  let acc = ref 0. in
+  for id = 0 to eng.n_threads - 1 do
+    acc := !acc +. eng.charges.((id * Category.count) + Category.index cat)
+  done;
+  !acc
 
 let busy eng id =
-  List.fold_left (fun acc cat -> acc +. charged eng id cat) 0. Category.all
+  if id < 0 || id >= eng.n_threads then 0.
+  else begin
+    let acc = ref 0. in
+    let base = id * Category.count in
+    for c = 0 to Category.count - 1 do
+      acc := !acc +. eng.charges.(base + c)
+    done;
+    !acc
+  end
 
-let add_segment eng seg = if eng.trace_on then eng.trace <- seg :: eng.trace
+let dummy_segment =
+  { Trace.tid = -1; label = ""; cat = Category.Idle; t_start = 0.; t_end = 0. }
 
-let segments eng = List.rev eng.trace
+let add_segment eng seg =
+  if eng.trace_on then begin
+    if eng.trace_len = Array.length eng.trace then begin
+      let ncap = Stdlib.max 64 (2 * eng.trace_len) in
+      let narr = Array.make ncap dummy_segment in
+      Array.blit eng.trace 0 narr 0 eng.trace_len;
+      eng.trace <- narr
+    end;
+    eng.trace.(eng.trace_len) <- seg;
+    eng.trace_len <- eng.trace_len + 1
+  end
+
+let segments eng =
+  let acc = ref [] in
+  for i = eng.trace_len - 1 downto 0 do
+    acc := eng.trace.(i) :: !acc
+  done;
+  !acc
 
 let schedule eng time thunk = Xinv_util.Heap.push eng.events (time, thunk)
+
+let register_thread eng th =
+  let id = th.id in
+  if id >= Array.length eng.threads then begin
+    let ncap = Stdlib.max (2 * Array.length eng.threads) (id + 1) in
+    let narr = Array.make ncap dummy_thread in
+    Array.blit eng.threads 0 narr 0 eng.n_threads;
+    eng.threads <- narr
+  end;
+  eng.threads.(id) <- th;
+  eng.n_threads <- id + 1;
+  let need = eng.n_threads * Category.count in
+  if need > Array.length eng.charges then begin
+    let ncap = Stdlib.max (2 * Array.length eng.charges) need in
+    let narr = Array.make ncap 0. in
+    Array.blit eng.charges 0 narr 0 (Array.length eng.charges);
+    eng.charges <- narr
+  end
 
 (* Run [body] as a simulated thread under the effect handler.  Continuations
    captured by the handler are resumed from the engine loop, re-entering the
@@ -129,31 +187,32 @@ let rec start_thread eng th body =
 
 and spawn_at : t -> name:string -> (unit -> unit) -> int =
  fun eng ~name body ->
-  let id = eng.next_tid in
-  eng.next_tid <- id + 1;
+  let id = eng.n_threads in
   let th = { id; name; state = Ready } in
-  eng.threads <- th :: eng.threads;
+  register_thread eng th;
   schedule eng eng.clock (fun () ->
       eng.cur <- th.id;
       start_thread eng th body);
   id
 
 let spawn eng ?name body =
-  let name = match name with Some n -> n | None -> Printf.sprintf "t%d" eng.next_tid in
+  let name = match name with Some n -> n | None -> Printf.sprintf "t%d" eng.n_threads in
   spawn_at eng ~name body
 
 let run eng =
   let rec loop () =
     match Xinv_util.Heap.pop eng.events with
     | None ->
-        let stuck =
-          List.filter (fun th -> th.state = Suspended || th.state = Ready) eng.threads
-        in
-        if stuck <> [] then
+        let stuck = ref [] in
+        for i = 0 to eng.n_threads - 1 do
+          let th = eng.threads.(i) in
+          if th.state = Suspended || th.state = Ready then stuck := th :: !stuck
+        done;
+        if !stuck <> [] then
           raise
             (Deadlock
                (String.concat ", "
-                  (List.map (fun th -> Printf.sprintf "%s(#%d)" th.name th.id) stuck)))
+                  (List.map (fun th -> Printf.sprintf "%s(#%d)" th.name th.id) !stuck)))
     | Some (time, thunk) ->
         assert (time >= eng.clock -. 1e-9);
         eng.clock <- Stdlib.max eng.clock time;

@@ -362,22 +362,13 @@ let run ?config ?(trace = false) (p : Ir.Program.t) env =
               c
         in
         let shadow = Rt.Shadow.create () in
+        let deps = Rt.Shadow.Deps.create () in
         for j = 0 to trip - 1 do
           let env_j = Ir.Env.with_inner env_t j in
           throttle s ~w (epoch_base.(e) + j);
           let addrs = Ir.Footprint.body_filtered ~hot env_j il in
           let waddrs =
             List.concat_map (fun stm -> Ir.Footprint.writes env_j stm) il.Ir.Program.body
-          in
-          let raddrs =
-            List.concat_map
-              (fun (stm : Ir.Stmt.t) ->
-                List.filter_map
-                  (fun (a : Ir.Access.t) ->
-                    if hot a.Ir.Access.base then Some (Ir.Access.addr env_j mem a)
-                    else None)
-                  stm.Ir.Stmt.reads)
-              il.Ir.Program.body
           in
           Sim.Proc.advance ~label:"sched" Sim.Category.Redundant
             (machine.Sim.Machine.sched_per_iter
@@ -386,24 +377,27 @@ let run ?config ?(trace = false) (p : Ir.Program.t) env =
             Xinv_domore.Policy.pick policy ~loads:None ~mem ~threads:workers ~iter:j
               ~write_addrs:waddrs
           in
-          let me = { Rt.Shadow.tid = owner; iter = j } in
-          let deps = ref [] in
-          let note found =
-            List.iter
-              (fun (d : Rt.Shadow.entry) ->
-                let c = (d.Rt.Shadow.tid, d.Rt.Shadow.iter) in
-                if not (List.mem c !deps) then deps := c :: !deps)
-              found
-          in
-          List.iter (fun addr -> note (Rt.Shadow.note_read shadow addr me)) raddrs;
-          List.iter (fun addr -> note (Rt.Shadow.note_write shadow addr me)) waddrs;
+          Rt.Shadow.Deps.clear deps;
+          List.iter
+            (fun (stm : Ir.Stmt.t) ->
+              List.iter
+                (fun (a : Ir.Access.t) ->
+                  if hot a.Ir.Access.base then
+                    Rt.Shadow.note_read_deps shadow
+                      (Ir.Access.addr env_j mem a)
+                      ~tid:owner ~iter:j deps)
+                stm.Ir.Stmt.reads)
+            il.Ir.Program.body;
+          List.iter
+            (fun addr -> Rt.Shadow.note_write_deps shadow addr ~tid:owner ~iter:j deps)
+            waddrs;
           if owner <> w then s.positions.(w) <- (e, !task);
           if owner = w then begin
             run_task s ~w ~epoch:e ~task:!task ~addrs (fun () ->
-                List.iter
-                  (fun (dt, di) ->
+                Rt.Shadow.Deps.iter
+                  (fun ~tid:dt ~iter:di ->
                     Sim.Mono_cell.wait_ge ~cat:Sim.Category.Sync_wait cells.(dt) di)
-                  (List.rev !deps);
+                  deps;
                 plain_body env_j il;
                 Sim.Mono_cell.raise_to cells.(w) j);
             incr task

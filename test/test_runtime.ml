@@ -155,6 +155,188 @@ let test_checkpoint () =
   Alcotest.(check int) "saves counted" 2 (Rt.Checkpoint.saves ck);
   Alcotest.(check (option int)) "latest" (Some 9) (Rt.Checkpoint.latest_epoch ck)
 
+(* ---------- PR1: optimized primitives vs naive reference models ---------- *)
+
+(* Naive shadow memory: the seed implementation (assoc lists, Hashtbl),
+   kept as the executable specification the optimized open-addressing table
+   must match dependence-for-dependence, order included. *)
+module Ref_shadow = struct
+  type slot = { mutable w : (int * int) option; mutable rs : (int * int) list }
+
+  type t = (int, slot) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let slot sh addr =
+    match Hashtbl.find_opt sh addr with
+    | Some s -> s
+    | None ->
+        let s = { w = None; rs = [] } in
+        Hashtbl.replace sh addr s;
+        s
+
+  let foreign tid = function Some (t, i) when t <> tid -> [ (t, i) ] | _ -> []
+
+  let note_read sh addr ~tid ~iter =
+    let s = slot sh addr in
+    let deps = foreign tid s.w in
+    let rest = List.remove_assoc tid s.rs in
+    let prev = try List.assoc tid s.rs with Not_found -> min_int in
+    s.rs <- (tid, Stdlib.max prev iter) :: rest;
+    deps
+
+  let note_write sh addr ~tid ~iter =
+    let s = slot sh addr in
+    let readers = List.filter (fun (t, _) -> t <> tid) s.rs in
+    let deps = foreign tid s.w @ readers in
+    s.w <- Some (tid, iter);
+    s.rs <- [];
+    deps
+end
+
+(* A random access trace: (addr, tid, write?) per step; the step index is the
+   iteration number, so iterations increase monotonically like a real run. *)
+let trace_gen =
+  QCheck.(
+    list_of_size Gen.(int_range 0 200)
+      (triple (int_range 0 40) (int_range 0 5) bool))
+
+let prop_shadow_matches_reference =
+  QCheck.Test.make ~name:"optimized shadow = naive reference (deps, order)" ~count:200
+    trace_gen
+    (fun trace ->
+      let sh = Rt.Shadow.create () and rf = Ref_shadow.create () in
+      List.for_all
+        (fun (step, (addr, tid, w)) ->
+          let iter = step in
+          let got =
+            as_pairs
+              (if w then Rt.Shadow.note_write sh addr (e tid iter)
+               else Rt.Shadow.note_read sh addr (e tid iter))
+          in
+          let want =
+            if w then Ref_shadow.note_write rf addr ~tid ~iter
+            else Ref_shadow.note_read rf addr ~tid ~iter
+          in
+          got = want)
+        (List.mapi (fun i x -> (i, x)) trace))
+
+(* The zero-allocation Deps accumulator must agree with the list API plus the
+   seed's List.mem dedup, across a whole iteration's worth of notes. *)
+let prop_deps_accumulator_matches =
+  QCheck.Test.make ~name:"Deps accumulator = list API + List.mem dedup" ~count:200
+    QCheck.(pair trace_gen (int_range 0 5))
+    (fun (trace, tid) ->
+      let sh1 = Rt.Shadow.create () and sh2 = Rt.Shadow.create () in
+      (* Warm both tables identically with the trace ... *)
+      List.iteri
+        (fun i (addr, t, w) ->
+          if w then (
+            ignore (Rt.Shadow.note_write sh1 addr (e t i));
+            ignore (Rt.Shadow.note_write sh2 addr (e t i)))
+          else (
+            ignore (Rt.Shadow.note_read sh1 addr (e t i));
+            ignore (Rt.Shadow.note_read sh2 addr (e t i))))
+        trace;
+      (* ... then collect one iteration's dependences over a fixed footprint
+         both ways. *)
+      let iter = List.length trace in
+      let raddrs = [ 0; 7; 13; 21 ] and waddrs = [ 3; 7; 33 ] in
+      let dedup = ref [] in
+      let note found =
+        List.iter
+          (fun (d : Rt.Shadow.entry) ->
+            let c = (d.Rt.Shadow.tid, d.Rt.Shadow.iter) in
+            if not (List.mem c !dedup) then dedup := c :: !dedup)
+          found
+      in
+      List.iter (fun a -> note (Rt.Shadow.note_read sh1 a (e tid iter))) raddrs;
+      List.iter (fun a -> note (Rt.Shadow.note_write sh1 a (e tid iter))) waddrs;
+      let deps = Rt.Shadow.Deps.create () in
+      List.iter (fun a -> Rt.Shadow.note_read_deps sh2 a ~tid ~iter deps) raddrs;
+      List.iter (fun a -> Rt.Shadow.note_write_deps sh2 a ~tid ~iter deps) waddrs;
+      Rt.Shadow.Deps.to_list deps = List.rev !dedup)
+
+let test_shadow_reset_o1 () =
+  let sh = Rt.Shadow.create () in
+  let n = 100_000 in
+  for i = 0 to n - 1 do
+    ignore (Rt.Shadow.note_write sh i (e (i land 3) i))
+  done;
+  Alcotest.(check int) "entries before reset" n (Rt.Shadow.entries sh);
+  let cap = Rt.Shadow.capacity sh in
+  Rt.Shadow.reset sh;
+  Alcotest.(check int) "empty after reset" 0 (Rt.Shadow.entries sh);
+  Alcotest.(check int) "reset does not rehash or shrink" cap (Rt.Shadow.capacity sh);
+  Alcotest.(check (option (pair int int)))
+    "stale entries invisible" None
+    (Option.map (fun (d : Rt.Shadow.entry) -> (d.tid, d.iter)) (Rt.Shadow.last_write sh 5));
+  (* refilling reuses the retained capacity *)
+  for i = 0 to n - 1 do
+    ignore (Rt.Shadow.note_write sh i (e 1 i))
+  done;
+  Alcotest.(check int) "refill finds capacity in place" cap (Rt.Shadow.capacity sh)
+
+(* Every signature kind must over-approximate the exact oracle, including on
+   addresses outside the Segmented bounds (clamped, not crashing). *)
+let prop_signature_over_approximates_exact =
+  QCheck.Test.make ~name:"signature intersects never under-approximates exact" ~count:300
+    QCheck.(pair (list (int_range (-50) 349)) (list (int_range (-50) 349)))
+    (fun (xs, ys) ->
+      let exact_a = Rt.Signature.create Rt.Signature.Exact in
+      let exact_b = Rt.Signature.create Rt.Signature.Exact in
+      Rt.Signature.add_list exact_a xs;
+      Rt.Signature.add_list exact_b ys;
+      (not (Rt.Signature.intersects exact_a exact_b))
+      || List.for_all
+           (fun (_, kind) ->
+             let a = Rt.Signature.create kind and b = Rt.Signature.create kind in
+             Rt.Signature.add_list a xs;
+             Rt.Signature.add_list b ys;
+             Rt.Signature.intersects a b)
+           kinds)
+
+let test_segmented_clamps_out_of_range () =
+  let bounds = [| 100; 200 |] in
+  let a = Rt.Signature.create (Rt.Signature.Segmented bounds) in
+  (* below the first bound: clamps into segment 0 instead of crashing *)
+  Rt.Signature.add a 7;
+  Rt.Signature.add a 150;
+  let b = Rt.Signature.create (Rt.Signature.Segmented bounds) in
+  Rt.Signature.add b 120;
+  (* the clamped address widened segment 0's range to [7, 150], covering 120 *)
+  Alcotest.(check bool) "clamped add is sound (may widen)" true
+    (Rt.Signature.intersects a b);
+  let a' = Rt.Signature.create (Rt.Signature.Segmented bounds) in
+  Rt.Signature.add a' 7;
+  Alcotest.(check bool) "shared clamped address intersects" true
+    (Rt.Signature.intersects a a');
+  let c = Rt.Signature.create (Rt.Signature.Segmented bounds) in
+  Rt.Signature.add c 250;
+  Alcotest.(check bool) "distinct segments stay disjoint" false
+    (Rt.Signature.intersects a c)
+
+let prop_add_array_equals_add_list =
+  QCheck.Test.make ~name:"add_array/add_iter = add_list" ~count:100
+    QCheck.(list (int_range 0 299))
+    (fun xs ->
+      List.for_all
+        (fun (_, kind) ->
+          let a = Rt.Signature.create kind in
+          let b = Rt.Signature.create kind in
+          let c = Rt.Signature.create kind in
+          Rt.Signature.add_list a xs;
+          Rt.Signature.add_array b (Array.of_list xs);
+          Rt.Signature.add_iter c (fun sink -> List.iter sink xs);
+          let probe = Rt.Signature.create kind in
+          Rt.Signature.add_list probe xs;
+          Rt.Signature.count a = Rt.Signature.count b
+          && Rt.Signature.count a = Rt.Signature.count c
+          && (xs = []
+             || (Rt.Signature.intersects a probe && Rt.Signature.intersects b probe
+               && Rt.Signature.intersects c probe)))
+        kinds)
+
 let suite =
   [
     Alcotest.test_case "shadow RAW/WAR/WAW" `Quick test_shadow_war_waw_raw;
@@ -168,4 +350,10 @@ let suite =
     Alcotest.test_case "signature merge" `Quick test_signature_merge;
     Alcotest.test_case "signature log" `Quick test_siglog;
     Alcotest.test_case "checkpoint" `Quick test_checkpoint;
+    QCheck_alcotest.to_alcotest prop_shadow_matches_reference;
+    QCheck_alcotest.to_alcotest prop_deps_accumulator_matches;
+    Alcotest.test_case "shadow reset is O(1)" `Quick test_shadow_reset_o1;
+    QCheck_alcotest.to_alcotest prop_signature_over_approximates_exact;
+    Alcotest.test_case "segmented clamps out-of-range" `Quick test_segmented_clamps_out_of_range;
+    QCheck_alcotest.to_alcotest prop_add_array_equals_add_list;
   ]

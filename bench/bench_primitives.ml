@@ -7,10 +7,16 @@
      bench_primitives --smoke          run every kernel once at tiny scale
                                        (used by the @bench-smoke alias)
      bench_primitives --raw FILE      append "name ns_per_op" lines to FILE
-     bench_primitives --json OUT [--baseline RAWFILE]
+     bench_primitives --json OUT [--baseline RAWFILE] [--from-raw RAWFILE]
                                        emit the BENCH_*.json document; with a
                                        baseline raw file, include before/after
-                                       and speedup per kernel
+                                       and speedup per kernel; with --from-raw,
+                                       read the candidate numbers from a raw
+                                       file instead of re-timing.  Raw files
+                                       with repeated lines per kernel (from
+                                       alternating appended runs) are merged
+                                       by per-kernel minimum, which cancels
+                                       slow machine drift
      bench_primitives --fingerprint    print makespan/tasks/checks/misspecs of
                                        fixed DOMORE and SPECCROSS runs (perf
                                        work must keep these bit-identical)
@@ -108,6 +114,45 @@ let engine_charge_chunk n () =
   ignore (Sim.Engine.charged eng tid Sim.Category.Work);
   n
 
+(* ---------- end-to-end kernels ---------- *)
+
+(* One complete simulated run per chunk.  These exist to measure the cost of
+   the observability layer: the names without a suffix run with observability
+   disabled (the default), the [+obs] variants with a live recorder, and the
+   overhead section of the JSON report compares the two. *)
+
+let e2e_domore_chunk ?(obs = false) name threads () =
+  let module Ir = Xinv_ir in
+  let module Wl = Xinv_workloads in
+  let wl = Wl.Registry.find name in
+  let env = wl.Wl.Workload.fresh_env Wl.Workload.Train in
+  let p = wl.Wl.Workload.program Wl.Workload.Train in
+  let rec_ = if obs then Some (Xinv_obs.Recorder.create ()) else None in
+  (match Ir.Mtcg.generate p env with
+  | Ir.Mtcg.Plan plan ->
+      let config = Xinv_domore.Domore.default_config ~workers:(threads - 1) in
+      ignore (Xinv_domore.Domore.run ~config ?obs:rec_ ~plan p env)
+  | Ir.Mtcg.Inapplicable r -> failwith r);
+  1
+
+let e2e_speccross_chunk ?(obs = false) name threads () =
+  let module Ir = Xinv_ir in
+  let module Wl = Xinv_workloads in
+  let module Sp = Xinv_speccross in
+  let wl = Wl.Registry.find name in
+  let env = wl.Wl.Workload.fresh_env Wl.Workload.Train in
+  let p = wl.Wl.Workload.program Wl.Workload.Train in
+  let rec_ = if obs then Some (Xinv_obs.Recorder.create ()) else None in
+  let cfg =
+    {
+      (Sp.Runtime.default_config ~workers:(threads - 1)) with
+      Sp.Runtime.sig_kind = Rt.Signature.Segmented (Ir.Memory.bounds env.Ir.Env.mem);
+      spec_distance = 4 * Ir.Program.total_iterations p env / Ir.Program.invocations p;
+    }
+  in
+  ignore (Sp.Runtime.run ~config:cfg ?obs:rec_ p env);
+  1
+
 (* ---------- kernel table ---------- *)
 
 let kernels ~smoke =
@@ -128,6 +173,13 @@ let kernels ~smoke =
     { name = "signature.exact"; chunk = sig_chunk Rt.Signature.Exact (s 2_000 16) (s 64 2) };
     { name = "engine.spawn_advance"; chunk = engine_advance_chunk 4 (s 2_500 8) };
     { name = "engine.charge"; chunk = engine_charge_chunk (s 100_000 64) };
+    { name = "e2e.domore_cg"; chunk = e2e_domore_chunk "CG" 8 };
+    { name = "e2e.speccross_jacobi"; chunk = e2e_speccross_chunk "JACOBI" 8 };
+    { name = "e2e.domore_cg+obs"; chunk = e2e_domore_chunk ~obs:true "CG" 8 };
+    {
+      name = "e2e.speccross_jacobi+obs";
+      chunk = e2e_speccross_chunk ~obs:true "JACOBI" 8;
+    };
   ]
 
 (* ---------- semantic fingerprint ---------- *)
@@ -187,18 +239,32 @@ let print_fingerprint () =
 
 (* ---------- output ---------- *)
 
-let read_baseline path =
+(* Raw files may hold several lines per kernel (repeated --raw runs append);
+   the merged value is the per-kernel minimum, so alternating baseline and
+   candidate runs cancels slow machine drift. *)
+let read_raw_ordered path =
   let ic = open_in path in
-  let tbl = Hashtbl.create 16 in
+  let order = ref [] and tbl = Hashtbl.create 16 in
   (try
      while true do
        let line = input_line ic in
        match String.split_on_char ' ' (String.trim line) with
-       | [ name; ns ] -> Hashtbl.replace tbl name (float_of_string ns)
+       | [ name; ns ] ->
+           let v = float_of_string ns in
+           (match Hashtbl.find_opt tbl name with
+           | None ->
+               order := name :: !order;
+               Hashtbl.replace tbl name v
+           | Some prev -> if v < prev then Hashtbl.replace tbl name v)
        | _ -> ()
      done
    with End_of_file -> ());
   close_in ic;
+  List.rev_map (fun name -> (name, Hashtbl.find tbl name)) !order
+
+let read_baseline path =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (name, v) -> Hashtbl.replace tbl name v) (read_raw_ordered path);
   tbl
 
 let emit_json ~out ~baseline results fp =
@@ -227,6 +293,48 @@ let emit_json ~out ~baseline results fp =
       Buffer.add_string b (if i = n - 1 then "}\n" else "},\n"))
     results;
   Buffer.add_string b "  ],\n";
+  (* Observability overhead: for every kernel with a "+obs" twin, compare the
+     disabled path against the pre-observability baseline (must stay within
+     noise) and the enabled path against the disabled one (the price of a
+     live recorder). *)
+  let overheads =
+    List.filter_map
+      (fun (name, ns_on) ->
+        let l = String.length name in
+        if l > 4 && String.sub name (l - 4) 4 = "+obs" then
+          let base = String.sub name 0 (l - 4) in
+          match List.assoc_opt base results with
+          | Some ns_off -> Some (base, ns_off, ns_on)
+          | None -> None
+        else None)
+      results
+  in
+  if overheads <> [] then begin
+    Buffer.add_string b "  \"obs_overhead\": [\n";
+    let m = List.length overheads in
+    List.iteri
+      (fun i (base, ns_off, ns_on) ->
+        let vs_baseline =
+          match baseline with
+          | Some tbl -> (
+              match Hashtbl.find_opt tbl base with
+              | Some b0 ->
+                  Printf.sprintf ", \"disabled_vs_baseline_pct\": %.2f"
+                    (100. *. ((ns_off /. b0) -. 1.))
+              | None -> "")
+          | None -> ""
+        in
+        Buffer.add_string b
+          (Printf.sprintf
+             "    {\"kernel\": %S, \"disabled_ns_per_op\": %.2f, \
+              \"enabled_ns_per_op\": %.2f, \"enabled_overhead_pct\": %.2f%s}%s\n"
+             base ns_off ns_on
+             (100. *. ((ns_on /. ns_off) -. 1.))
+             vs_baseline
+             (if i = m - 1 then "" else ",")))
+      overheads;
+    Buffer.add_string b "  ],\n"
+  end;
   Buffer.add_string b "  \"semantics\": [\n";
   let m = List.length fp in
   List.iteri
@@ -268,12 +376,14 @@ let () =
        at JSON-emit time. *)
     let baseline = Option.map read_baseline (opt "--baseline") in
     let results =
-      List.map (fun k -> (k.name, time_kernel k)) (kernels ~smoke:false)
+      match opt "--from-raw" with
+      | Some path -> read_raw_ordered path
+      | None -> List.map (fun k -> (k.name, time_kernel k)) (kernels ~smoke:false)
     in
     List.iter (fun (name, ns) -> Printf.printf "%-24s %10.1f ns/op\n%!" name ns) results;
     (match opt "--raw" with
     | Some path ->
-        let oc = open_out path in
+        let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path in
         List.iter (fun (name, ns) -> Printf.fprintf oc "%s %.4f\n" name ns) results;
         close_out oc
     | None -> ());

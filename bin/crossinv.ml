@@ -63,15 +63,22 @@ let list_cmd =
 
 (* ---- run ---- *)
 
+let tech_arg =
+  Arg.(
+    value
+    & opt technique_conv Cx.Domore
+    & info [ "x"; "technique"; "k" ] ~docv:"TECH" ~doc:"Parallelization technique.")
+
 let run_cmd =
-  let run wl technique threads input verbose =
+  let run wl technique threads input verbose stats =
     match Cx.applicable technique wl with
     | Error reason ->
         Printf.printf "%s is inapplicable to %s: %s\n" (Cx.technique_name technique)
           wl.Wl.Workload.name reason;
         exit 1
     | Ok () ->
-        let o = Cx.execute ~input ~technique ~threads wl in
+        let obs = if stats then Some (Xinv_obs.Recorder.create ()) else None in
+        let o = Cx.execute ~input ?obs ~technique ~threads wl in
         Printf.printf "%s under %s, %d threads (input %s):\n" wl.Wl.Workload.name
           (Cx.technique_name technique) threads
           (Wl.Workload.input_name input);
@@ -85,21 +92,63 @@ let run_cmd =
         | Some prof when verbose ->
             Format.printf "  %a@." Xinv_speccross.Profiler.pp prof
         | _ -> ());
+        (match o.Cx.run with
+        | Some r when stats ->
+            Format.printf "%a@." Xinv_obs.Report.pp (Xinv_parallel.Run.report r)
+        | _ -> ());
         if not o.Cx.verified then exit 2
   in
   let wl_arg =
     Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
   in
-  let tech_arg =
-    Arg.(
-      value
-      & opt technique_conv Cx.Domore
-      & info [ "x"; "technique" ] ~docv:"TECH" ~doc:"Parallelization technique.")
-  in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Detailed stats.") in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Instrument the run and print the observability report.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under one technique and verify the result.")
-    Term.(const run $ wl_arg $ tech_arg $ threads_arg $ input_arg $ verbose)
+    Term.(const run $ wl_arg $ tech_arg $ threads_arg $ input_arg $ verbose $ stats)
+
+(* ---- stats ---- *)
+
+let stats_cmd =
+  let run wl technique threads input json csv =
+    match Cx.applicable technique wl with
+    | Error reason ->
+        Printf.eprintf "%s is inapplicable to %s: %s\n" (Cx.technique_name technique)
+          wl.Wl.Workload.name reason;
+        exit 1
+    | Ok () ->
+        let obs = Xinv_obs.Recorder.create () in
+        let o = Cx.execute ~input ~obs ~technique ~threads wl in
+        let r =
+          match o.Cx.run with
+          | Some r -> r
+          | None ->
+              Printf.eprintf "sequential execution has no stats\n";
+              exit 1
+        in
+        let report = Xinv_parallel.Run.report r in
+        if json then print_string (Xinv_obs.Report.to_json report)
+        else if csv then print_string (Xinv_obs.Report.to_csv report)
+        else Format.printf "%a@." Xinv_obs.Report.pp report
+  in
+  let wl_arg =
+    Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the xinv-stats/1 JSON document.")
+  in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit key,value CSV.") in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run one workload instrumented and print the stall/utilization report \
+          (text, --json or --csv).")
+    Term.(const run $ wl_arg $ tech_arg $ threads_arg $ input_arg $ json $ csv)
 
 (* ---- experiment ---- *)
 
@@ -200,13 +249,16 @@ let plan_cmd =
 (* ---- trace ---- *)
 
 let trace_cmd =
-  let run (wl : Wl.Workload.t) technique threads width =
+  let run (wl : Wl.Workload.t) technique threads width out =
     let program = wl.Wl.Workload.program Wl.Workload.Train in
     let env = wl.Wl.Workload.fresh_env Wl.Workload.Train in
+    let obs =
+      match out with Some _ -> Some (Xinv_obs.Recorder.create ()) | None -> None
+    in
     let r =
       match technique with
       | Cx.Barrier ->
-          Xinv_parallel.Barrier_exec.run ~trace:true ~threads
+          Xinv_parallel.Barrier_exec.run ~trace:true ?obs ~threads
             ~plan:(Wl.Workload.plan_fn wl) program env
       | Cx.Speccross ->
           let cfg =
@@ -217,13 +269,40 @@ let trace_cmd =
                   (Xinv_ir.Memory.bounds env.Xinv_ir.Env.mem);
             }
           in
-          Xinv_speccross.Runtime.run ~config:cfg ~trace:true program env
+          Xinv_speccross.Runtime.run ~config:cfg ?obs ~trace:true program env
+      | Cx.Domore -> (
+          match Xinv_ir.Mtcg.generate program env with
+          | Xinv_ir.Mtcg.Inapplicable reason ->
+              Printf.eprintf "DOMORE inapplicable to %s: %s\n" wl.Wl.Workload.name
+                reason;
+              exit 1
+          | Xinv_ir.Mtcg.Plan mplan ->
+              let config =
+                Xinv_domore.Domore.default_config ~workers:(Stdlib.max 1 (threads - 1))
+              in
+              Xinv_domore.Domore.run ~config ?obs ~trace:true ~plan:mplan program env)
       | _ ->
-          prerr_endline "trace supports -x barrier and -x speccross";
+          prerr_endline "trace supports -x barrier, -x domore and -x speccross";
           exit 1
     in
-    print_endline
-      (Xinv_sim.Trace.render ~width (Xinv_sim.Engine.segments r.Xinv_parallel.Run.engine))
+    match out with
+    | Some path ->
+        let json =
+          Xinv_obs.Perfetto.to_json
+            ~process_name:
+              (Printf.sprintf "crossinv %s %s" wl.Wl.Workload.name
+                 (Cx.technique_name technique))
+            ~engine:r.Xinv_parallel.Run.engine ?recorder:obs ()
+        in
+        let oc = open_out path in
+        output_string oc json;
+        close_out oc;
+        Printf.printf "wrote %s (open in https://ui.perfetto.dev or chrome://tracing)\n"
+          path
+    | None ->
+        print_endline
+          (Xinv_sim.Trace.render ~width
+             (Xinv_sim.Engine.segments r.Xinv_parallel.Run.engine))
   in
   let wl_arg =
     Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
@@ -232,15 +311,24 @@ let trace_cmd =
     Arg.(
       value
       & opt technique_conv Cx.Barrier
-      & info [ "x"; "technique" ] ~docv:"TECH" ~doc:"barrier or speccross.")
+      & info [ "x"; "technique"; "k" ] ~docv:"TECH" ~doc:"barrier or speccross.")
   in
   let width =
     Arg.(value & opt int 40 & info [ "rows" ] ~docv:"N" ~doc:"Timeline rows.")
   in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write a Chrome/Perfetto trace_event JSON file instead of the timeline.")
+  in
   Cmd.v
     (Cmd.info "trace"
-       ~doc:"Render the execution plan of a (train-scale) run as a timeline.")
-    Term.(const run $ wl_arg $ tech_arg $ threads_arg $ width)
+       ~doc:
+         "Render the execution plan of a (train-scale) run as a timeline, or export \
+          it as a Perfetto trace with --out.")
+    Term.(const run $ wl_arg $ tech_arg $ threads_arg $ width $ out)
 
 let main =
   Cmd.group
@@ -248,6 +336,7 @@ let main =
        ~doc:
          "Cross-invocation parallelism using runtime information: DOMORE and \
           SPECCROSS on a simulated multicore.")
-    [ list_cmd; run_cmd; experiment_cmd; all_cmd; profile_cmd; plan_cmd; trace_cmd ]
+    [ list_cmd; run_cmd; stats_cmd; experiment_cmd; all_cmd; profile_cmd; plan_cmd;
+      trace_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -74,8 +74,8 @@ let sequential_cost (wl : Wl.Workload.t) input =
   (Ir.Seq_interp.run (wl.Wl.Workload.program input) env, env)
 
 let execute ?(machine = Sim.Machine.default) ?(input = Wl.Workload.Ref)
-    ?(checkpoint_every = 1000) ?(verify = true) ~technique ~threads (wl : Wl.Workload.t)
-    =
+    ?(checkpoint_every = 1000) ?(verify = true) ?obs ~technique ~threads
+    (wl : Wl.Workload.t) =
   assert (threads > 0);
   let program = wl.Wl.Workload.program input in
   let seq_cost, seq_env = sequential_cost wl input in
@@ -84,9 +84,10 @@ let execute ?(machine = Sim.Machine.default) ?(input = Wl.Workload.Ref)
   let run, profile =
     match technique with
     | Sequential -> (None, None)
-    | Barrier -> (Some (Par.Barrier_exec.run ~machine ~threads ~plan program env), None)
-    | Doacross -> (Some (Par.Doacross.run ~machine ~threads program env), None)
-    | Dswp -> (Some (Par.Dswp.run ~machine ~threads program env), None)
+    | Barrier ->
+        (Some (Par.Barrier_exec.run ~machine ?obs ~threads ~plan program env), None)
+    | Doacross -> (Some (Par.Doacross.run ~machine ?obs ~threads program env), None)
+    | Dswp -> (Some (Par.Dswp.run ~machine ?obs ~threads program env), None)
     | Inspector -> (
         match Ir.Mtcg.generate program env with
         | Ir.Mtcg.Inapplicable reason ->
@@ -117,7 +118,7 @@ let execute ?(machine = Sim.Machine.default) ?(input = Wl.Workload.Ref)
                 workers;
               }
             in
-            (Some (Xinv_domore.Domore.run ~config ~plan:mplan program env), None))
+            (Some (Xinv_domore.Domore.run ~config ?obs ~plan:mplan program env), None))
     | Domore_dup -> (
         match Ir.Mtcg.generate program env with
         | Ir.Mtcg.Inapplicable reason ->
@@ -132,7 +133,7 @@ let execute ?(machine = Sim.Machine.default) ?(input = Wl.Workload.Ref)
                 workers = threads;
               }
             in
-            (Some (Xinv_domore.Duplicated.run ~config ~plan:mplan program env), None))
+            (Some (Xinv_domore.Duplicated.run ~config ?obs ~plan:mplan program env), None))
     | Speccross | Speccross_inject _ ->
         let train_input =
           match input with
@@ -147,7 +148,7 @@ let execute ?(machine = Sim.Machine.default) ?(input = Wl.Workload.Ref)
         if not (Xinv_speccross.Profiler.profitable prof ~workers) then
           (* §4.4: a minimum dependence distance below the worker count
              recommends against speculating — fall back to real barriers. *)
-          ( Some (Par.Barrier_exec.run ~machine ~threads ~plan program env),
+          ( Some (Par.Barrier_exec.run ~machine ?obs ~threads ~plan program env),
             Some prof )
         else
           let inject =
@@ -176,7 +177,7 @@ let execute ?(machine = Sim.Machine.default) ?(input = Wl.Workload.Ref)
               tm_style = false;
             }
           in
-          (Some (Xinv_speccross.Runtime.run ~config program env), Some prof)
+          (Some (Xinv_speccross.Runtime.run ~config ?obs program env), Some prof)
   in
   let mismatches =
     if verify && technique <> Sequential then

@@ -45,6 +45,7 @@ val execute :
   ?input:Xinv_workloads.Workload.input ->
   ?checkpoint_every:int ->
   ?verify:bool ->
+  ?obs:Xinv_obs.Recorder.t ->
   technique:technique ->
   threads:int ->
   Xinv_workloads.Workload.t ->
@@ -52,7 +53,13 @@ val execute :
 (** Runs the workload under the technique with [threads] simulated cores
     total (DOMORE: 1 scheduler + workers; SPECCROSS: workers + 1 checker).
     SPECCROSS profiles the train input first, as the paper's toolchain
-    does.  @raise Failure when the technique is inapplicable. *)
+    does.  With [?obs], the run is instrumented: the recorder collects
+    typed events and metrics (retrievable via [Run.report] on the
+    outcome's run, which also carries the recorder).  Recording consumes no
+    virtual time — results are bit-identical with and without it.
+    Inspector and TLS predate the event log and only surface
+    engine-derived accounting.  @raise Failure when the technique is
+    inapplicable. *)
 
 val spec_mode_of_plan :
   Xinv_workloads.Workload.t -> string -> Xinv_speccross.Runtime.mode

@@ -11,13 +11,23 @@ type msg =
   | Sync of Rt.Sync_cond.t
   | Do of { t : int; j : int; inner : int; iter : int }
 
-let run ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
+let run ?config ?obs ?(trace = false) ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
   let config = match config with Some c -> c | None -> default_config ~workers:3 in
   let { machine; policy; workers } = config in
   assert (workers > 0);
   if plan.Ir.Mtcg.scheduler_extra <> [] then
     invalid_arg "Domore.run: body statements re-partitioned into the scheduler";
-  let eng = Sim.Engine.create () in
+  let module Obs = Xinv_obs in
+  let m_conds, m_dispatched, h_occupancy =
+    match obs with
+    | Some o ->
+        let m = Obs.Recorder.metrics o in
+        ( Some (Obs.Metrics.counter m "domore.sync_conds_forwarded"),
+          Some (Obs.Metrics.counter m "domore.tasks_dispatched"),
+          Some (Obs.Metrics.histogram m "domore.queue_occupancy") )
+    | None -> (None, None, None)
+  in
+  let eng = Sim.Engine.create ~trace () in
   let queues =
     Array.init workers (fun _ ->
         Sim.Channel.create ~produce_cost:machine.Sim.Machine.queue_produce
@@ -63,6 +73,17 @@ let run ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
             for w = 0 to workers - 1 do
               loads.(w) <- Sim.Channel.length queues.(w)
             done;
+            (match obs with
+            | None -> ()
+            | Some o ->
+                let at = Sim.Proc.now () in
+                for w = 0 to workers - 1 do
+                  (match h_occupancy with
+                  | Some h -> Obs.Metrics.observe h (float_of_int loads.(w))
+                  | None -> ());
+                  Obs.Recorder.record o ~at ~tid:0
+                    (Obs.Event.Queue_sampled { queue = w; len = loads.(w) })
+                done);
             let tid =
               Policy.pick policy ~loads:loads_opt ~mem:env.Ir.Env.mem ~threads:workers
                 ~iter:!iternum ~write_addrs:waddrs
@@ -77,9 +98,22 @@ let run ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
             Rt.Shadow.Deps.iter
               (fun ~tid:dt ~iter:di ->
                 incr conds;
+                (match obs with
+                | None -> ()
+                | Some o ->
+                    (match m_conds with Some c -> Obs.Metrics.incr c | None -> ());
+                    Obs.Recorder.record o ~at:(Sim.Proc.now ()) ~tid:0
+                      (Obs.Event.Sync_forwarded
+                         { to_tid = tid; dep_tid = dt; dep_iter = di }));
                 Sim.Channel.produce queues.(tid)
                   (Sync (Rt.Sync_cond.Wait { dep_tid = dt; dep_iter = di })))
               deps;
+            (match obs with
+            | None -> ()
+            | Some o ->
+                (match m_dispatched with Some c -> Obs.Metrics.incr c | None -> ());
+                Obs.Recorder.record o ~at:(Sim.Proc.now ()) ~tid:0
+                  (Obs.Event.Task_dispatched { iter = !iternum; to_tid = tid }));
             Sim.Channel.produce queues.(tid) (Do { t; j; inner = ii; iter = !iternum });
             incr iternum
           done)
@@ -88,13 +122,36 @@ let run ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
     Array.iter (fun q -> Sim.Channel.produce q (Sync Rt.Sync_cond.End_token)) queues
   in
   let worker w () =
+    (* Engine tid of worker [w]: the scheduler is spawned first as thread 0. *)
+    let tid = w + 1 in
+    let consume q =
+      match obs with
+      | None -> Sim.Channel.consume q
+      | Some o ->
+          let t0 = Sim.Proc.now () in
+          let msg = Sim.Channel.consume q in
+          let dur = Sim.Proc.now () -. t0 -. machine.Sim.Machine.queue_consume in
+          if dur > 0. then
+            Obs.Recorder.record o ~at:(Sim.Proc.now ()) ~tid
+              (Obs.Event.Worker_stalled { cause = Obs.Event.Queue_empty; dur });
+          msg
+    in
     let continue_ = ref true in
     while !continue_ do
-      match Sim.Channel.consume queues.(w) with
+      match consume queues.(w) with
       | Sync Rt.Sync_cond.End_token -> continue_ := false
       | Sync (Rt.Sync_cond.No_sync _) -> ()
-      | Sync (Rt.Sync_cond.Wait { dep_tid; dep_iter }) ->
-          Sim.Mono_cell.wait_ge ~cat:Sim.Category.Sync_wait cells.(dep_tid) dep_iter
+      | Sync (Rt.Sync_cond.Wait { dep_tid; dep_iter }) -> (
+          match obs with
+          | None ->
+              Sim.Mono_cell.wait_ge ~cat:Sim.Category.Sync_wait cells.(dep_tid) dep_iter
+          | Some o ->
+              let t0 = Sim.Proc.now () in
+              Sim.Mono_cell.wait_ge ~cat:Sim.Category.Sync_wait cells.(dep_tid) dep_iter;
+              let dur = Sim.Proc.now () -. t0 in
+              if dur > 0. then
+                Obs.Recorder.record o ~at:(Sim.Proc.now ()) ~tid
+                  (Obs.Event.Worker_stalled { cause = Obs.Event.Sync_cond; dur }))
       | Do { t; j; inner; iter } ->
           let il = bodies.(inner) in
           let env_j = Ir.Env.with_inner (Ir.Env.with_outer env t) j in
@@ -113,12 +170,12 @@ let run ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
   Sim.Engine.run eng;
   Xinv_parallel.Run.make ~technique:"DOMORE" ~threads:(workers + 1)
     ~makespan:(Sim.Engine.now eng) ~engine:eng ~tasks:!iternum
-    ~invocations:(Ir.Program.invocations p) ~checks:!conds ()
+    ~invocations:(Ir.Program.invocations p) ~checks:!conds ?recorder:obs ()
 
-let transform_and_run ?config (p : Ir.Program.t) env =
+let transform_and_run ?config ?obs (p : Ir.Program.t) env =
   match Ir.Mtcg.generate p env with
   | Ir.Mtcg.Inapplicable reason -> Error reason
-  | Ir.Mtcg.Plan plan -> Ok (run ?config ~plan p env)
+  | Ir.Mtcg.Plan plan -> Ok (run ?config ?obs ~plan p env)
 
 let scheduler_worker_ratio (r : Xinv_parallel.Run.t) =
   let eng = r.Xinv_parallel.Run.engine in

@@ -18,17 +18,23 @@ val default_config : workers:int -> config
 
 val run :
   ?config:config ->
+  ?obs:Xinv_obs.Recorder.t ->
+  ?trace:bool ->
   plan:Xinv_ir.Mtcg.plan ->
   Xinv_ir.Program.t ->
   Xinv_ir.Env.t ->
   Xinv_parallel.Run.t
 (** Simulates DOMORE execution; mutates the environment's memory to the
     final program state.  The scheduler is simulated thread 0, workers are
-    threads 1..workers.  @raise Invalid_argument if the plan re-partitioned
-    body statements into the scheduler (unsupported degenerate case). *)
+    threads 1..workers.  With [?obs], sync-condition forwarding, task
+    dispatch, queue occupancy and worker stalls are recorded; recording
+    consumes no virtual time, so the run is bit-identical with and without
+    it.  @raise Invalid_argument if the plan re-partitioned body statements
+    into the scheduler (unsupported degenerate case). *)
 
 val transform_and_run :
   ?config:config ->
+  ?obs:Xinv_obs.Recorder.t ->
   Xinv_ir.Program.t ->
   Xinv_ir.Env.t ->
   (Xinv_parallel.Run.t, string) result

@@ -3,7 +3,8 @@ module Ir = Xinv_ir
 module Rt = Xinv_runtime
 
 let iteration_executor ~(config : Domore.config) ~(plan : Ir.Mtcg.plan) ~cells ~shadow
-    ?deps ~iternum ~tid env (il : Ir.Program.inner) =
+    ?deps ?obs ~iternum ~tid env (il : Ir.Program.inner) =
+  let module Obs = Xinv_obs in
   let machine = config.Domore.machine in
   let slice = Ir.Mtcg.slice_for plan il.Ir.Program.ilabel in
   (* Duplicated scheduling work: every thread pays it for every iteration. *)
@@ -30,7 +31,20 @@ let iteration_executor ~(config : Domore.config) ~(plan : Ir.Mtcg.plan) ~cells ~
       (float_of_int (Rt.Shadow.Deps.length deps)
       *. (machine.Sim.Machine.queue_produce +. machine.Sim.Machine.queue_consume));
     Rt.Shadow.Deps.iter
-      (fun ~tid:dt ~iter:di -> Sim.Mono_cell.wait_ge ~cat:Sim.Category.Sync_wait cells.(dt) di)
+      (fun ~tid:dt ~iter:di ->
+        match obs with
+        | None -> Sim.Mono_cell.wait_ge ~cat:Sim.Category.Sync_wait cells.(dt) di
+        | Some o ->
+            Obs.Metrics.incr
+              (Obs.Metrics.counter (Obs.Recorder.metrics o) "domore.sync_conds_forwarded");
+            Obs.Recorder.record o ~at:(Sim.Proc.now ()) ~tid
+              (Obs.Event.Sync_forwarded { to_tid = tid; dep_tid = dt; dep_iter = di });
+            let t0 = Sim.Proc.now () in
+            Sim.Mono_cell.wait_ge ~cat:Sim.Category.Sync_wait cells.(dt) di;
+            let dur = Sim.Proc.now () -. t0 in
+            if dur > 0. then
+              Obs.Recorder.record o ~at:(Sim.Proc.now ()) ~tid
+                (Obs.Event.Worker_stalled { cause = Obs.Event.Sync_cond; dur }))
       deps;
     List.iter
       (fun (s : Ir.Stmt.t) ->
@@ -41,7 +55,7 @@ let iteration_executor ~(config : Domore.config) ~(plan : Ir.Mtcg.plan) ~cells ~
   end;
   incr iternum
 
-let run ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
+let run ?config ?obs ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
   let config = match config with Some c -> c | None -> Domore.default_config ~workers:4 in
   let workers = config.Domore.workers in
   assert (workers > 0);
@@ -74,7 +88,7 @@ let run ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
           let trip = il.Ir.Program.trip env_t in
           if tid = 0 then tasks := !tasks + trip;
           for j = 0 to trip - 1 do
-            iteration_executor ~config ~plan ~cells ~shadow ~deps ~iternum ~tid
+            iteration_executor ~config ~plan ~cells ~shadow ~deps ?obs ~iternum ~tid
               (Ir.Env.with_inner env_t j) il
           done)
         p.Ir.Program.inners
@@ -86,4 +100,4 @@ let run ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
   Sim.Engine.run eng;
   Xinv_parallel.Run.make ~technique:"DOMORE-dup" ~threads:workers
     ~makespan:(Sim.Engine.now eng) ~engine:eng ~tasks:!tasks
-    ~invocations:(Ir.Program.invocations p) ()
+    ~invocations:(Ir.Program.invocations p) ?recorder:obs ()

@@ -9,6 +9,7 @@
 
 val run :
   ?config:Domore.config ->
+  ?obs:Xinv_obs.Recorder.t ->
   plan:Xinv_ir.Mtcg.plan ->
   Xinv_ir.Program.t ->
   Xinv_ir.Env.t ->
@@ -21,6 +22,7 @@ val iteration_executor :
   cells:Xinv_sim.Mono_cell.t array ->
   shadow:Xinv_runtime.Shadow.t ->
   ?deps:Xinv_runtime.Shadow.Deps.t ->
+  ?obs:Xinv_obs.Recorder.t ->
   iternum:int ref ->
   tid:int ->
   Xinv_ir.Env.t ->

@@ -1,0 +1,57 @@
+type stall_cause =
+  | Sync_cond
+  | Barrier
+  | Queue_empty
+  | Checker_lag
+  | Checkpoint_wait
+
+let stall_cause_name = function
+  | Sync_cond -> "sync-cond"
+  | Barrier -> "barrier"
+  | Queue_empty -> "queue-empty"
+  | Checker_lag -> "checker-lag"
+  | Checkpoint_wait -> "checkpoint-wait"
+
+let all_stall_causes = [ Sync_cond; Barrier; Queue_empty; Checker_lag; Checkpoint_wait ]
+
+type t =
+  | Sync_forwarded of { to_tid : int; dep_tid : int; dep_iter : int }
+  | Worker_stalled of { cause : stall_cause; dur : float }
+  | Queue_sampled of { queue : int; len : int }
+  | Task_dispatched of { iter : int; to_tid : int }
+  | Epoch_committed of { epoch : int }
+  | Misspeculated of { epoch : int; worker : int }
+  | Recovery_finished of { dur : float; epochs_redone : int }
+  | Checkpoint_forked of { epoch : int }
+  | Signature_checked of { worker : int; epoch : int; window : int; conflict : bool }
+  | Barrier_crossed of { episode : int }
+
+let name = function
+  | Sync_forwarded _ -> "sync_forwarded"
+  | Worker_stalled _ -> "worker_stalled"
+  | Queue_sampled _ -> "queue_sampled"
+  | Task_dispatched _ -> "task_dispatched"
+  | Epoch_committed _ -> "epoch_committed"
+  | Misspeculated _ -> "misspeculated"
+  | Recovery_finished _ -> "recovery_finished"
+  | Checkpoint_forked _ -> "checkpoint_forked"
+  | Signature_checked _ -> "signature_checked"
+  | Barrier_crossed _ -> "barrier_crossed"
+
+type arg = I of int | F of float | B of bool | S of string
+
+let args = function
+  | Sync_forwarded { to_tid; dep_tid; dep_iter } ->
+      [ ("to_tid", I to_tid); ("dep_tid", I dep_tid); ("dep_iter", I dep_iter) ]
+  | Worker_stalled { cause; dur } ->
+      [ ("cause", S (stall_cause_name cause)); ("dur", F dur) ]
+  | Queue_sampled { queue; len } -> [ ("queue", I queue); ("len", I len) ]
+  | Task_dispatched { iter; to_tid } -> [ ("iter", I iter); ("to_tid", I to_tid) ]
+  | Epoch_committed { epoch } -> [ ("epoch", I epoch) ]
+  | Misspeculated { epoch; worker } -> [ ("epoch", I epoch); ("worker", I worker) ]
+  | Recovery_finished { dur; epochs_redone } ->
+      [ ("dur", F dur); ("epochs_redone", I epochs_redone) ]
+  | Checkpoint_forked { epoch } -> [ ("epoch", I epoch) ]
+  | Signature_checked { worker; epoch; window; conflict } ->
+      [ ("worker", I worker); ("epoch", I epoch); ("window", I window); ("conflict", B conflict) ]
+  | Barrier_crossed { episode } -> [ ("episode", I episode) ]

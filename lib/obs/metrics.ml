@@ -1,0 +1,94 @@
+type counter = { c_name : string; mutable c_value : int }
+
+type gauge = { g_name : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  bounds : float array;
+  counts : int array;
+  mutable h_count : int;
+  mutable h_sum : float;
+}
+
+(* Registration-order lists, newest first; readers reverse.  Registration is
+   cold (once per run per name), so the linear duplicate scan is fine. *)
+type t = {
+  mutable cs : counter list;
+  mutable gs : gauge list;
+  mutable hs : histogram list;
+}
+
+let create () = { cs = []; gs = []; hs = [] }
+
+let counter t name =
+  match List.find_opt (fun c -> c.c_name = name) t.cs with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      t.cs <- c :: t.cs;
+      c
+
+let gauge t name =
+  match List.find_opt (fun g -> g.g_name = name) t.gs with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; g_value = 0. } in
+      t.gs <- g :: t.gs;
+      g
+
+let default_bounds = Array.init 13 (fun i -> float_of_int (1 lsl i))
+
+let histogram t ?(bounds = default_bounds) name =
+  match List.find_opt (fun h -> h.h_name = name) t.hs with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          h_name = name;
+          bounds;
+          counts = Array.make (Array.length bounds + 1) 0;
+          h_count = 0;
+          h_sum = 0.;
+        }
+      in
+      t.hs <- h :: t.hs;
+      h
+
+let incr c = c.c_value <- c.c_value + 1
+
+let add c n = c.c_value <- c.c_value + n
+
+let set g v = g.g_value <- v
+
+let acc g v = g.g_value <- g.g_value +. v
+
+let observe h v =
+  let n = Array.length h.bounds in
+  let rec bucket i = if i >= n || v <= h.bounds.(i) then i else bucket (i + 1) in
+  let i = bucket 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v
+
+let quantile h q =
+  if h.h_count = 0 then 0.
+  else begin
+    let target = q *. float_of_int h.h_count in
+    let acc = ref 0 and res = ref None in
+    Array.iteri
+      (fun i c ->
+        if !res = None then begin
+          acc := !acc + c;
+          if float_of_int !acc >= target then
+            res :=
+              Some (if i < Array.length h.bounds then h.bounds.(i) else infinity)
+        end)
+      h.counts;
+    match !res with Some v -> v | None -> infinity
+  end
+
+let counters t = List.rev_map (fun c -> (c.c_name, c.c_value)) t.cs
+
+let gauges t = List.rev_map (fun g -> (g.g_name, g.g_value)) t.gs
+
+let histograms t = List.rev t.hs

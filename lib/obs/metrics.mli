@@ -1,0 +1,54 @@
+(** Named counters, gauges and fixed-bucket histograms.
+
+    Registration ([counter], [gauge], [histogram]) is the cold path and may
+    scan the registry; instrumented code pre-registers handles once and the
+    per-event operations ([incr], [add], [set], [acc], [observe]) are O(1)
+    field updates with no lookups and no allocation. *)
+
+type counter = { c_name : string; mutable c_value : int }
+
+type gauge = { g_name : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  bounds : float array;
+      (** strictly increasing bucket upper bounds; an implicit overflow
+          bucket collects observations above the last bound *)
+  counts : int array;  (** length [Array.length bounds + 1] *)
+  mutable h_count : int;
+  mutable h_sum : float;
+}
+
+type t
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Registers (or returns the already-registered) counter under this name. *)
+
+val gauge : t -> string -> gauge
+
+val histogram : t -> ?bounds:float array -> string -> histogram
+(** Default bounds are powers of two from 1 to 4096. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val set : gauge -> float -> unit
+
+val acc : gauge -> float -> unit
+(** Accumulate: [acc g x] adds [x] to the gauge (cycle totals). *)
+
+val observe : histogram -> float -> unit
+
+val quantile : histogram -> float -> float
+(** [quantile h q] returns the upper bound of the bucket containing the
+    [q]-quantile (0 when the histogram is empty). *)
+
+val counters : t -> (string * int) list
+(** Registration order. *)
+
+val gauges : t -> (string * float) list
+
+val histograms : t -> histogram list

@@ -1,0 +1,93 @@
+module Sim = Xinv_sim
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* All numbers as plain floats: trace_event timestamps are microseconds and
+   fractional values are accepted by both importers. *)
+let num f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.3f" f
+
+let add_args b args =
+  Buffer.add_string b "\"args\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":" (escape k));
+      match v with
+      | Event.I n -> Buffer.add_string b (string_of_int n)
+      | Event.F f -> Buffer.add_string b (num f)
+      | Event.B v -> Buffer.add_string b (if v then "true" else "false")
+      | Event.S s -> Buffer.add_string b (Printf.sprintf "\"%s\"" (escape s)))
+    args;
+  Buffer.add_char b '}'
+
+let to_json ?(process_name = "crossinv-sim") ~engine ?recorder () =
+  let b = Buffer.create 65536 in
+  let first = ref true in
+  let event emit =
+    if !first then first := false else Buffer.add_string b ",\n";
+    Buffer.add_string b "    {";
+    emit ();
+    Buffer.add_char b '}'
+  in
+  Buffer.add_string b "{\n  \"traceEvents\": [\n";
+  event (fun () ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"ts\":0,");
+      add_args b [ ("name", Event.S process_name) ]);
+  for tid = 0 to Sim.Engine.thread_count engine - 1 do
+    event (fun () ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"ts\":0," tid);
+        add_args b [ ("name", Event.S (Sim.Engine.name_of engine tid)) ])
+  done;
+  List.iter
+    (fun (seg : Sim.Trace.segment) ->
+      event (fun () ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":0,\"tid\":%d"
+               (escape seg.Sim.Trace.label)
+               (escape (Sim.Category.to_string seg.Sim.Trace.cat))
+               (num seg.Sim.Trace.t_start)
+               (num (seg.Sim.Trace.t_end -. seg.Sim.Trace.t_start))
+               seg.Sim.Trace.tid)))
+    (Sim.Engine.segments engine);
+  (match recorder with
+  | None -> ()
+  | Some r ->
+      Recorder.iter
+        (fun (e : Recorder.entry) ->
+          match e.Recorder.ev with
+          | Event.Queue_sampled { queue; len } ->
+              event (fun () ->
+                  Buffer.add_string b
+                    (Printf.sprintf
+                       "\"name\":\"queue%d\",\"ph\":\"C\",\"ts\":%s,\"pid\":0,\"tid\":%d,"
+                       queue (num e.Recorder.at) e.Recorder.tid);
+                  add_args b [ ("len", Event.I len) ])
+          | ev ->
+              event (fun () ->
+                  Buffer.add_string b
+                    (Printf.sprintf
+                       "\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":0,\"tid\":%d,"
+                       (Event.name ev) (num e.Recorder.at) e.Recorder.tid);
+                  add_args b (Event.args ev)))
+        r);
+  Buffer.add_string b "\n  ],\n  \"displayTimeUnit\": \"ms\"\n}\n";
+  Buffer.contents b

@@ -1,0 +1,19 @@
+(** Chrome/Perfetto [trace_event] JSON export.
+
+    Builds one process with one track per simulated thread: engine trace
+    segments become duration events ([ph:"X"]), typed {!Event} records become
+    instant events ([ph:"i"]) on the recording thread's track, and
+    [Queue_sampled] records become counter events ([ph:"C"]) so Perfetto
+    draws queue occupancy as a graph.  Simulated cycles are exported as
+    microseconds.  The output loads in https://ui.perfetto.dev and in
+    [chrome://tracing]. *)
+
+val to_json :
+  ?process_name:string ->
+  engine:Xinv_sim.Engine.t ->
+  ?recorder:Recorder.t ->
+  unit ->
+  string
+(** The engine provides thread names and (when created with [~trace:true])
+    the duration segments; the recorder, when given, provides instant and
+    counter events. *)

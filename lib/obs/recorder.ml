@@ -1,0 +1,33 @@
+type entry = { at : float; tid : int; ev : Event.t }
+
+type t = { mutable log : entry array; mutable len : int; metrics : Metrics.t }
+
+let dummy_entry = { at = 0.; tid = -1; ev = Event.Barrier_crossed { episode = -1 } }
+
+let create () = { log = [||]; len = 0; metrics = Metrics.create () }
+
+let record t ~at ~tid ev =
+  if t.len = Array.length t.log then begin
+    let ncap = Stdlib.max 256 (2 * t.len) in
+    let narr = Array.make ncap dummy_entry in
+    Array.blit t.log 0 narr 0 t.len;
+    t.log <- narr
+  end;
+  t.log.(t.len) <- { at; tid; ev };
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let entries t =
+  let acc = ref [] in
+  for i = t.len - 1 downto 0 do
+    acc := t.log.(i) :: !acc
+  done;
+  !acc
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.log.(i)
+  done
+
+let metrics t = t.metrics

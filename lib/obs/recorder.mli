@@ -1,0 +1,28 @@
+(** The observability collection point threaded through the runtimes.
+
+    Holds the typed event log (a flat growable array, recorded with simulated
+    timestamps) and the {!Metrics} registry.  Recording consumes no virtual
+    time and performs no effects, so a run with a recorder attached is
+    bit-identical (makespan, tasks, checks, misspeculations) to the same run
+    without one — the property test in [test_obs.ml] pins this.
+
+    Observability is off by default: executors take the recorder as an
+    optional argument and instrumented sites guard on its presence, so the
+    disabled path costs one pattern match. *)
+
+type entry = { at : float;  (** simulated time *) tid : int; ev : Event.t }
+
+type t
+
+val create : unit -> t
+
+val record : t -> at:float -> tid:int -> Event.t -> unit
+
+val length : t -> int
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val iter : (entry -> unit) -> t -> unit
+
+val metrics : t -> Metrics.t

@@ -1,0 +1,320 @@
+module Sim = Xinv_sim
+
+type thread_report = {
+  tid : int;
+  thread_name : string;
+  busy : float;
+  work : float;
+  stall : float;
+  utilization : float;
+}
+
+type percentiles = { p50 : float; p90 : float; p99 : float; pmax : float }
+
+type t = {
+  makespan : float;
+  threads : int;
+  utilization : float;
+  per_thread : thread_report list;
+  stall_by_cause : (string * float) list;
+  stall_events : (string * float) list;
+  sync_forwarded : int;
+  queue_occupancy : percentiles option;
+  epochs_committed : int;
+  misspeculations : int;
+  recovery_cycles : float;
+  epochs_redone : int;
+  checkpoints : int;
+  signature_checks : int;
+  signatures_compared : int;
+  barrier_crossings : int;
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  events_logged : int;
+}
+
+let stall_categories =
+  [
+    Sim.Category.Barrier_wait;
+    Sim.Category.Sync_wait;
+    Sim.Category.Queue;
+    Sim.Category.Checker;
+    Sim.Category.Checkpoint;
+  ]
+
+let percentile_of_sorted arr q =
+  let n = Array.length arr in
+  if n = 0 then 0.
+  else arr.(Stdlib.min (n - 1) (int_of_float (q *. float_of_int n)))
+
+let build ~engine ?recorder () =
+  let makespan = Sim.Engine.now engine in
+  let threads = Sim.Engine.thread_count engine in
+  let per_thread =
+    List.init threads (fun tid ->
+        let work =
+          Sim.Engine.charged engine tid Sim.Category.Work
+          +. Sim.Engine.charged engine tid Sim.Category.Sequential
+        in
+        let stall =
+          List.fold_left
+            (fun acc cat -> acc +. Sim.Engine.charged engine tid cat)
+            0. stall_categories
+        in
+        {
+          tid;
+          thread_name = Sim.Engine.name_of engine tid;
+          busy = Sim.Engine.busy engine tid;
+          work;
+          stall;
+          utilization = (if makespan > 0. then work /. makespan else 0.);
+        })
+  in
+  let stall_by_cause =
+    List.map
+      (fun cat -> (Sim.Category.to_string cat, Sim.Engine.total engine cat))
+      stall_categories
+  in
+  let total_work =
+    Sim.Engine.total engine Sim.Category.Work
+    +. Sim.Engine.total engine Sim.Category.Sequential
+  in
+  let capacity = float_of_int threads *. makespan in
+  (* Event-derived aggregates. *)
+  let sync_forwarded = ref 0 in
+  let epochs_committed = ref 0 in
+  let misspeculations = ref 0 in
+  let recovery_cycles = ref 0. in
+  let epochs_redone = ref 0 in
+  let checkpoints = ref 0 in
+  let signature_checks = ref 0 in
+  let signatures_compared = ref 0 in
+  let barrier_crossings = ref 0 in
+  let queue_samples = ref [] in
+  let nqueue_samples = ref 0 in
+  let stall_tbl = Hashtbl.create 8 in
+  (match recorder with
+  | None -> ()
+  | Some r ->
+      Recorder.iter
+        (fun (e : Recorder.entry) ->
+          match e.Recorder.ev with
+          | Event.Sync_forwarded _ -> incr sync_forwarded
+          | Event.Worker_stalled { cause; dur } ->
+              let k = Event.stall_cause_name cause in
+              let cur = try Hashtbl.find stall_tbl k with Not_found -> 0. in
+              Hashtbl.replace stall_tbl k (cur +. dur)
+          | Event.Queue_sampled { len; _ } ->
+              queue_samples := float_of_int len :: !queue_samples;
+              incr nqueue_samples
+          | Event.Task_dispatched _ -> ()
+          | Event.Epoch_committed _ -> incr epochs_committed
+          | Event.Misspeculated _ -> incr misspeculations
+          | Event.Recovery_finished { dur; epochs_redone = n } ->
+              recovery_cycles := !recovery_cycles +. dur;
+              epochs_redone := !epochs_redone + n
+          | Event.Checkpoint_forked _ -> incr checkpoints
+          | Event.Signature_checked { window; _ } ->
+              incr signature_checks;
+              signatures_compared := !signatures_compared + window
+          | Event.Barrier_crossed _ -> incr barrier_crossings)
+        r);
+  let stall_events =
+    List.filter_map
+      (fun cause ->
+        let k = Event.stall_cause_name cause in
+        match Hashtbl.find_opt stall_tbl k with Some v -> Some (k, v) | None -> None)
+      Event.all_stall_causes
+  in
+  let queue_occupancy =
+    if !nqueue_samples = 0 then None
+    else begin
+      let arr = Array.of_list !queue_samples in
+      Array.sort compare arr;
+      Some
+        {
+          p50 = percentile_of_sorted arr 0.50;
+          p90 = percentile_of_sorted arr 0.90;
+          p99 = percentile_of_sorted arr 0.99;
+          pmax = arr.(Array.length arr - 1);
+        }
+    end
+  in
+  {
+    makespan;
+    threads;
+    utilization = (if capacity > 0. then total_work /. capacity else 0.);
+    per_thread;
+    stall_by_cause;
+    stall_events;
+    sync_forwarded = !sync_forwarded;
+    queue_occupancy;
+    epochs_committed = !epochs_committed;
+    misspeculations = !misspeculations;
+    recovery_cycles = !recovery_cycles;
+    epochs_redone = !epochs_redone;
+    checkpoints = !checkpoints;
+    signature_checks = !signature_checks;
+    signatures_compared = !signatures_compared;
+    barrier_crossings = !barrier_crossings;
+    counters = (match recorder with Some r -> Metrics.counters (Recorder.metrics r) | None -> []);
+    gauges = (match recorder with Some r -> Metrics.gauges (Recorder.metrics r) | None -> []);
+    events_logged = (match recorder with Some r -> Recorder.length r | None -> 0);
+  }
+
+let pct part whole = if whole > 0. then 100. *. part /. whole else 0.
+
+let pp ppf t =
+  let capacity = float_of_int t.threads *. t.makespan in
+  Format.fprintf ppf "@[<v>makespan %.0f cycles, %d threads, %d events logged@,"
+    t.makespan t.threads t.events_logged;
+  Format.fprintf ppf "utilization      %.1f%%@," (100. *. t.utilization);
+  Format.fprintf ppf "sync-conditions forwarded  %d@," t.sync_forwarded;
+  Format.fprintf ppf "worker stall time by cause (cycles, %% of capacity):@,";
+  List.iter
+    (fun (name, cycles) ->
+      Format.fprintf ppf "  %-14s %12.0f  (%4.1f%%)@," name cycles (pct cycles capacity))
+    t.stall_by_cause;
+  if t.stall_events <> [] then begin
+    Format.fprintf ppf "stall episodes observed (event log):@,";
+    List.iter
+      (fun (name, cycles) -> Format.fprintf ppf "  %-14s %12.0f@," name cycles)
+      t.stall_events
+  end;
+  (match t.queue_occupancy with
+  | Some q ->
+      Format.fprintf ppf "queue occupancy  p50 %.0f  p90 %.0f  p99 %.0f  max %.0f@,"
+        q.p50 q.p90 q.p99 q.pmax
+  | None -> ());
+  if t.epochs_committed > 0 || t.misspeculations > 0 || t.signature_checks > 0 then
+    Format.fprintf ppf
+      "epochs committed %d, misspeculated %d, recovery cycles %.0f (%d epochs redone)@,\
+       checkpoints %d, signature checks %d (%d signatures compared)@,"
+      t.epochs_committed t.misspeculations t.recovery_cycles t.epochs_redone
+      t.checkpoints t.signature_checks t.signatures_compared;
+  if t.barrier_crossings > 0 then
+    Format.fprintf ppf "barrier crossings %d@," t.barrier_crossings;
+  Format.fprintf ppf "per-thread (busy%% / work%% / stall%% of makespan):@,";
+  List.iter
+    (fun tr ->
+      Format.fprintf ppf "  t%-3d %-12s %5.1f%% / %5.1f%% / %5.1f%%@," tr.tid
+        tr.thread_name (pct tr.busy t.makespan) (pct tr.work t.makespan)
+        (pct tr.stall t.makespan))
+    t.per_thread;
+  if t.counters <> [] then begin
+    Format.fprintf ppf "counters:@,";
+    List.iter (fun (k, v) -> Format.fprintf ppf "  %-36s %d@," k v) t.counters
+  end;
+  if t.gauges <> [] then begin
+    Format.fprintf ppf "gauges:@,";
+    List.iter (fun (k, v) -> Format.fprintf ppf "  %-36s %.1f@," k v) t.gauges
+  end;
+  Format.fprintf ppf "@]"
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json t =
+  let b = Buffer.create 4096 in
+  let fnum f = if Float.is_nan f then "null" else Printf.sprintf "%.3f" f in
+  Buffer.add_string b "{\n  \"schema\": \"xinv-stats/1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"makespan\": %s,\n" (fnum t.makespan));
+  Buffer.add_string b (Printf.sprintf "  \"threads\": %d,\n" t.threads);
+  Buffer.add_string b (Printf.sprintf "  \"utilization\": %s,\n" (fnum t.utilization));
+  Buffer.add_string b (Printf.sprintf "  \"events_logged\": %d,\n" t.events_logged);
+  Buffer.add_string b (Printf.sprintf "  \"sync_forwarded\": %d,\n" t.sync_forwarded);
+  let obj kvs =
+    "{"
+    ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" (escape k) v) kvs)
+    ^ "}"
+  in
+  Buffer.add_string b
+    (Printf.sprintf "  \"stall_by_cause\": %s,\n"
+       (obj (List.map (fun (k, v) -> (k, fnum v)) t.stall_by_cause)));
+  Buffer.add_string b
+    (Printf.sprintf "  \"stall_events\": %s,\n"
+       (obj (List.map (fun (k, v) -> (k, fnum v)) t.stall_events)));
+  Buffer.add_string b
+    (Printf.sprintf "  \"queue_occupancy\": %s,\n"
+       (match t.queue_occupancy with
+       | None -> "null"
+       | Some q ->
+           obj
+             [
+               ("p50", fnum q.p50); ("p90", fnum q.p90); ("p99", fnum q.p99);
+               ("max", fnum q.pmax);
+             ]));
+  Buffer.add_string b
+    (Printf.sprintf "  \"speculation\": %s,\n"
+       (obj
+          [
+            ("epochs_committed", string_of_int t.epochs_committed);
+            ("misspeculated", string_of_int t.misspeculations);
+            ("recovery_cycles", fnum t.recovery_cycles);
+            ("epochs_redone", string_of_int t.epochs_redone);
+            ("checkpoints", string_of_int t.checkpoints);
+            ("signature_checks", string_of_int t.signature_checks);
+            ("signatures_compared", string_of_int t.signatures_compared);
+          ]));
+  Buffer.add_string b
+    (Printf.sprintf "  \"barrier_crossings\": %d,\n" t.barrier_crossings);
+  Buffer.add_string b "  \"per_thread\": [\n";
+  let n = List.length t.per_thread in
+  List.iteri
+    (fun i tr ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"tid\": %d, \"name\": \"%s\", \"busy\": %s, \"work\": %s, \"stall\": %s, \"utilization\": %s}%s\n"
+           tr.tid (escape tr.thread_name) (fnum tr.busy) (fnum tr.work) (fnum tr.stall)
+           (fnum tr.utilization)
+           (if i = n - 1 then "" else ",")))
+    t.per_thread;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"counters\": %s,\n"
+       (obj (List.map (fun (k, v) -> (k, string_of_int v)) t.counters)));
+  Buffer.add_string b
+    (Printf.sprintf "  \"gauges\": %s\n"
+       (obj (List.map (fun (k, v) -> (k, fnum v)) t.gauges)));
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let to_csv t =
+  let b = Buffer.create 1024 in
+  let line k v = Buffer.add_string b (Printf.sprintf "%s,%s\n" k v) in
+  line "key" "value";
+  line "makespan" (Printf.sprintf "%.3f" t.makespan);
+  line "threads" (string_of_int t.threads);
+  line "utilization" (Printf.sprintf "%.4f" t.utilization);
+  line "events_logged" (string_of_int t.events_logged);
+  line "sync_forwarded" (string_of_int t.sync_forwarded);
+  List.iter
+    (fun (k, v) -> line ("stall." ^ k) (Printf.sprintf "%.3f" v))
+    t.stall_by_cause;
+  (match t.queue_occupancy with
+  | Some q ->
+      line "queue_occupancy.p50" (Printf.sprintf "%.0f" q.p50);
+      line "queue_occupancy.p90" (Printf.sprintf "%.0f" q.p90);
+      line "queue_occupancy.p99" (Printf.sprintf "%.0f" q.p99);
+      line "queue_occupancy.max" (Printf.sprintf "%.0f" q.pmax)
+  | None -> ());
+  line "epochs_committed" (string_of_int t.epochs_committed);
+  line "misspeculated" (string_of_int t.misspeculations);
+  line "recovery_cycles" (Printf.sprintf "%.3f" t.recovery_cycles);
+  line "epochs_redone" (string_of_int t.epochs_redone);
+  line "checkpoints" (string_of_int t.checkpoints);
+  line "signature_checks" (string_of_int t.signature_checks);
+  line "signatures_compared" (string_of_int t.signatures_compared);
+  line "barrier_crossings" (string_of_int t.barrier_crossings);
+  List.iter (fun (k, v) -> line ("counter." ^ k) (string_of_int v)) t.counters;
+  List.iter (fun (k, v) -> line ("gauge." ^ k) (Printf.sprintf "%.3f" v)) t.gauges;
+  Buffer.contents b

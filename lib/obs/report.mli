@@ -1,0 +1,53 @@
+(** Stall diagnosis and utilization analysis over one simulated run.
+
+    Combines the engine's per-thread per-category cycle accounting with the
+    typed event log into the numbers Chapter 5 of the dissertation argues
+    with: per-thread utilization, stall-time breakdown by cause, queue
+    occupancy percentiles, and misspeculation cost attribution. *)
+
+type thread_report = {
+  tid : int;
+  thread_name : string;
+  busy : float;  (** cycles charged to any category *)
+  work : float;  (** Work + Sequential cycles *)
+  stall : float;  (** Barrier_wait + Sync_wait + Queue + Checker + Checkpoint *)
+  utilization : float;  (** work / makespan *)
+}
+
+type percentiles = { p50 : float; p90 : float; p99 : float; pmax : float }
+
+type t = {
+  makespan : float;
+  threads : int;
+  utilization : float;  (** (Work + Sequential) / (threads * makespan) *)
+  per_thread : thread_report list;
+  stall_by_cause : (string * float) list;
+      (** stall/overhead cycles per engine category, all threads summed *)
+  stall_events : (string * float) list;
+      (** blocked time per {!Event.stall_cause}, from [Worker_stalled] events *)
+  sync_forwarded : int;  (** DOMORE synchronization conditions forwarded *)
+  queue_occupancy : percentiles option;  (** from [Queue_sampled] events *)
+  epochs_committed : int;
+  misspeculations : int;
+  recovery_cycles : float;  (** virtual time inside misspeculation recovery *)
+  epochs_redone : int;
+  checkpoints : int;
+  signature_checks : int;
+  signatures_compared : int;  (** sum of checking-window sizes *)
+  barrier_crossings : int;
+  counters : (string * int) list;  (** metrics registry dump *)
+  gauges : (string * float) list;
+  events_logged : int;
+}
+
+val build : engine:Xinv_sim.Engine.t -> ?recorder:Recorder.t -> unit -> t
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable stats: headline counters, worker stall time by cause,
+    per-thread utilization, queue occupancy, speculation summary. *)
+
+val to_json : t -> string
+(** The machine-readable dump ([xinv-stats/1] schema, see EXPERIMENTS.md). *)
+
+val to_csv : t -> string
+(** Flat [key,value] lines covering the same scalar fields as the JSON. *)

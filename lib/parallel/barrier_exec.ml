@@ -1,9 +1,15 @@
 module Sim = Xinv_sim
 module Ir = Xinv_ir
+module Obs = Xinv_obs
 
-let run ?(machine = Sim.Machine.default) ?(nlocks = 64) ?(trace = false) ~threads ~plan
-    (p : Ir.Program.t) env =
+let run ?(machine = Sim.Machine.default) ?(nlocks = 64) ?(trace = false) ?obs ~threads
+    ~plan (p : Ir.Program.t) env =
   assert (threads > 0);
+  let m_crossings =
+    match obs with
+    | Some o -> Some (Obs.Metrics.counter (Obs.Recorder.metrics o) "barrier.crossings")
+    | None -> None
+  in
   let eng = Sim.Engine.create ~trace () in
   let bar = Sim.Barrier.create ~parties:threads in
   let locks =
@@ -50,7 +56,18 @@ let run ?(machine = Sim.Machine.default) ?(nlocks = 64) ?(trace = false) ~thread
               j := !j + threads
             done
           end;
-          Sim.Barrier.wait ~cost:barrier_cost bar)
+          (match obs with
+          | None -> Sim.Barrier.wait ~cost:barrier_cost bar
+          | Some o ->
+              let t0 = Sim.Proc.now () in
+              Sim.Barrier.wait ~cost:barrier_cost bar;
+              let dur = Sim.Proc.now () -. t0 -. barrier_cost in
+              (match m_crossings with Some c -> Obs.Metrics.incr c | None -> ());
+              if dur > 0. then
+                Obs.Recorder.record o ~at:(Sim.Proc.now ()) ~tid
+                  (Obs.Event.Worker_stalled { cause = Obs.Event.Barrier; dur });
+              Obs.Recorder.record o ~at:(Sim.Proc.now ()) ~tid
+                (Obs.Event.Barrier_crossed { episode = Sim.Barrier.waits bar })))
         p.Ir.Program.inners
     done
   in
@@ -60,7 +77,7 @@ let run ?(machine = Sim.Machine.default) ?(nlocks = 64) ?(trace = false) ~thread
   Sim.Engine.run eng;
   Run.make ~technique:(Printf.sprintf "%s+barrier" (Intra.name (plan (List.hd p.Ir.Program.inners).Ir.Program.ilabel)))
     ~threads ~makespan:(Sim.Engine.now eng) ~engine:eng ~tasks:!tasks
-    ~invocations:!invocations ~barrier_episodes:(Sim.Barrier.waits bar) ()
+    ~invocations:!invocations ~barrier_episodes:(Sim.Barrier.waits bar) ?recorder:obs ()
 
 let run_uniform ?machine ~threads ~technique p env =
   run ?machine ~threads ~plan:(fun _ -> technique) p env

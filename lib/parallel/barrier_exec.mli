@@ -9,6 +9,7 @@ val run :
   ?machine:Xinv_sim.Machine.t ->
   ?nlocks:int ->
   ?trace:bool ->
+  ?obs:Xinv_obs.Recorder.t ->
   threads:int ->
   plan:(string -> Intra.technique) ->
   Xinv_ir.Program.t ->
@@ -16,7 +17,9 @@ val run :
   Run.t
 (** [run ~threads ~plan p env] simulates the barrier-parallel execution,
     mutating [env]'s memory to the final program state.  [plan] maps an
-    inner-loop label to its technique. *)
+    inner-loop label to its technique.  With [?obs], barrier crossings and
+    stall episodes are recorded; recording consumes no virtual time, so the
+    run is bit-identical with and without it. *)
 
 val run_uniform :
   ?machine:Xinv_sim.Machine.t ->

@@ -25,8 +25,14 @@ let serialized_sids (p : Ir.Program.t) =
       (il.Ir.Program.ilabel, sids))
     p.Ir.Program.inners
 
-let run ?(machine = Sim.Machine.default) ~threads (p : Ir.Program.t) env =
+let run ?(machine = Sim.Machine.default) ?obs ~threads (p : Ir.Program.t) env =
   assert (threads > 0);
+  let module Obs = Xinv_obs in
+  let m_crossings =
+    match obs with
+    | Some o -> Some (Obs.Metrics.counter (Obs.Recorder.metrics o) "barrier.crossings")
+    | None -> None
+  in
   let eng = Sim.Engine.create () in
   let bar = Sim.Barrier.create ~parties:threads in
   let serial = serialized_sids p in
@@ -78,7 +84,16 @@ let run ?(machine = Sim.Machine.default) ~threads (p : Ir.Program.t) env =
               il.Ir.Program.body;
             (* Serialized portion in strict iteration order. *)
             if serial_sids <> [] then begin
-              Sim.Mono_cell.wait_ge cell (!j - 1);
+              (match obs with
+              | None -> Sim.Mono_cell.wait_ge cell (!j - 1)
+              | Some o ->
+                  let module Obs = Xinv_obs in
+                  let t0 = Sim.Proc.now () in
+                  Sim.Mono_cell.wait_ge cell (!j - 1);
+                  let dur = Sim.Proc.now () -. t0 in
+                  if dur > 0. then
+                    Obs.Recorder.record o ~at:(Sim.Proc.now ()) ~tid
+                      (Obs.Event.Worker_stalled { cause = Obs.Event.Sync_cond; dur }));
               Sim.Proc.advance ~label:"recv" Sim.Category.Queue comm;
               List.iter
                 (fun (s : Ir.Stmt.t) ->
@@ -92,7 +107,14 @@ let run ?(machine = Sim.Machine.default) ~threads (p : Ir.Program.t) env =
             end;
             j := !j + threads
           done;
-          Sim.Barrier.wait ~cost:barrier_cost bar)
+          Sim.Barrier.wait ~cost:barrier_cost bar;
+          match obs with
+          | None -> ()
+          | Some o ->
+              let module Obs = Xinv_obs in
+              (match m_crossings with Some c -> Obs.Metrics.incr c | None -> ());
+              Obs.Recorder.record o ~at:(Sim.Proc.now ()) ~tid
+                (Obs.Event.Barrier_crossed { episode = Sim.Barrier.waits bar }))
         p.Ir.Program.inners
     done
   in
@@ -102,4 +124,4 @@ let run ?(machine = Sim.Machine.default) ~threads (p : Ir.Program.t) env =
   Sim.Engine.run eng;
   Run.make ~technique:"DOACROSS+barrier" ~threads ~makespan:(Sim.Engine.now eng)
     ~engine:eng ~tasks:!tasks ~invocations:!invocations
-    ~barrier_episodes:(Sim.Barrier.waits bar) ()
+    ~barrier_episodes:(Sim.Barrier.waits bar) ?recorder:obs ()

@@ -7,6 +7,7 @@
 
 val run :
   ?machine:Xinv_sim.Machine.t ->
+  ?obs:Xinv_obs.Recorder.t ->
   threads:int ->
   Xinv_ir.Program.t ->
   Xinv_ir.Env.t ->

@@ -45,8 +45,14 @@ let merge_stages ~max_stages groups =
     front @ [ List.concat back ]
   end
 
-let run ?(machine = Sim.Machine.default) ~threads (p : Ir.Program.t) env =
+let run ?(machine = Sim.Machine.default) ?obs ~threads (p : Ir.Program.t) env =
   assert (threads > 0);
+  let module Obs = Xinv_obs in
+  let m_crossings =
+    match obs with
+    | Some o -> Some (Obs.Metrics.counter (Obs.Recorder.metrics o) "barrier.crossings")
+    | None -> None
+  in
   let eng = Sim.Engine.create () in
   let bar = Sim.Barrier.create ~parties:threads in
   let all_stages = stages p in
@@ -88,7 +94,21 @@ let run ?(machine = Sim.Machine.default) ~threads (p : Ir.Program.t) env =
           if tid < nstages then begin
             let my_sids = List.nth groups tid in
             for j = 0 to trip - 1 do
-              if tid > 0 then ignore (Sim.Channel.consume queues.(tid));
+              if tid > 0 then begin
+                match obs with
+                | None -> ignore (Sim.Channel.consume queues.(tid))
+                | Some o ->
+                    let module Obs = Xinv_obs in
+                    let t0 = Sim.Proc.now () in
+                    ignore (Sim.Channel.consume queues.(tid));
+                    let dur =
+                      Sim.Proc.now () -. t0 -. machine.Sim.Machine.queue_consume
+                    in
+                    if dur > 0. then
+                      Obs.Recorder.record o ~at:(Sim.Proc.now ()) ~tid
+                        (Obs.Event.Worker_stalled
+                           { cause = Obs.Event.Queue_empty; dur })
+              end;
               let env_j = Ir.Env.with_inner env_t j in
               List.iter
                 (fun (s : Ir.Stmt.t) ->
@@ -101,7 +121,14 @@ let run ?(machine = Sim.Machine.default) ~threads (p : Ir.Program.t) env =
               if tid < nstages - 1 then Sim.Channel.produce queues.(tid + 1) j
             done
           end;
-          Sim.Barrier.wait ~cost:barrier_cost bar)
+          Sim.Barrier.wait ~cost:barrier_cost bar;
+          match obs with
+          | None -> ()
+          | Some o ->
+              let module Obs = Xinv_obs in
+              (match m_crossings with Some c -> Obs.Metrics.incr c | None -> ());
+              Obs.Recorder.record o ~at:(Sim.Proc.now ()) ~tid
+                (Obs.Event.Barrier_crossed { episode = Sim.Barrier.waits bar }))
         p.Ir.Program.inners
     done
   in
@@ -110,4 +137,5 @@ let run ?(machine = Sim.Machine.default) ~threads (p : Ir.Program.t) env =
   done;
   Sim.Engine.run eng;
   Run.make ~technique:"DSWP+barrier" ~threads ~makespan:(Sim.Engine.now eng) ~engine:eng
-    ~tasks:!tasks ~invocations:!invocations ~barrier_episodes:(Sim.Barrier.waits bar) ()
+    ~tasks:!tasks ~invocations:!invocations ~barrier_episodes:(Sim.Barrier.waits bar)
+    ?recorder:obs ()

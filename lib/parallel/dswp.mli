@@ -11,6 +11,7 @@ val stages : Xinv_ir.Program.t -> (string * int list list) list
 
 val run :
   ?machine:Xinv_sim.Machine.t ->
+  ?obs:Xinv_obs.Recorder.t ->
   threads:int ->
   Xinv_ir.Program.t ->
   Xinv_ir.Env.t ->

@@ -8,11 +8,23 @@ type t = {
   barrier_episodes : int;
   checks : int;
   misspecs : int;
+  recorder : Xinv_obs.Recorder.t option;
 }
 
 let make ~technique ~threads ~makespan ~engine ?(tasks = 0) ?(invocations = 0)
-    ?(barrier_episodes = 0) ?(checks = 0) ?(misspecs = 0) () =
-  { technique; threads; makespan; engine; tasks; invocations; barrier_episodes; checks; misspecs }
+    ?(barrier_episodes = 0) ?(checks = 0) ?(misspecs = 0) ?recorder () =
+  {
+    technique;
+    threads;
+    makespan;
+    engine;
+    tasks;
+    invocations;
+    barrier_episodes;
+    checks;
+    misspecs;
+    recorder;
+  }
 
 let speedup ~seq_cost r = if r.makespan <= 0. then infinity else seq_cost /. r.makespan
 
@@ -29,6 +41,8 @@ let utilization r =
   else
     (category_total r Xinv_sim.Category.Work +. category_total r Xinv_sim.Category.Sequential)
     /. cap
+
+let report r = Xinv_obs.Report.build ~engine:r.engine ?recorder:r.recorder ()
 
 let pp ppf r =
   Format.fprintf ppf

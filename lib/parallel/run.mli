@@ -10,6 +10,8 @@ type t = {
   barrier_episodes : int;
   checks : int;  (** speculation checking requests processed *)
   misspecs : int;  (** misspeculation recoveries *)
+  recorder : Xinv_obs.Recorder.t option;
+      (** the observability recorder the run was instrumented with, if any *)
 }
 
 val make :
@@ -22,6 +24,7 @@ val make :
   ?barrier_episodes:int ->
   ?checks:int ->
   ?misspecs:int ->
+  ?recorder:Xinv_obs.Recorder.t ->
   unit ->
   t
 
@@ -34,5 +37,9 @@ val barrier_overhead_pct : t -> float
 
 val utilization : t -> float
 (** Fraction of [threads * makespan] charged to useful work. *)
+
+val report : t -> Xinv_obs.Report.t
+(** Stall/utilization diagnosis from the engine accounting plus the event
+    log when the run carried a recorder. *)
 
 val pp : Format.formatter -> t -> unit

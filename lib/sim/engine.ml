@@ -204,15 +204,27 @@ let run eng =
     match Xinv_util.Heap.pop eng.events with
     | None ->
         let stuck = ref [] in
-        for i = 0 to eng.n_threads - 1 do
+        for i = eng.n_threads - 1 downto 0 do
           let th = eng.threads.(i) in
           if th.state = Suspended || th.state = Ready then stuck := th :: !stuck
         done;
-        if !stuck <> [] then
+        if !stuck <> [] then begin
+          let state_name = function
+            | Suspended -> "Suspended"
+            | Ready -> "Ready"
+            | Running -> "Running"
+            | Finished -> "Finished"
+          in
           raise
             (Deadlock
-               (String.concat ", "
-                  (List.map (fun th -> Printf.sprintf "%s(#%d)" th.name th.id) !stuck)))
+               (Printf.sprintf "at t=%g: %s" eng.clock
+                  (String.concat ", "
+                     (List.map
+                        (fun th ->
+                          Printf.sprintf "%s(#%d,%s)" th.name th.id
+                            (state_name th.state))
+                        !stuck))))
+        end
     | Some (time, thunk) ->
         assert (time >= eng.clock -. 1e-9);
         eng.clock <- Stdlib.max eng.clock time;

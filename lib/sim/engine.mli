@@ -15,7 +15,9 @@ type tid = int
 
 exception Deadlock of string
 (** Raised by {!run} when no event is pending but live threads remain
-    suspended; the message lists the stuck threads. *)
+    suspended; the message carries the simulated clock and, per stuck thread,
+    its name, id and state ([Suspended] vs [Ready]), e.g.
+    ["at t=42: consumer(#1,Suspended)"]. *)
 
 type _ Effect.t +=
   | E_advance : Category.t * string option * float -> unit Effect.t

@@ -17,35 +17,51 @@ let by_thread segs =
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 (* Quantize the timeline into [width] rows and show, for each thread, the
-   label of the segment active at each row's start time. *)
+   label of the segment active at each row's start time.  Each thread's
+   segments are pre-sorted by start time and scanned with a cursor that only
+   moves forward as the rows advance, so rendering is
+   O(segments log segments + width * threads) instead of the former
+   O(width * threads * segments) full-list probe per cell. *)
 let render ?(width = 40) segs =
   match segs with
   | [] -> "(empty trace)"
   | _ ->
       let t_max = List.fold_left (fun acc s -> Stdlib.max acc s.t_end) 0. segs in
-      let groups = by_thread segs in
-      let tids = List.map fst groups in
+      let cols =
+        List.map
+          (fun (tid, ss) ->
+            let arr = Array.of_list ss in
+            Array.stable_sort (fun a b -> compare a.t_start b.t_start) arr;
+            (tid, arr, ref 0))
+          (by_thread segs)
+      in
       let col_w =
         List.fold_left
           (fun acc s -> Stdlib.max acc (String.length s.label))
           8 segs
       in
-      let cell tid t =
-        let active =
-          List.find_opt
-            (fun s -> s.tid = tid && s.t_start <= t && t < s.t_end)
-            segs
-        in
-        match active with Some s -> s.label | None -> "." in
+      let cell arr cur t =
+        let n = Array.length arr in
+        while !cur < n && arr.(!cur).t_end <= t do
+          incr cur
+        done;
+        if !cur < n && arr.(!cur).t_start <= t && t < arr.(!cur).t_end then
+          arr.(!cur).label
+        else "."
+      in
       let header =
         String.concat " | "
-          (List.map (fun tid -> Printf.sprintf "%-*s" col_w (Printf.sprintf "T%d" tid)) tids)
+          (List.map
+             (fun (tid, _, _) -> Printf.sprintf "%-*s" col_w (Printf.sprintf "T%d" tid))
+             cols)
       in
       let rows =
         List.init width (fun i ->
             let t = t_max *. float_of_int i /. float_of_int width in
             let cells =
-              List.map (fun tid -> Printf.sprintf "%-*s" col_w (cell tid t)) tids
+              List.map
+                (fun (_, arr, cur) -> Printf.sprintf "%-*s" col_w (cell arr cur t))
+                cols
             in
             Printf.sprintf "%8.0f  %s" t (String.concat " | " cells))
       in

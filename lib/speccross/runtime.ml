@@ -78,10 +78,25 @@ type cmsg =
   | Reset of int
   | Finish of int
 
-let run ?config ?(trace = false) (p : Ir.Program.t) env =
+let run ?config ?obs ?(trace = false) (p : Ir.Program.t) env =
   let cfg = match config with Some c -> c | None -> default_config ~workers:3 in
   let { machine; workers; _ } = cfg in
   assert (workers > 0);
+  let module Obs = Xinv_obs in
+  let record ~at ~tid ev =
+    match obs with None -> () | Some o -> Obs.Recorder.record o ~at ~tid ev
+  in
+  let mincr = function Some c -> Obs.Metrics.incr c | None -> () in
+  let m_epochs, m_misspecs, m_checks, m_ckpts =
+    match obs with
+    | Some o ->
+        let m = Obs.Recorder.metrics o in
+        ( Some (Obs.Metrics.counter m "speccross.epochs_committed"),
+          Some (Obs.Metrics.counter m "speccross.misspeculations"),
+          Some (Obs.Metrics.counter m "speccross.signature_checks"),
+          Some (Obs.Metrics.counter m "speccross.checkpoints") )
+    | None -> (None, None, None, None)
+  in
   let mem = env.Ir.Env.mem in
   let inners = Array.of_list p.Ir.Program.inners in
   let ninners = Array.length inners in
@@ -90,6 +105,9 @@ let run ?config ?(trace = false) (p : Ir.Program.t) env =
   let siglog = Rt.Siglog.create ~workers in
   let ckpts = Rt.Checkpoint.create () in
   Rt.Checkpoint.save ckpts ~epoch:0 mem;
+  (* The initial checkpoint happens before the simulation starts. *)
+  mincr m_ckpts;
+  record ~at:0. ~tid:0 (Obs.Event.Checkpoint_forked { epoch = 0 });
   let states : (int, gstate) Hashtbl.t = Hashtbl.create 4 in
   let gen = ref 0 in
   let st = ref (fresh_gstate ~id:0 ~workers) in
@@ -187,6 +205,7 @@ let run ?config ?(trace = false) (p : Ir.Program.t) env =
           if r.gen <> !gen || !(s.abort) then ()
           else begin
             let conflict = ref r.force in
+            let win = ref 0 in
             for w' = 0 to workers - 1 do
               if w' <> r.worker then begin
                 let e0, t0 = r.started.(w') in
@@ -195,6 +214,7 @@ let run ?config ?(trace = false) (p : Ir.Program.t) env =
                   Rt.Siglog.between siglog ~worker:w' ~from_epoch:e0 ~from_task:t0
                     ~upto_epoch:upto
                 in
+                win := !win + List.length window;
                 if window <> [] then
                   Sim.Proc.advance ~label:"check" Sim.Category.Checker
                     (machine.Sim.Machine.check_per_sig
@@ -215,7 +235,19 @@ let run ?config ?(trace = false) (p : Ir.Program.t) env =
                   window
               end
             done;
-            if !conflict then do_abort s
+            mincr m_checks;
+            record ~at:(Sim.Proc.now ()) ~tid:workers
+              (Obs.Event.Signature_checked
+                 { worker = r.worker; epoch = r.epoch; window = !win;
+                   conflict = !conflict });
+            if !conflict then begin
+              if not !(s.abort) then begin
+                mincr m_misspecs;
+                record ~at:(Sim.Proc.now ()) ~tid:workers
+                  (Obs.Event.Misspeculated { epoch = r.epoch; worker = r.worker })
+              end;
+              do_abort s
+            end
             else Sim.Mono_cell.raise_to s.processed (Sim.Mono_cell.get s.processed + 1)
           end)
     done
@@ -246,11 +278,17 @@ let run ?config ?(trace = false) (p : Ir.Program.t) env =
        then wait for every trailing thread to come within range. *)
     Sim.Mono_cell.raise_to s.tpos.(w) g;
     let floor_ = g - cfg.spec_distance + 1 in
-    if floor_ > 0 then
+    if floor_ > 0 then begin
+      let t0 = Sim.Proc.now () in
       for w' = 0 to workers - 1 do
         if w' <> w then
           Sim.Mono_cell.wait_ge ~cat:Sim.Category.Barrier_wait s.tpos.(w') floor_
-      done
+      done;
+      let dur = Sim.Proc.now () -. t0 in
+      if dur > 0. then
+        record ~at:(Sim.Proc.now ()) ~tid:w
+          (Obs.Event.Worker_stalled { cause = Obs.Event.Barrier; dur })
+    end
   in
   (* Speculative bracket around one task. *)
   let run_task (s : gstate) ~w ~epoch ~task ~addrs body =
@@ -446,6 +484,7 @@ let run ?config ?(trace = false) (p : Ir.Program.t) env =
 
   (* ---------- recovery ---------- *)
   let recover w (s : gstate) =
+    let t_rec = Sim.Proc.now () in
     s.arrived_n := !(s.arrived_n) + 1;
     Sim.Mono_cell.raise_to s.arrived !(s.arrived_n);
     if w = 0 then begin
@@ -474,15 +513,27 @@ let run ?config ?(trace = false) (p : Ir.Program.t) env =
     in
     for e' = !redo_from to !redo_to do
       exec_epoch_nonspec w e';
-      Sim.Barrier.wait ~cost:barrier_cost bar
+      Sim.Barrier.wait ~cost:barrier_cost bar;
+      if w = 0 then begin
+        mincr m_epochs;
+        record ~at:(Sim.Proc.now ()) ~tid:w (Obs.Event.Epoch_committed { epoch = e' })
+      end
     done;
     (* Fresh checkpoint at the resume point. *)
     if w = 0 then begin
       Sim.Proc.advance ~label:"checkpoint" Sim.Category.Checkpoint
         machine.Sim.Machine.checkpoint_cost;
-      Rt.Checkpoint.save ckpts ~epoch:!resume_from mem
+      Rt.Checkpoint.save ckpts ~epoch:!resume_from mem;
+      mincr m_ckpts;
+      record ~at:(Sim.Proc.now ()) ~tid:w
+        (Obs.Event.Checkpoint_forked { epoch = !resume_from })
     end;
     Sim.Barrier.wait ~cost:0. bar;
+    if w = 0 then
+      record ~at:(Sim.Proc.now ()) ~tid:w
+        (Obs.Event.Recovery_finished
+           { dur = Sim.Proc.now () -. t_rec;
+             epochs_redone = !redo_to - !redo_from + 1 });
     !resume_from
   in
 
@@ -501,7 +552,12 @@ let run ?config ?(trace = false) (p : Ir.Program.t) env =
           if w' <> w then
             Sim.Mono_cell.wait_ge ~cat:Sim.Category.Barrier_wait s.progress.(w') nepochs
         done;
+        let t0 = Sim.Proc.now () in
         Sim.Mono_cell.wait_ge ~cat:Sim.Category.Checker s.processed !(s.submitted);
+        let drain = Sim.Proc.now () -. t0 in
+        if drain > 0. then
+          record ~at:(Sim.Proc.now ()) ~tid:w
+            (Obs.Event.Worker_stalled { cause = Obs.Event.Checker_lag; dur = drain });
         if !(s.abort) then e := recover w s
         else begin
           Sim.Channel.produce checker_q (Finish s.g_id);
@@ -538,11 +594,21 @@ let run ?config ?(trace = false) (p : Ir.Program.t) env =
               Sim.Proc.advance ~label:"checkpoint" Sim.Category.Checkpoint
                 machine.Sim.Machine.checkpoint_cost;
               Rt.Checkpoint.save ckpts ~epoch:!e mem;
+              mincr m_ckpts;
+              record ~at:(Sim.Proc.now ()) ~tid:w
+                (Obs.Event.Checkpoint_forked { epoch = !e });
               Rt.Siglog.clear_before siglog ~epoch:!e;
               Sim.Mono_cell.raise_to s.ckpt_done !e
             end
           end
-          else Sim.Mono_cell.wait_ge ~cat:Sim.Category.Checkpoint s.ckpt_done !e
+          else begin
+            let t0 = Sim.Proc.now () in
+            Sim.Mono_cell.wait_ge ~cat:Sim.Category.Checkpoint s.ckpt_done !e;
+            let dur = Sim.Proc.now () -. t0 in
+            if dur > 0. then
+              record ~at:(Sim.Proc.now ()) ~tid:w
+                (Obs.Event.Worker_stalled { cause = Obs.Event.Checkpoint_wait; dur })
+          end
         end;
         if !(s.abort) then e := recover w s
         else if irreversible.(!e mod ninners) && not cfg.non_spec_barriers then begin
@@ -553,7 +619,12 @@ let run ?config ?(trace = false) (p : Ir.Program.t) env =
               if w' <> w then
                 Sim.Mono_cell.wait_ge ~cat:Sim.Category.Barrier_wait s.progress.(w') !e
             done;
+            let t0 = Sim.Proc.now () in
             Sim.Mono_cell.wait_ge ~cat:Sim.Category.Checker s.processed !(s.submitted);
+            let drain = Sim.Proc.now () -. t0 in
+            if drain > 0. then
+              record ~at:(Sim.Proc.now ()) ~tid:w
+                (Obs.Event.Worker_stalled { cause = Obs.Event.Checker_lag; dur = drain });
             if not !(s.abort) then begin
               let il, env_t = env_of_epoch !e in
               List.iter
@@ -576,6 +647,9 @@ let run ?config ?(trace = false) (p : Ir.Program.t) env =
               Sim.Proc.advance ~label:"checkpoint" Sim.Category.Checkpoint
                 machine.Sim.Machine.checkpoint_cost;
               Rt.Checkpoint.save ckpts ~epoch:(!e + 1) mem;
+              mincr m_ckpts;
+              record ~at:(Sim.Proc.now ()) ~tid:w
+                (Obs.Event.Checkpoint_forked { epoch = !e + 1 });
               Rt.Siglog.clear_before siglog ~epoch:(!e + 1);
               Sim.Mono_cell.raise_to s.io_done !e
             end
@@ -584,6 +658,11 @@ let run ?config ?(trace = false) (p : Ir.Program.t) env =
           if !(s.abort) then e := recover w s
           else begin
             Sim.Mono_cell.raise_to s.tpos.(w) (epoch_base.(!e + 1) - 1);
+            if w = 0 then begin
+              mincr m_epochs;
+              record ~at:(Sim.Proc.now ()) ~tid:w
+                (Obs.Event.Epoch_committed { epoch = !e })
+            end;
             incr e
           end
         end
@@ -591,6 +670,11 @@ let run ?config ?(trace = false) (p : Ir.Program.t) env =
           (* Everything of mine below this epoch is complete. *)
           Sim.Mono_cell.raise_to s.tpos.(w) (epoch_base.(!e) - 1);
           exec_epoch_spec s w !e;
+          if w = 0 && not !(s.abort) then begin
+            mincr m_epochs;
+            record ~at:(Sim.Proc.now ()) ~tid:w
+              (Obs.Event.Epoch_committed { epoch = !e })
+          end;
           incr e
         end
       end
@@ -615,4 +699,4 @@ let run ?config ?(trace = false) (p : Ir.Program.t) env =
   Xinv_parallel.Run.make ~technique:"SPECCROSS" ~threads:(workers + 1)
     ~makespan:(Sim.Engine.now eng) ~engine:eng ~tasks:!tasks_total
     ~invocations:(Ir.Program.invocations p) ~checks:!requests_total
-    ~misspecs:!misspecs ()
+    ~misspecs:!misspecs ?recorder:obs ()

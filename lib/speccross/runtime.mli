@@ -46,7 +46,15 @@ type config = {
 val default_config : workers:int -> config
 
 val run :
-  ?config:config -> ?trace:bool -> Xinv_ir.Program.t -> Xinv_ir.Env.t -> Xinv_parallel.Run.t
+  ?config:config ->
+  ?obs:Xinv_obs.Recorder.t ->
+  ?trace:bool ->
+  Xinv_ir.Program.t ->
+  Xinv_ir.Env.t ->
+  Xinv_parallel.Run.t
 (** Simulates the speculative execution, mutating the environment's memory
     to the (verified) final state.  [Run.checks] counts checking requests,
-    [Run.misspecs] recoveries. *)
+    [Run.misspecs] recoveries.  With [?obs], epoch commits, misspeculations,
+    recoveries, checkpoints, signature checks and worker stalls are
+    recorded; recording consumes no virtual time, so the run is
+    bit-identical with and without it. *)

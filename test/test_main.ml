@@ -6,6 +6,7 @@ let () =
       ("ir", Test_ir.suite);
       ("runtime", Test_runtime.suite);
       ("parallel", Test_parallel.suite);
+      ("obs", Test_obs.suite);
       ("domore", Test_domore.suite);
       ("speccross", Test_speccross.suite);
       ("workloads", Test_workloads.suite);

@@ -1,0 +1,360 @@
+(* Observability layer: metrics registry, event recorder, Perfetto export
+   and the zero-perturbation guarantee (obs on/off runs are bit-identical). *)
+
+module Obs = Xinv_obs
+module Sim = Xinv_sim
+module Cx = Xinv_core.Crossinv
+module Wl = Xinv_workloads
+
+(* ---- a minimal JSON parser, enough to validate exporter output ---- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    String.iter (fun c -> expect c) word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some 'n' -> Buffer.add_char b '\n'
+          | Some 't' -> Buffer.add_char b '\t'
+          | Some 'r' -> Buffer.add_char b '\r'
+          | Some 'b' -> Buffer.add_char b '\b'
+          | Some 'f' -> Buffer.add_char b '\012'
+          | Some 'u' ->
+              (* skip the four hex digits; exact code point is irrelevant here *)
+              for _ = 1 to 4 do
+                advance ()
+              done;
+              Buffer.add_char b '?'
+          | Some c -> Buffer.add_char b c
+          | None -> fail "bad escape");
+          advance ();
+          loop ()
+      | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          loop ()
+    in
+    loop ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elems (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elems []
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let contains ~affix s =
+  let n = String.length s and m = String.length affix in
+  let rec scan i = i + m <= n && (String.sub s i m = affix || scan (i + 1)) in
+  m = 0 || scan 0
+
+let member k = function
+  | Obj kvs -> (
+      match List.assoc_opt k kvs with Some v -> v | None -> Null)
+  | _ -> Null
+
+let str_of = function Str s -> s | _ -> ""
+let num_of = function Num f -> f | _ -> nan
+
+(* ---- metrics registry ---- *)
+
+let test_metrics_counter () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m "tasks" in
+  let c' = Obs.Metrics.counter m "tasks" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr c';
+  Obs.Metrics.add c 5;
+  Alcotest.(check (list (pair string int)))
+    "find-or-create shares the handle" [ ("tasks", 7) ] (Obs.Metrics.counters m)
+
+let test_metrics_gauge () =
+  let m = Obs.Metrics.create () in
+  let g = Obs.Metrics.gauge m "lead" in
+  Obs.Metrics.set g 3.5;
+  Obs.Metrics.acc g 1.5;
+  let h = Obs.Metrics.gauge m "other" in
+  Obs.Metrics.set h 1.0;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "gauges in registration order"
+    [ ("lead", 5.0); ("other", 1.0) ]
+    (Obs.Metrics.gauges m)
+
+let test_metrics_histogram () =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m ~bounds:[| 1.; 10.; 100. |] "lat" in
+  List.iter (fun v -> Obs.Metrics.observe h v) [ 0.5; 5.; 5.; 50.; 500. ];
+  Alcotest.(check int) "count" 5 h.Obs.Metrics.h_count;
+  Alcotest.(check (float 1e-9)) "sum" 560.5 h.Obs.Metrics.h_sum;
+  (* p50 falls in the (1,10] bucket, whose upper bound is reported. *)
+  Alcotest.(check (float 1e-9)) "p50 bucket bound" 10. (Obs.Metrics.quantile h 0.5);
+  Alcotest.(check bool) "p99 lands in the overflow bucket" true
+    (Obs.Metrics.quantile h 0.99 = infinity)
+
+(* ---- recorder ---- *)
+
+let test_recorder_order () =
+  let r = Obs.Recorder.create () in
+  for i = 0 to 99 do
+    Obs.Recorder.record r ~at:(float_of_int i) ~tid:(i mod 3)
+      (Obs.Event.Barrier_crossed { episode = i })
+  done;
+  Alcotest.(check int) "length" 100 (Obs.Recorder.length r);
+  let seen = ref (-1.) in
+  Obs.Recorder.iter
+    (fun (e : Obs.Recorder.entry) ->
+      Alcotest.(check bool) "append order preserved" true (e.Obs.Recorder.at > !seen);
+      seen := e.Obs.Recorder.at)
+    r;
+  Alcotest.(check (float 0.)) "last timestamp" 99. !seen
+
+(* ---- Perfetto export: valid JSON, tracks, phases, monotone timestamps ---- *)
+
+let domore_traced_run () =
+  let wl = Wl.Registry.find "CG" in
+  let program = wl.Wl.Workload.program Wl.Workload.Train in
+  let env = wl.Wl.Workload.fresh_env Wl.Workload.Train in
+  match Xinv_ir.Mtcg.generate program env with
+  | Xinv_ir.Mtcg.Inapplicable reason -> Alcotest.fail reason
+  | Xinv_ir.Mtcg.Plan plan ->
+      let obs = Obs.Recorder.create () in
+      let config = Xinv_domore.Domore.default_config ~workers:3 in
+      let r = Xinv_domore.Domore.run ~config ~obs ~trace:true ~plan program env in
+      (r, obs)
+
+let test_perfetto_export () =
+  let r, obs = domore_traced_run () in
+  let eng = r.Xinv_parallel.Run.engine in
+  let json = Obs.Perfetto.to_json ~engine:eng ~recorder:obs () in
+  let doc = parse_json json in
+  let events = match member "traceEvents" doc with Arr l -> l | _ -> [] in
+  Alcotest.(check bool) "has events" true (events <> []);
+  (* Exactly one thread_name metadata record per engine thread. *)
+  let tracks =
+    List.filter_map
+      (fun e ->
+        if member "ph" e = Str "M" && member "name" e = Str "thread_name" then
+          Some (int_of_float (num_of (member "tid" e)))
+        else None)
+      events
+  in
+  Alcotest.(check (list int)) "one track per tid"
+    (List.init (Sim.Engine.thread_count eng) Fun.id)
+    (List.sort compare tracks);
+  (* Duration, instant and counter events are all present. *)
+  let count ph =
+    List.length (List.filter (fun e -> member "ph" e = Str ph) events)
+  in
+  Alcotest.(check bool) "duration events" true (count "X" > 0);
+  Alcotest.(check bool) "instant events" true (count "i" > 0);
+  Alcotest.(check bool) "counter events" true (count "C" > 0);
+  (* Engine.segments round-trip: every segment is one X event. *)
+  Alcotest.(check int) "segments round-trip" (List.length (Sim.Engine.segments eng))
+    (count "X");
+  (* Per-track X timestamps are monotone non-decreasing with non-negative
+     durations. *)
+  let last = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      if member "ph" e = Str "X" then begin
+        let tid = int_of_float (num_of (member "tid" e)) in
+        let ts = num_of (member "ts" e) in
+        let dur = num_of (member "dur" e) in
+        let prev = try Hashtbl.find last tid with Not_found -> -1. in
+        Alcotest.(check bool) "ts monotone per track" true (ts >= prev);
+        Alcotest.(check bool) "dur non-negative" true (dur >= 0.);
+        Hashtbl.replace last tid ts
+      end)
+    events
+
+let test_report_contents () =
+  let r, _ = domore_traced_run () in
+  let report = Xinv_parallel.Run.report r in
+  Alcotest.(check bool) "events were logged" true (report.Obs.Report.events_logged > 0);
+  Alcotest.(check bool) "queue occupancy computed" true
+    (report.Obs.Report.queue_occupancy <> None);
+  let dispatched =
+    List.assoc_opt "domore.tasks_dispatched" report.Obs.Report.counters
+  in
+  Alcotest.(check (option int)) "dispatch counter matches tasks"
+    (Some r.Xinv_parallel.Run.tasks) dispatched;
+  let rendered = Format.asprintf "%a" Obs.Report.pp report in
+  Alcotest.(check bool) "report names sync conditions" true
+    (contains ~affix:"sync-conditions forwarded" rendered);
+  Alcotest.(check bool) "report breaks stalls down by cause" true
+    (contains ~affix:"worker stall time by cause" rendered)
+
+let test_misspec_report () =
+  let wl = Wl.Registry.find "JACOBI" in
+  let obs = Obs.Recorder.create () in
+  let o =
+    Cx.execute ~input:Wl.Workload.Train ~obs ~technique:(Cx.Speccross_inject 5)
+      ~threads:8 wl
+  in
+  let r = match o.Cx.run with Some r -> r | None -> Alcotest.fail "no run" in
+  let report = Xinv_parallel.Run.report r in
+  Alcotest.(check bool) "run misspeculated" true (r.Xinv_parallel.Run.misspecs > 0);
+  Alcotest.(check int) "report agrees with the run" r.Xinv_parallel.Run.misspecs
+    report.Obs.Report.misspeculations;
+  Alcotest.(check bool) "recovery time attributed" true
+    (report.Obs.Report.recovery_cycles > 0.);
+  Alcotest.(check bool) "redone epochs counted" true
+    (report.Obs.Report.epochs_redone > 0);
+  let rendered = Format.asprintf "%a" Obs.Report.pp report in
+  Alcotest.(check bool) "report prints the speculation line" true
+    (contains ~affix:"epochs committed" rendered)
+
+(* ---- the tentpole guarantee: observation cannot perturb the run ---- *)
+
+let fixed_runs =
+  [
+    ("CG", Cx.Domore, 8);
+    ("BLACKSCHOLES", Cx.Domore, 8);
+    ("JACOBI", Cx.Speccross, 8);
+    ("FDTD", Cx.Speccross, 8);
+  ]
+
+let test_obs_off_bit_identical () =
+  List.iter
+    (fun (name, technique, threads) ->
+      let wl = Wl.Registry.find name in
+      let off = Cx.execute ~input:Wl.Workload.Train ~technique ~threads wl in
+      let obs = Obs.Recorder.create () in
+      let on = Cx.execute ~input:Wl.Workload.Train ~obs ~technique ~threads wl in
+      let tag field = Printf.sprintf "%s/%s: %s" name (Cx.technique_name technique) field in
+      let get o f = match o.Cx.run with Some r -> f r | None -> Alcotest.fail "no run" in
+      Alcotest.(check (float 0.)) (tag "makespan")
+        (get off (fun r -> r.Xinv_parallel.Run.makespan))
+        (get on (fun r -> r.Xinv_parallel.Run.makespan));
+      Alcotest.(check int) (tag "tasks")
+        (get off (fun r -> r.Xinv_parallel.Run.tasks))
+        (get on (fun r -> r.Xinv_parallel.Run.tasks));
+      Alcotest.(check int) (tag "checks")
+        (get off (fun r -> r.Xinv_parallel.Run.checks))
+        (get on (fun r -> r.Xinv_parallel.Run.checks));
+      Alcotest.(check int) (tag "misspecs")
+        (get off (fun r -> r.Xinv_parallel.Run.misspecs))
+        (get on (fun r -> r.Xinv_parallel.Run.misspecs));
+      Alcotest.(check bool) (tag "verified") off.Cx.verified on.Cx.verified;
+      Alcotest.(check bool) (tag "instrumented run logged events") true
+        (Obs.Recorder.length obs > 0))
+    fixed_runs
+
+let suite =
+  [
+    Alcotest.test_case "metrics counter" `Quick test_metrics_counter;
+    Alcotest.test_case "metrics gauge" `Quick test_metrics_gauge;
+    Alcotest.test_case "metrics histogram" `Quick test_metrics_histogram;
+    Alcotest.test_case "recorder order" `Quick test_recorder_order;
+    Alcotest.test_case "perfetto export" `Quick test_perfetto_export;
+    Alcotest.test_case "report contents" `Quick test_report_contents;
+    Alcotest.test_case "misspeculation report" `Quick test_misspec_report;
+    Alcotest.test_case "obs off/on bit-identical" `Slow test_obs_off_bit_identical;
+  ]

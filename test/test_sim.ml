@@ -43,7 +43,26 @@ let test_spawn_from_inside () =
 let test_deadlock_detection () =
   let eng = Engine.create () in
   ignore (Engine.spawn eng ~name:"stuck" (fun () -> Proc.suspend (fun _ -> ())));
-  Alcotest.check_raises "deadlock raised" (Engine.Deadlock "stuck(#0)") (fun () ->
+  Alcotest.check_raises "deadlock raised"
+    (Engine.Deadlock "at t=0: stuck(#0,Suspended)") (fun () -> Engine.run eng)
+
+let test_deadlock_two_threads () =
+  (* Two threads each waiting on a cell only the other would set: the
+     diagnosis must carry the simulated clock and each thread's state. *)
+  let eng = Engine.create () in
+  let a = Sim.Mono_cell.create ~init:0 () and b = Sim.Mono_cell.create ~init:0 () in
+  ignore
+    (Engine.spawn eng ~name:"left" (fun () ->
+         Proc.work 7.;
+         Sim.Mono_cell.wait_ge a 1;
+         Sim.Mono_cell.set b 1));
+  ignore
+    (Engine.spawn eng ~name:"right" (fun () ->
+         Proc.work 11.;
+         Sim.Mono_cell.wait_ge b 1;
+         Sim.Mono_cell.set a 1));
+  Alcotest.check_raises "both stuck threads reported with clock and state"
+    (Engine.Deadlock "at t=11: left(#0,Suspended), right(#1,Suspended)") (fun () ->
       Engine.run eng)
 
 let test_determinism () =
@@ -253,6 +272,54 @@ let test_trace_by_thread () =
     (fun (_, segs) -> Alcotest.(check int) "two segments each" 2 (List.length segs))
     groups
 
+let test_trace_render_pinned () =
+  (* Crafted two-thread trace; pins the exact rendered output so the
+     cursor-based cell scan stays equivalent to the original per-cell probe. *)
+  let seg tid label cat t_start t_end =
+    { Sim.Trace.tid; label; cat; t_start; t_end }
+  in
+  let segs =
+    [
+      seg 0 "a" Sim.Category.Work 0. 10.;
+      seg 1 "c" Sim.Category.Work 5. 15.;
+      seg 0 "b" Sim.Category.Runtime 10. 20.;
+    ]
+  in
+  let expected =
+    String.concat "\n"
+      [
+        "    time  T0       | T1      ";
+        "       0  a        | .       ";
+        "       5  a        | c       ";
+        "      10  b        | c       ";
+        "      15  b        | .       ";
+      ]
+  in
+  Alcotest.(check string) "pinned render" expected (Sim.Trace.render ~width:4 segs)
+
+let test_trace_by_thread_ordering () =
+  let seg tid label t_start t_end =
+    { Sim.Trace.tid; label; cat = Sim.Category.Work; t_start; t_end }
+  in
+  (* Interleaved insertion across threads, including an out-of-tid-order
+     first appearance (tid 2 before tid 0). *)
+  let segs =
+    [
+      seg 2 "x" 0. 1.;
+      seg 0 "p" 0. 2.;
+      seg 2 "y" 1. 3.;
+      seg 0 "q" 2. 4.;
+      seg 2 "z" 3. 5.;
+    ]
+  in
+  let groups = Sim.Trace.by_thread segs in
+  Alcotest.(check (list int)) "groups sorted by tid" [ 0; 2 ] (List.map fst groups);
+  let labels tid =
+    List.map (fun s -> s.Sim.Trace.label) (List.assoc tid groups)
+  in
+  Alcotest.(check (list string)) "tid 0 oldest-first" [ "p"; "q" ] (labels 0);
+  Alcotest.(check (list string)) "tid 2 oldest-first" [ "x"; "y"; "z" ] (labels 2)
+
 let test_trace_disabled_by_default () =
   let eng = Engine.create () in
   ignore (Engine.spawn eng (fun () -> Proc.work 5.));
@@ -298,6 +365,7 @@ let suite =
     Alcotest.test_case "parallel threads" `Quick test_parallel_threads_independent_clocks;
     Alcotest.test_case "spawn from inside" `Quick test_spawn_from_inside;
     Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+    Alcotest.test_case "deadlock two threads" `Quick test_deadlock_two_threads;
     Alcotest.test_case "determinism" `Quick test_determinism;
     Alcotest.test_case "barrier release" `Quick test_barrier;
     Alcotest.test_case "barrier wait accounting" `Quick test_barrier_wait_charged;
@@ -314,6 +382,8 @@ let suite =
     Alcotest.test_case "mutex exception safety" `Quick test_mutex_exception_safety;
     Alcotest.test_case "category indexing" `Quick test_category_indexing;
     Alcotest.test_case "trace by thread" `Quick test_trace_by_thread;
+    Alcotest.test_case "trace render pinned" `Quick test_trace_render_pinned;
+    Alcotest.test_case "trace by_thread ordering" `Quick test_trace_by_thread_ordering;
     Alcotest.test_case "trace disabled by default" `Quick test_trace_disabled_by_default;
     Alcotest.test_case "machine pp" `Quick test_machine_pp;
     Alcotest.test_case "engine charge api" `Quick test_engine_charge_api;

@@ -1,0 +1,187 @@
+(* Wall-clock scaling of the native (real OCaml domains) backend.
+
+   Measures sequential vs barrier vs DOMORE vs SPECCROSS at 1/2/4 domains on
+   the two workloads both engines support (SYMM, LLUBENCH), with the
+   calibrated spin work model so statement costs from the simulator's cost
+   model become real nanoseconds.
+
+   Modes:
+     bench_native                   print a table of wall ms per configuration
+     bench_native --smoke           one tiny run per engine (runtest alias)
+     bench_native --raw FILE        append "name wall_ns" lines to FILE
+     bench_native --json OUT [--from-raw RAWFILE]
+                                    emit BENCH_PR4.json; with --from-raw, read
+                                    the numbers from a raw file instead of
+                                    re-timing.  Repeated lines per
+                                    configuration merge by minimum, so
+                                    alternating appended runs cancel machine
+                                    drift (same protocol as bench_primitives)
+
+   Each configuration is timed [repeats] times after a warmup run and the
+   minimum wall time is kept.  Speedups are computed against the same
+   workload's native-sequential row.  The JSON records the machine's core
+   count: scaling beyond 1.0x needs at least as many cores as domains, so a
+   single-core container measures (honest) slowdowns. *)
+
+module Ir = Xinv_ir
+module Nat = Xinv_native
+module Wl = Xinv_workloads
+module C = Xinv_core.Crossinv
+
+let workloads = [ "SYMM"; "LLUBENCH" ]
+let domain_counts = [ 1; 2; 4 ]
+let techniques = [ ("barrier", C.Barrier); ("domore", C.Domore); ("speccross", C.Speccross) ]
+
+(* ns of real spinning per simulated cycle: large enough that task work
+   dominates queue/atomic traffic, small enough to keep the matrix fast. *)
+let ns_per_cycle = 1.0
+
+let repeats = 3
+
+type row = { name : string; wall_ns : float }
+
+let time_config ~work ~input (wl : Wl.Workload.t) technique domains =
+  let best = ref infinity in
+  for i = 0 to repeats do
+    let o = C.execute_native ~input ~verify:(i = 0) ~work ~technique ~threads:domains wl in
+    (* i = 0 is the warmup (and the verified run); the rest are timed. *)
+    if i > 0 && o.C.nrun.Nat.Nrun.wall_ns < !best then
+      best := o.C.nrun.Nat.Nrun.wall_ns;
+    if not o.C.nverified then begin
+      Printf.eprintf "FATAL: %s under %s failed verification\n"
+        wl.Wl.Workload.name (C.technique_name technique);
+      exit 1
+    end
+  done;
+  !best
+
+let measure () =
+  let work = Nat.Work.Spin ns_per_cycle in
+  let input = Wl.Workload.Train in
+  List.concat_map
+    (fun wname ->
+      let wl = Wl.Registry.find wname in
+      let seq = time_config ~work ~input wl C.Sequential 1 in
+      Printf.printf "%-28s %10.2f ms\n%!" (wname ^ ".seq") (seq /. 1e6);
+      { name = wname ^ ".seq"; wall_ns = seq }
+      :: List.concat_map
+           (fun (tname, tech) ->
+             List.map
+               (fun d ->
+                 let ns = time_config ~work ~input wl tech d in
+                 let name = Printf.sprintf "%s.%s.d%d" wname tname d in
+                 Printf.printf "%-28s %10.2f ms  (%.2fx)\n%!" name (ns /. 1e6)
+                   (seq /. ns);
+                 { name; wall_ns = ns })
+               domain_counts)
+           techniques)
+    workloads
+
+(* ---------- raw-file merge (same protocol as bench_primitives) ---------- *)
+
+let read_raw_ordered path =
+  let ic = open_in path in
+  let order = ref [] and tbl = Hashtbl.create 16 in
+  (try
+     while true do
+       let line = input_line ic in
+       match String.split_on_char ' ' (String.trim line) with
+       | [ name; ns ] ->
+           let v = float_of_string ns in
+           (match Hashtbl.find_opt tbl name with
+           | None ->
+               order := name :: !order;
+               Hashtbl.replace tbl name v
+           | Some prev -> if v < prev then Hashtbl.replace tbl name v)
+       | _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev_map (fun name -> (name, Hashtbl.find tbl name)) !order
+
+(* ---------- JSON ---------- *)
+
+let seq_of rows name =
+  (* "SYMM.domore.d4" -> the "SYMM.seq" row *)
+  match String.index_opt name '.' with
+  | None -> None
+  | Some i -> List.assoc_opt (String.sub name 0 i ^ ".seq") rows
+
+let emit_json ~out rows =
+  let oc = open_out out in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"xinv-bench-native/1\",\n";
+  Buffer.add_string b "  \"unit\": \"wall_ns\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"cores\": %d,\n" (Domain.recommended_domain_count ()));
+  Buffer.add_string b
+    (Printf.sprintf "  \"work_ns_per_cycle\": %.2f,\n" ns_per_cycle);
+  Buffer.add_string b "  \"input\": \"train\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"repeats_min_of\": %d,\n" repeats);
+  Buffer.add_string b "  \"results\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string b
+        (Printf.sprintf "    {\"name\": %S, \"wall_ns\": %.0f" name ns);
+      (match seq_of rows name with
+      | Some seq when name <> "" && not (String.length name >= 4
+                                         && String.sub name (String.length name - 4) 4 = ".seq") ->
+          Buffer.add_string b
+            (Printf.sprintf ", \"speedup_vs_seq\": %.3f" (seq /. ns))
+      | _ -> ());
+      Buffer.add_string b (if i = n - 1 then "}\n" else "},\n"))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  output_string oc (Buffer.contents b);
+  close_out oc
+
+(* ---------- smoke ---------- *)
+
+let smoke () =
+  let input = Wl.Workload.Train in
+  let wl = Wl.Registry.find "SYMM" in
+  List.iter
+    (fun (tname, tech) ->
+      let o = C.execute_native ~input ~technique:tech ~threads:2 wl in
+      if not o.C.nverified then begin
+        Printf.eprintf "smoke %s: verification failed\n" tname;
+        exit 1
+      end;
+      Printf.printf "smoke native.%-10s ok (%d tasks, %.1f ms)\n" tname
+        o.C.nrun.Nat.Nrun.tasks
+        (o.C.nrun.Nat.Nrun.wall_ns /. 1e6))
+    (("sequential", C.Sequential) :: techniques);
+  print_string "bench native smoke: all engines ran\n"
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has f = List.mem f args in
+  let opt f =
+    let rec go = function
+      | a :: v :: _ when a = f -> Some v
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go args
+  in
+  if has "--smoke" then smoke ()
+  else begin
+    let rows =
+      match opt "--from-raw" with
+      | Some path -> read_raw_ordered path
+      | None -> List.map (fun r -> (r.name, r.wall_ns)) (measure ())
+    in
+    (match opt "--raw" with
+    | Some path ->
+        let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path in
+        List.iter (fun (name, ns) -> Printf.fprintf oc "%s %.0f\n" name ns) rows;
+        close_out oc
+    | None -> ());
+    match opt "--json" with
+    | Some out ->
+        emit_json ~out rows;
+        Printf.printf "wrote %s\n" out
+    | None -> ()
+  end

@@ -11,7 +11,11 @@ let workload_conv =
   let parse s =
     match Wl.Registry.find s with
     | wl -> Ok wl
-    | exception Invalid_argument msg -> Error (`Msg msg)
+    | exception Invalid_argument _ ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown workload %s (available: %s)" s
+               (String.concat ", " (Wl.Registry.names ()))))
   in
   Arg.conv (parse, fun ppf (wl : Wl.Workload.t) -> Format.fprintf ppf "%s" wl.Wl.Workload.name)
 
@@ -69,34 +73,95 @@ let tech_arg =
     & opt technique_conv Cx.Domore
     & info [ "x"; "technique"; "k" ] ~docv:"TECH" ~doc:"Parallelization technique.")
 
+let backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("sim", `Sim); ("native", `Native) ]) `Sim
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Execution backend: $(b,sim) (simulated multicore, virtual time) or \
+           $(b,native) (real OCaml domains, wall-clock time).")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Real domains for the native backend (implies --backend native).")
+
+let run_sim wl technique threads input verbose stats =
+  let obs = if stats then Some (Xinv_obs.Recorder.create ()) else None in
+  let o = Cx.execute ~input ?obs ~technique ~threads wl in
+  Printf.printf "%s under %s, %d threads (input %s):\n" wl.Wl.Workload.name
+    (Cx.technique_name technique) threads
+    (Wl.Workload.input_name input);
+  Printf.printf "  sequential cost  %.0f cycles\n" o.Cx.seq_cost;
+  Printf.printf "  speedup          %.2fx\n" o.Cx.speedup;
+  Printf.printf "  verified         %b\n" o.Cx.verified;
+  (match o.Cx.run with
+  | Some r when verbose -> Format.printf "  %a@." Xinv_parallel.Run.pp r
+  | _ -> ());
+  (match o.Cx.profile with
+  | Some prof when verbose -> Format.printf "  %a@." Xinv_speccross.Profiler.pp prof
+  | _ -> ());
+  (match o.Cx.run with
+  | Some r when stats ->
+      Format.printf "%a@." Xinv_obs.Report.pp (Xinv_parallel.Run.report r)
+  | _ -> ());
+  if not o.Cx.verified then exit 2
+
+let run_native wl technique domains input verbose stats =
+  let obs = if stats then Some (Xinv_obs.Recorder.create ()) else None in
+  let o = Cx.execute_native ~input ?obs ~technique ~threads:domains wl in
+  Printf.printf "%s under %s, %d domains (native backend, input %s):\n"
+    wl.Wl.Workload.name
+    (Cx.technique_name technique)
+    domains
+    (Wl.Workload.input_name input);
+  Printf.printf "  sequential wall  %.3f ms\n" (o.Cx.seq_wall_ns /. 1e6);
+  Printf.printf "  wall time        %.3f ms\n"
+    (o.Cx.nrun.Xinv_native.Nrun.wall_ns /. 1e6);
+  Printf.printf "  speedup          %.2fx\n" o.Cx.nspeedup;
+  Printf.printf "  verified         %b\n" o.Cx.nverified;
+  if verbose then Format.printf "  %a@." Xinv_native.Nrun.pp o.Cx.nrun;
+  (match o.Cx.nprofile with
+  | Some prof when verbose -> Format.printf "  %a@." Xinv_speccross.Profiler.pp prof
+  | _ -> ());
+  (match obs with
+  | Some obs when stats ->
+      List.iter
+        (fun (name, v) -> Printf.printf "  %-32s %d\n" name v)
+        (Xinv_obs.Metrics.counters (Xinv_obs.Recorder.metrics obs))
+  | _ -> ());
+  if not o.Cx.nverified then exit 2
+
 let run_cmd =
-  let run wl technique threads input verbose stats =
+  let run wl technique threads input backend domains verbose stats =
+    (match (backend, domains) with
+    | `Sim, Some _ ->
+        prerr_endline
+          "--domains only applies to the native backend (use --threads for \
+           simulated cores, or add --backend native)";
+        exit 1
+    | _ -> ());
+    (match domains with
+    | Some n when n < 1 ->
+        Printf.eprintf "--domains must be >= 1 (got %d)\n" n;
+        exit 1
+    | _ -> ());
     match Cx.applicable technique wl with
     | Error reason ->
         Printf.printf "%s is inapplicable to %s: %s\n" (Cx.technique_name technique)
           wl.Wl.Workload.name reason;
         exit 1
-    | Ok () ->
-        let obs = if stats then Some (Xinv_obs.Recorder.create ()) else None in
-        let o = Cx.execute ~input ?obs ~technique ~threads wl in
-        Printf.printf "%s under %s, %d threads (input %s):\n" wl.Wl.Workload.name
-          (Cx.technique_name technique) threads
-          (Wl.Workload.input_name input);
-        Printf.printf "  sequential cost  %.0f cycles\n" o.Cx.seq_cost;
-        Printf.printf "  speedup          %.2fx\n" o.Cx.speedup;
-        Printf.printf "  verified         %b\n" o.Cx.verified;
-        (match o.Cx.run with
-        | Some r when verbose -> Format.printf "  %a@." Xinv_parallel.Run.pp r
-        | _ -> ());
-        (match o.Cx.profile with
-        | Some prof when verbose ->
-            Format.printf "  %a@." Xinv_speccross.Profiler.pp prof
-        | _ -> ());
-        (match o.Cx.run with
-        | Some r when stats ->
-            Format.printf "%a@." Xinv_obs.Report.pp (Xinv_parallel.Run.report r)
-        | _ -> ());
-        if not o.Cx.verified then exit 2
+    | Ok () -> (
+        match (backend, domains) with
+        | `Sim, None -> run_sim wl technique threads input verbose stats
+        | `Native, d ->
+            run_native wl technique
+              (match d with Some n -> n | None -> 4)
+              input verbose stats
+        | `Sim, Some _ -> assert false)
   in
   let wl_arg =
     Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
@@ -109,8 +174,13 @@ let run_cmd =
           ~doc:"Instrument the run and print the observability report.")
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Run one workload under one technique and verify the result.")
-    Term.(const run $ wl_arg $ tech_arg $ threads_arg $ input_arg $ verbose $ stats)
+    (Cmd.info "run"
+       ~doc:
+         "Run one workload under one technique and verify the result, on the \
+          simulated multicore or on real domains (--backend native).")
+    Term.(
+      const run $ wl_arg $ tech_arg $ threads_arg $ input_arg $ backend_arg
+      $ domains_arg $ verbose $ stats)
 
 (* ---- stats ---- *)
 

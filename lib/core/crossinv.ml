@@ -197,3 +197,150 @@ let execute ?(machine = Sim.Machine.default) ?(input = Wl.Workload.Ref)
     mismatches;
     profile;
   }
+
+module Nat = Xinv_native
+
+type native_outcome = {
+  nrun : Nat.Nrun.t;
+  seq_wall_ns : float;
+  nspeedup : float;
+  nverified : bool;
+  nmismatches : (string * int) list;
+  nprofile : Xinv_speccross.Profiler.t option;
+}
+
+let native_mtcg_plan program env name =
+  match Ir.Mtcg.generate program env with
+  | Ir.Mtcg.Inapplicable reason ->
+      failwith (Printf.sprintf "DOMORE inapplicable to %s: %s" name reason)
+  | Ir.Mtcg.Plan mplan -> mplan
+
+let native_pool_size ~technique ~threads =
+  match technique with
+  | Sequential -> 0
+  | Barrier | Domore_dup -> threads - 1
+  | Domore | Speccross | Speccross_inject _ -> Stdlib.max 1 (threads - 1)
+  | Doacross | Dswp | Inspector | Tls -> 0
+
+let execute_native ?(input = Wl.Workload.Ref) ?(checkpoint_every = 1000)
+    ?(verify = true) ?(work = Nat.Work.Off) ?pool ?obs ~technique ~threads
+    (wl : Wl.Workload.t) =
+  assert (threads > 0);
+  let program = wl.Wl.Workload.program input in
+  (* Wall-clock baseline and bit-exact reference memory in one pass. *)
+  let seq_env = wl.Wl.Workload.fresh_env input in
+  let seq_run = Nat.Nbarrier.run_seq ~work program seq_env in
+  let env = wl.Wl.Workload.fresh_env input in
+  let plan = Wl.Workload.plan_fn wl in
+  let with_pool f =
+    match pool with
+    | Some pool -> f pool
+    | None -> Nat.Pool.with_pool ~workers:(native_pool_size ~technique ~threads) f
+  in
+  let policy =
+    if wl.Wl.Workload.mem_partition then Xinv_domore.Policy.Mem_partition
+    else Xinv_domore.Policy.Round_robin
+  in
+  let nrun, nprofile =
+    match technique with
+    | Sequential -> (Nat.Nbarrier.run_seq ~work program env, None)
+    | Doacross | Dswp | Inspector | Tls ->
+        failwith
+          (Printf.sprintf "%s has no native backend (simulator only)"
+             (technique_name technique))
+    | Barrier ->
+        ( with_pool (fun pool ->
+              Nat.Nbarrier.run ~pool ~work ~threads ~plan program env),
+          None )
+    | Domore ->
+        let mplan = native_mtcg_plan program env wl.Wl.Workload.name in
+        let workers = Stdlib.max 1 (threads - 1) in
+        let config =
+          { (Nat.Ndomore.default_config ~workers) with Nat.Ndomore.policy; work }
+        in
+        ( with_pool (fun pool ->
+              Nat.Ndomore.run ~pool ~config ~plan:mplan program env),
+          None )
+    | Domore_dup ->
+        let mplan = native_mtcg_plan program env wl.Wl.Workload.name in
+        let config =
+          { (Nat.Ndomore.default_config ~workers:threads) with
+            Nat.Ndomore.policy; work }
+        in
+        ( with_pool (fun pool ->
+              Nat.Ndomore.run_duplicated ~pool ~config ~plan:mplan program env),
+          None )
+    | Speccross | Speccross_inject _ ->
+        let train_input =
+          match input with
+          | Wl.Workload.Ref_spec -> Wl.Workload.Train_spec
+          | _ -> Wl.Workload.Train
+        in
+        let train_env = wl.Wl.Workload.fresh_env train_input in
+        let prof =
+          Xinv_speccross.Profiler.profile
+            (wl.Wl.Workload.program train_input)
+            train_env
+        in
+        let workers = Stdlib.max 1 (threads - 1) in
+        if not (Xinv_speccross.Profiler.profitable prof ~workers) then
+          (* Same §4.4 decision as the simulated path: a short minimum
+             dependence distance recommends real barriers instead. *)
+          ( with_pool (fun pool ->
+                Nat.Nbarrier.run ~pool ~work ~threads ~plan program env),
+            Some prof )
+        else
+          let inject =
+            match technique with Speccross_inject e -> Some (e, 0) | _ -> None
+          in
+          let config =
+            {
+              (Nat.Nspec.default_config ~workers) with
+              Nat.Nspec.sig_kind =
+                Xinv_runtime.Signature.Segmented (Ir.Memory.bounds env.Ir.Env.mem);
+              checkpoint_every;
+              spec_distance =
+                (match prof.Xinv_speccross.Profiler.min_task_distance with
+                | Some d -> Stdlib.max workers d
+                | None ->
+                    Stdlib.max (4 * workers)
+                      (int_of_float
+                         (4. *. prof.Xinv_speccross.Profiler.avg_tasks_per_epoch)));
+              mode_of = spec_mode_of_plan wl;
+              inject_misspec = inject;
+              work;
+            }
+          in
+          ( with_pool (fun pool -> Nat.Nspec.run ~pool ~config program env),
+            Some prof )
+  in
+  (match obs with
+  | None -> ()
+  | Some obs ->
+      let m = Xinv_obs.Recorder.metrics obs in
+      let bump name v =
+        if v > 0 then Xinv_obs.Metrics.add (Xinv_obs.Metrics.counter m name) v
+      in
+      (match technique with
+      | Domore | Domore_dup ->
+          bump "domore.tasks_dispatched" nrun.Nat.Nrun.tasks;
+          bump "domore.sync_conds_forwarded" nrun.Nat.Nrun.conds
+      | Speccross | Speccross_inject _ ->
+          bump "speccross.epochs_committed" nrun.Nat.Nrun.invocations;
+          bump "speccross.signature_checks" nrun.Nat.Nrun.checks;
+          bump "speccross.misspeculations" nrun.Nat.Nrun.misspecs;
+          bump "barrier.crossings" nrun.Nat.Nrun.barrier_episodes
+      | _ -> bump "barrier.crossings" nrun.Nat.Nrun.barrier_episodes));
+  let nmismatches =
+    if verify && technique <> Sequential then
+      Ir.Memory.diff seq_env.Ir.Env.mem env.Ir.Env.mem
+    else []
+  in
+  {
+    nrun;
+    seq_wall_ns = seq_run.Nat.Nrun.wall_ns;
+    nspeedup = Nat.Nrun.speedup ~seq_wall_ns:seq_run.Nat.Nrun.wall_ns nrun;
+    nverified = nmismatches = [];
+    nmismatches;
+    nprofile;
+  }

@@ -64,3 +64,42 @@ val execute :
 val spec_mode_of_plan :
   Xinv_workloads.Workload.t -> string -> Xinv_speccross.Runtime.mode
 (** Map the workload's Table 5.1 plan onto SPECCROSS execution modes. *)
+
+(** {1 Native backend}
+
+    The same programs on real OCaml 5 domains, measured in wall-clock time
+    instead of simulated cycles. *)
+
+type native_outcome = {
+  nrun : Xinv_native.Nrun.t;
+  seq_wall_ns : float;  (** native sequential wall time of the same input *)
+  nspeedup : float;  (** wall-clock speedup over native sequential *)
+  nverified : bool;  (** final memory identical to sequential execution *)
+  nmismatches : (string * int) list;
+  nprofile : Xinv_speccross.Profiler.t option;
+}
+
+val execute_native :
+  ?input:Xinv_workloads.Workload.input ->
+  ?checkpoint_every:int ->
+  ?verify:bool ->
+  ?work:Xinv_native.Work.t ->
+  ?pool:Xinv_native.Pool.t ->
+  ?obs:Xinv_obs.Recorder.t ->
+  technique:technique ->
+  threads:int ->
+  Xinv_workloads.Workload.t ->
+  native_outcome
+(** Runs the workload on [threads] real domains total (DOMORE: scheduler +
+    workers; SPECCROSS: workers + checker — both count the caller's domain).
+    [?work] converts simulated statement costs into calibrated spinning so
+    wall-clock scaling reflects the workload's cost model; the default
+    [Work.Off] runs the raw memory operations.  [?pool] reuses an existing
+    domain pool (it must hold at least [threads - 1] domains); otherwise a
+    pool is spun up for this call.  SPECCROSS profiles the train input and
+    falls back to native barriers when unprofitable, exactly like the
+    simulated path.  With [?obs], the same counters the simulator maintains
+    ([domore.*], [speccross.*], [barrier.crossings]) are bumped from the
+    native run's totals.
+    @raise Failure for techniques with no native backend
+    (Doacross, DSWP, Inspector, TLS). *)

@@ -7,8 +7,11 @@ type config = { machine : Sim.Machine.t; policy : Policy.t; workers : int }
 let default_config ~workers =
   { machine = Sim.Machine.default; policy = Policy.Round_robin; workers }
 
+(* Queue payload.  Sync carries a {!Rt.Sync_cond.to_int}-encoded condition:
+   the simulator's channels and the native backend's atomic int queues share
+   one wire format. *)
 type msg =
-  | Sync of Rt.Sync_cond.t
+  | Sync of int
   | Do of { t : int; j : int; inner : int; iter : int }
 
 let run ?config ?obs ?(trace = false) ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
@@ -106,7 +109,7 @@ let run ?config ?obs ?(trace = false) ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) 
                       (Obs.Event.Sync_forwarded
                          { to_tid = tid; dep_tid = dt; dep_iter = di }));
                 Sim.Channel.produce queues.(tid)
-                  (Sync (Rt.Sync_cond.Wait { dep_tid = dt; dep_iter = di })))
+                  (Sync (Rt.Sync_cond.to_int (Rt.Sync_cond.Wait { dep_tid = dt; dep_iter = di }))))
               deps;
             (match obs with
             | None -> ()
@@ -119,7 +122,9 @@ let run ?config ?obs ?(trace = false) ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) 
           done)
         bodies
     done;
-    Array.iter (fun q -> Sim.Channel.produce q (Sync Rt.Sync_cond.End_token)) queues
+    Array.iter
+      (fun q -> Sim.Channel.produce q (Sync (Rt.Sync_cond.to_int Rt.Sync_cond.End_token)))
+      queues
   in
   let worker w () =
     (* Engine tid of worker [w]: the scheduler is spawned first as thread 0. *)
@@ -139,19 +144,23 @@ let run ?config ?obs ?(trace = false) ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) 
     let continue_ = ref true in
     while !continue_ do
       match consume queues.(w) with
-      | Sync Rt.Sync_cond.End_token -> continue_ := false
-      | Sync (Rt.Sync_cond.No_sync _) -> ()
-      | Sync (Rt.Sync_cond.Wait { dep_tid; dep_iter }) -> (
-          match obs with
-          | None ->
-              Sim.Mono_cell.wait_ge ~cat:Sim.Category.Sync_wait cells.(dep_tid) dep_iter
-          | Some o ->
-              let t0 = Sim.Proc.now () in
-              Sim.Mono_cell.wait_ge ~cat:Sim.Category.Sync_wait cells.(dep_tid) dep_iter;
-              let dur = Sim.Proc.now () -. t0 in
-              if dur > 0. then
-                Obs.Recorder.record o ~at:(Sim.Proc.now ()) ~tid
-                  (Obs.Event.Worker_stalled { cause = Obs.Event.Sync_cond; dur }))
+      | Sync word -> (
+          match Rt.Sync_cond.of_int word with
+          | Rt.Sync_cond.End_token -> continue_ := false
+          | Rt.Sync_cond.No_sync _ -> ()
+          | Rt.Sync_cond.Wait { dep_tid; dep_iter } -> (
+              match obs with
+              | None ->
+                  Sim.Mono_cell.wait_ge ~cat:Sim.Category.Sync_wait cells.(dep_tid)
+                    dep_iter
+              | Some o ->
+                  let t0 = Sim.Proc.now () in
+                  Sim.Mono_cell.wait_ge ~cat:Sim.Category.Sync_wait cells.(dep_tid)
+                    dep_iter;
+                  let dur = Sim.Proc.now () -. t0 in
+                  if dur > 0. then
+                    Obs.Recorder.record o ~at:(Sim.Proc.now ()) ~tid
+                      (Obs.Event.Worker_stalled { cause = Obs.Event.Sync_cond; dur })))
       | Do { t; j; inner; iter } ->
           let il = bodies.(inner) in
           let env_j = Ir.Env.with_inner (Ir.Env.with_outer env t) j in

@@ -1,0 +1,23 @@
+type t = { mutable steps : int }
+
+let create () = { steps = 0 }
+
+let spin_rounds = 128
+let max_nap = 0.0005 (* 500us cap keeps recovery latency bounded *)
+
+let once b =
+  b.steps <- b.steps + 1;
+  if b.steps <= spin_rounds then Domain.cpu_relax ()
+  else
+    let nap = 1e-6 *. float_of_int (b.steps - spin_rounds) in
+    Unix.sleepf (Float.min max_nap nap)
+
+let reset b = b.steps <- 0
+
+let wait_until pred =
+  if not (pred ()) then begin
+    let b = create () in
+    while not (pred ()) do
+      once b
+    done
+  end

@@ -1,0 +1,20 @@
+(** Exponential spin/sleep backoff for the native backend's busy-wait loops.
+
+    The first rounds spin on {!Domain.cpu_relax}; persistent waits escalate
+    to short [Unix.sleepf] naps so an oversubscribed machine (fewer cores
+    than domains — including the 1-core degenerate case) still makes
+    progress instead of burning a whole scheduling quantum per wait. *)
+
+type t
+
+val create : unit -> t
+
+val once : t -> unit
+(** One backoff step: spin while young, nap when the wait persists. *)
+
+val reset : t -> unit
+
+val wait_until : (unit -> bool) -> unit
+(** Spin (with escalation) until the predicate holds.  The predicate is
+    expected to read [Atomic] state, so a satisfied wait also establishes
+    the usual happens-before edge with the writer. *)

@@ -1,0 +1,16 @@
+type t = { parties : int; count : int Atomic.t; sense : int Atomic.t }
+
+let create ~parties =
+  if parties <= 0 then invalid_arg "Nbar.create: parties must be positive";
+  { parties; count = Atomic.make 0; sense = Atomic.make 0 }
+
+let wait t =
+  let s = Atomic.get t.sense in
+  if Atomic.fetch_and_add t.count 1 = t.parties - 1 then begin
+    (* Last arrival resets and flips the sense, releasing the others. *)
+    Atomic.set t.count 0;
+    Atomic.set t.sense (s + 1)
+  end
+  else Backoff.wait_until (fun () -> Atomic.get t.sense <> s)
+
+let waits t = Atomic.get t.sense

@@ -1,0 +1,13 @@
+(** Reusable sense-reversing barrier over [Atomic] counters — the native
+    counterpart of {!Xinv_sim.Barrier}.  Crossing it establishes
+    happens-before between everything done before the barrier on any party
+    and everything done after it on any other. *)
+
+type t
+
+val create : parties:int -> t
+
+val wait : t -> unit
+
+val waits : t -> int
+(** Completed barrier episodes. *)

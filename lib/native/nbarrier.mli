@@ -1,0 +1,18 @@
+(** Native sequential execution and the pthreads-style baseline: the
+    workload's per-invocation plan ({!Xinv_parallel.Intra}) with a real
+    barrier after every inner-loop invocation. *)
+
+val run_seq : ?work:Work.t -> Xinv_ir.Program.t -> Xinv_ir.Env.t -> Nrun.t
+(** Program order on the calling domain; the wall-clock baseline. *)
+
+val run :
+  pool:Pool.t ->
+  ?work:Work.t ->
+  threads:int ->
+  plan:(string -> Xinv_parallel.Intra.technique) ->
+  Xinv_ir.Program.t ->
+  Xinv_ir.Env.t ->
+  Nrun.t
+(** [threads] domains (1 from the caller + [threads - 1] pool domains)
+    execute every invocation under its planned technique, separated by
+    barriers.  The pool must have at least [threads - 1] workers. *)

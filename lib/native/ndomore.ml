@@ -1,0 +1,194 @@
+module Ir = Xinv_ir
+module Rt = Xinv_runtime
+
+type config = {
+  policy : Xinv_domore.Policy.t;
+  workers : int;
+  queue_capacity : int;
+  work : Work.t;
+}
+
+let default_config ~workers =
+  { policy = Xinv_domore.Policy.Round_robin; workers; queue_capacity = 1024;
+    work = Work.Off }
+
+(* Do-task framing: the Sync_cond encoding never produces tag 3, so a header
+   word [3 lor (inner lsl 2)] is unambiguous on the same queue. *)
+let do_header inner = 3 lor (inner lsl 2)
+
+let wait_cell cells dep_tid dep_iter =
+  if Atomic.get cells.(dep_tid) < dep_iter then
+    Backoff.wait_until (fun () -> Atomic.get cells.(dep_tid) >= dep_iter)
+
+let run ~pool ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
+  let config = match config with Some c -> c | None -> default_config ~workers:3 in
+  let { policy; workers; queue_capacity; work } = config in
+  assert (workers > 0);
+  if workers > Pool.workers pool then invalid_arg "Ndomore.run: pool too small";
+  if plan.Ir.Mtcg.scheduler_extra <> [] then
+    invalid_arg "Ndomore.run: body statements re-partitioned into the scheduler";
+  let queues =
+    Array.init workers (fun _ -> Spsc.create ~dummy:0 ~capacity:queue_capacity)
+  in
+  let cells = Array.init workers (fun _ -> Atomic.make (-1)) in
+  let shadow = Rt.Shadow.create () in
+  let iternum = ref 0 in
+  let conds = ref 0 in
+  let bodies = Array.of_list p.Ir.Program.inners in
+  let loads = Array.make workers 0 in
+  let loads_opt = Some loads in
+  let deps = Rt.Shadow.Deps.create () in
+  let end_word = Rt.Sync_cond.to_int Rt.Sync_cond.End_token in
+  let scheduler () =
+    let sched () =
+      for t = 0 to p.Ir.Program.outer_trip - 1 do
+        let env_t = Ir.Env.with_outer env t in
+        Array.iteri
+          (fun ii (il : Ir.Program.inner) ->
+            List.iter
+              (fun (s : Ir.Stmt.t) ->
+                Work.burn work (s.Ir.Stmt.cost env_t);
+                s.Ir.Stmt.exec env_t)
+              il.Ir.Program.pre;
+            let slice = Ir.Mtcg.slice_for plan il.Ir.Program.ilabel in
+            let trip = il.Ir.Program.trip env_t in
+            for j = 0 to trip - 1 do
+              let env_j = Ir.Env.with_inner env_t j in
+              let waddrs = Ir.Slice.write_addresses slice env_j in
+              for w = 0 to workers - 1 do
+                loads.(w) <- Spsc.length queues.(w)
+              done;
+              let tid =
+                Xinv_domore.Policy.pick policy ~loads:loads_opt ~mem:env.Ir.Env.mem
+                  ~threads:workers ~iter:!iternum ~write_addrs:waddrs
+              in
+              Rt.Shadow.Deps.clear deps;
+              Ir.Slice.iter_read_addresses slice env_j (fun addr ->
+                  Rt.Shadow.note_read_deps shadow addr ~tid ~iter:!iternum deps);
+              List.iter
+                (fun addr ->
+                  Rt.Shadow.note_write_deps shadow addr ~tid ~iter:!iternum deps)
+                waddrs;
+              Rt.Shadow.Deps.iter
+                (fun ~tid:dt ~iter:di ->
+                  incr conds;
+                  Spsc.push queues.(tid)
+                    (Rt.Sync_cond.to_int
+                       (Rt.Sync_cond.Wait { dep_tid = dt; dep_iter = di })))
+                deps;
+              Spsc.push queues.(tid) (do_header ii);
+              Spsc.push queues.(tid) t;
+              Spsc.push queues.(tid) j;
+              Spsc.push queues.(tid) !iternum;
+              incr iternum
+            done)
+          bodies
+      done
+    in
+    (* Workers block on their queues: terminate them even if scheduling
+       itself fails, so the pool join cannot hang. *)
+    (try sched ()
+     with e ->
+       Array.iter (fun q -> Spsc.push q end_word) queues;
+       raise e);
+    Array.iter (fun q -> Spsc.push q end_word) queues
+  in
+  let worker w () =
+    let q = queues.(w) in
+    let continue_ = ref true in
+    while !continue_ do
+      let word = Spsc.pop q in
+      if word land 3 = 3 then begin
+        let inner = word lsr 2 in
+        let t = Spsc.pop q in
+        let j = Spsc.pop q in
+        let iter = Spsc.pop q in
+        let il = bodies.(inner) in
+        let env_j = Ir.Env.with_inner (Ir.Env.with_outer env t) j in
+        List.iter
+          (fun (s : Ir.Stmt.t) ->
+            Work.burn work (s.Ir.Stmt.cost env_j);
+            s.Ir.Stmt.exec env_j)
+          il.Ir.Program.body;
+        Atomic.set cells.(w) iter
+      end
+      else
+        match Rt.Sync_cond.of_int word with
+        | Rt.Sync_cond.End_token -> continue_ := false
+        | Rt.Sync_cond.No_sync _ -> ()
+        | Rt.Sync_cond.Wait { dep_tid; dep_iter } -> wait_cell cells dep_tid dep_iter
+    done
+  in
+  let fns =
+    Array.init (workers + 1) (fun i ->
+        if i = 0 then scheduler else fun () -> worker (i - 1) ())
+  in
+  let wall_ns = Nrun.timed (fun () -> Pool.run pool fns) in
+  Nrun.make ~technique:"native-DOMORE" ~domains:(workers + 1) ~workers ~wall_ns
+    ~tasks:!iternum ~invocations:(Ir.Program.invocations p) ~conds:!conds
+    ~checks:!conds ()
+
+let run_duplicated ~pool ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
+  let config = match config with Some c -> c | None -> default_config ~workers:4 in
+  let { policy; workers; work; _ } = config in
+  assert (workers > 0);
+  if workers - 1 > Pool.workers pool then
+    invalid_arg "Ndomore.run_duplicated: pool too small";
+  if plan.Ir.Mtcg.scheduler_extra <> [] then
+    invalid_arg "Ndomore.run_duplicated: body statements re-partitioned into the scheduler";
+  let cells = Array.init workers (fun _ -> Atomic.make (-1)) in
+  let tasks = ref 0 in
+  let worker tid () =
+    let shadow = Rt.Shadow.create () in
+    let deps = Rt.Shadow.Deps.create () in
+    let iternum = ref 0 in
+    for t = 0 to p.Ir.Program.outer_trip - 1 do
+      let env_t = Ir.Env.with_outer env t in
+      List.iter
+        (fun (il : Ir.Program.inner) ->
+          (* Sequential region duplicated on every domain; privatizable
+             per-invocation slots make the replicated writes idempotent
+             (same values in racy stores — benign under the OCaml memory
+             model for these int/float arrays). *)
+          List.iter
+            (fun (s : Ir.Stmt.t) ->
+              Work.burn work (s.Ir.Stmt.cost env_t);
+              s.Ir.Stmt.exec env_t)
+            il.Ir.Program.pre;
+          let slice = Ir.Mtcg.slice_for plan il.Ir.Program.ilabel in
+          let trip = il.Ir.Program.trip env_t in
+          if tid = 0 then tasks := !tasks + trip;
+          for j = 0 to trip - 1 do
+            let env_j = Ir.Env.with_inner env_t j in
+            let waddrs = Ir.Slice.write_addresses slice env_j in
+            let owner =
+              Xinv_domore.Policy.pick policy ~loads:None ~mem:env.Ir.Env.mem
+                ~threads:workers ~iter:!iternum ~write_addrs:waddrs
+            in
+            Rt.Shadow.Deps.clear deps;
+            Ir.Slice.iter_read_addresses slice env_j (fun addr ->
+                Rt.Shadow.note_read_deps shadow addr ~tid:owner ~iter:!iternum deps);
+            List.iter
+              (fun addr ->
+                Rt.Shadow.note_write_deps shadow addr ~tid:owner ~iter:!iternum deps)
+              waddrs;
+            if owner = tid then begin
+              Rt.Shadow.Deps.iter
+                (fun ~tid:dt ~iter:di -> wait_cell cells dt di)
+                deps;
+              List.iter
+                (fun (s : Ir.Stmt.t) ->
+                  Work.burn work (s.Ir.Stmt.cost env_j);
+                  s.Ir.Stmt.exec env_j)
+                il.Ir.Program.body;
+              Atomic.set cells.(tid) !iternum
+            end;
+            incr iternum
+          done)
+        p.Ir.Program.inners
+    done
+  in
+  let fns = Array.init workers (fun tid () -> worker tid ()) in
+  let wall_ns = Nrun.timed (fun () -> Pool.run pool fns) in
+  Nrun.make ~technique:"native-DOMORE-dup" ~domains:workers ~workers ~wall_ns
+    ~tasks:!tasks ~invocations:(Ir.Program.invocations p) ()

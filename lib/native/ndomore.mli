@@ -1,0 +1,47 @@
+(** Native DOMORE (dissertation Chapter 3) on real domains.
+
+    One scheduler domain executes the sequential regions, evaluates the
+    address slice per iteration, detects dynamic dependences in shadow
+    memory ({!Xinv_runtime.Shadow}) and streams synchronization conditions
+    plus Do-task messages to worker domains over lock-free int queues
+    ({!Spsc}).  Workers publish completed iteration numbers in monotonic
+    [Atomic] cells; a [Wait] condition spins until the named worker's cell
+    reaches the named iteration.
+
+    Wire format (one word per message on the queue): words with low bits
+    00/01/10 are {!Xinv_runtime.Sync_cond.to_int} encodings; low bits 11
+    (the encoding's reserved tag) frame a Do-task header carrying the inner
+    index, followed by three raw words [t], [j], [iter]. *)
+
+type config = {
+  policy : Xinv_domore.Policy.t;
+  workers : int;  (** worker domains, excluding the scheduler *)
+  queue_capacity : int;
+  work : Work.t;
+}
+
+val default_config : workers:int -> config
+
+val run :
+  pool:Pool.t ->
+  ?config:config ->
+  plan:Xinv_ir.Mtcg.plan ->
+  Xinv_ir.Program.t ->
+  Xinv_ir.Env.t ->
+  Nrun.t
+(** The scheduler runs on the calling domain, workers on pool domains (the
+    pool needs [workers] of them).  Mutates the environment's memory to the
+    final state; with deterministic scheduling policies the dispatch — and
+    therefore the sync-condition count — matches the simulator exactly. *)
+
+val run_duplicated :
+  pool:Pool.t ->
+  ?config:config ->
+  plan:Xinv_ir.Mtcg.plan ->
+  Xinv_ir.Program.t ->
+  Xinv_ir.Env.t ->
+  Nrun.t
+(** §3.4 duplicated-scheduler variant: every one of [workers] domains runs
+    the full scheduling computation against a private shadow memory and
+    executes only the iterations it owns — no scheduler domain, no queues,
+    synchronization purely through the completion cells. *)

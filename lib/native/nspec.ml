@@ -1,0 +1,572 @@
+module Ir = Xinv_ir
+module Rt = Xinv_runtime
+module Sx = Xinv_speccross
+
+type config = {
+  workers : int;
+  sig_kind : Rt.Signature.kind;
+  checkpoint_every : int;
+  spec_distance : int;
+  mode_of : string -> Sx.Runtime.mode;
+  inject_misspec : (int * int) option;
+  work : Work.t;
+  queue_capacity : int;
+}
+
+let default_config ~workers =
+  {
+    workers;
+    sig_kind = Rt.Signature.Range;
+    checkpoint_every = 1000;
+    spec_distance = max_int / 4;
+    mode_of = (fun _ -> Sx.Runtime.M_doall);
+    inject_misspec = None;
+    work = Work.Off;
+    queue_capacity = 1024;
+  }
+
+(* Signature request, one per speculative task.  [r_started] is the dpos
+   snapshot taken at task entry; [r_g] the task's global position. *)
+type req = {
+  r_gen : int;
+  r_worker : int;
+  r_epoch : int;
+  r_g : int;
+  r_sig : Rt.Signature.t;
+  r_started : int array;
+  r_force : bool;
+}
+
+exception Abort_now
+
+(* Exceptions raised while executing a *speculative* task on possibly
+   inconsistent state are contained: the task is submitted as a forced
+   conflict and recovery re-executes it non-speculatively (where a
+   deterministic bug would then surface for real). *)
+let containable = function Out_of_memory | Stack_overflow -> false | _ -> true
+
+let run ~pool ?config (p : Ir.Program.t) env =
+  let cfg = match config with Some c -> c | None -> default_config ~workers:3 in
+  let workers = cfg.workers in
+  assert (workers > 0);
+  if workers > Pool.workers pool then invalid_arg "Nspec.run: pool too small";
+  let mem = env.Ir.Env.mem in
+  let inners = Array.of_list p.Ir.Program.inners in
+  let ninners = Array.length inners in
+  let nepochs = p.Ir.Program.outer_trip * ninners in
+  Array.iter
+    (fun (il : Ir.Program.inner) ->
+      match cfg.mode_of il.Ir.Program.ilabel with
+      | Sx.Runtime.M_domore _ ->
+          invalid_arg "Nspec.run: M_domore epochs are not supported natively"
+      | Sx.Runtime.M_doall | Sx.Runtime.M_localwrite -> ())
+    inners;
+  let ckpts = Rt.Checkpoint.create () in
+  Rt.Checkpoint.save ckpts ~epoch:0 mem;
+  let env_of_epoch e =
+    let t = e / ninners in
+    (inners.(e mod ninners), Ir.Env.with_outer env t)
+  in
+  let hot_arrays =
+    List.concat_map
+      (fun (st : Ir.Stmt.t) ->
+        List.map (fun (a : Ir.Access.t) -> a.Ir.Access.base) st.Ir.Stmt.writes)
+      (Ir.Program.body_stmts p)
+    |> List.sort_uniq String.compare
+  in
+  let hot arr = List.mem arr hot_arrays in
+  let irreversible =
+    Array.map
+      (fun (il : Ir.Program.inner) ->
+        List.exists
+          (fun (st : Ir.Stmt.t) -> st.Ir.Stmt.side_effect)
+          (il.Ir.Program.pre @ il.Ir.Program.body))
+      inners
+  in
+  (* Global task position of each epoch's first task; trip counts read only
+     input data the region never writes, so this pre-pass is safe. *)
+  let epoch_base = Array.make (nepochs + 1) 0 in
+  for e = 0 to nepochs - 1 do
+    let il, env_t = env_of_epoch e in
+    epoch_base.(e + 1) <- epoch_base.(e) + il.Ir.Program.trip env_t
+  done;
+
+  (* ---- shared state ---- *)
+  let dummy_req =
+    { r_gen = -1; r_worker = 0; r_epoch = 0; r_g = 0;
+      r_sig = Rt.Signature.create cfg.sig_kind; r_started = [||]; r_force = false }
+  in
+  let qs =
+    Array.init workers (fun _ ->
+        Spsc.create ~dummy:dummy_req ~capacity:cfg.queue_capacity)
+  in
+  let tpos = Array.init workers (fun _ -> Atomic.make (-1)) in
+  let dpos = Array.init workers (fun _ -> Atomic.make (-1)) in
+  let progress = Array.init workers (fun _ -> Atomic.make (-1)) in
+  let abort = Atomic.make false in
+  let checker_gen = Atomic.make 0 in
+  let submitted = Atomic.make 0 in
+  let processed = Atomic.make 0 in
+  let submitted_total = Atomic.make 0 in
+  let misspec_ctr = Atomic.make 0 in
+  let comparison_ctr = Atomic.make 0 in
+  let max_epoch = Atomic.make 0 in
+  let ckpt_done = Atomic.make (-1) in
+  let io_done = Atomic.make (-1) in
+  let prune_floor = Atomic.make (-1) in
+  let redo_from = Atomic.make 0 in
+  let redo_to = Atomic.make 0 in
+  let resume_from = Atomic.make 0 in
+  let finished = Atomic.make false in
+  let injected = Atomic.make false in
+  let bar = Nbar.create ~parties:workers in
+  let tasks_total = ref 0 in
+  (* worker 0 runs on the calling domain *)
+  let aborted () = Atomic.get abort in
+  let wait_or_abort pred =
+    Backoff.wait_until (fun () -> pred () || aborted ())
+  in
+  let all_progress_ge e =
+    let ok = ref true in
+    for w' = 0 to workers - 1 do
+      if Atomic.get progress.(w') < e then ok := false
+    done;
+    !ok
+  in
+  let drained () = Atomic.get processed >= Atomic.get submitted in
+
+  (* ---- checker domain ---- *)
+  let checker () =
+    let cur_gen = ref 0 in
+    let pending = Array.init workers (fun _ -> Queue.create ()) in
+    (* Per worker, newest-first: (global position, epoch, signature). *)
+    let storage = Array.make workers ([] : (int * int * Rt.Signature.t) list) in
+    let floor_seen = ref (-1) in
+    let drain () =
+      let any = ref false in
+      for w = 0 to workers - 1 do
+        let continue_ = ref true in
+        while !continue_ do
+          match Spsc.try_pop qs.(w) with
+          | None -> continue_ := false
+          | Some r ->
+              any := true;
+              if r.r_gen = !cur_gen then Queue.add r pending.(w)
+        done
+      done;
+      !any
+    in
+    let prune () =
+      let fl = Atomic.get prune_floor in
+      if fl > !floor_seen then begin
+        floor_seen := fl;
+        for w = 0 to workers - 1 do
+          storage.(w) <- List.filter (fun (g, _, _) -> g > fl) storage.(w)
+        done
+      end
+    in
+    (* A request is processable once every other worker's signatures for
+       epochs below it are complete (its frontier passed the epoch base). *)
+    let ready (r : req) =
+      let need = epoch_base.(r.r_epoch) - 1 in
+      let ok = ref true in
+      for w' = 0 to workers - 1 do
+        if w' <> r.r_worker && Atomic.get dpos.(w') < need then ok := false
+      done;
+      !ok
+    in
+    let process (r : req) =
+      let conflict = ref r.r_force in
+      for w' = 0 to workers - 1 do
+        if w' <> r.r_worker then begin
+          let from_pos = r.r_started.(w') in
+          let rec scan = function
+            | [] -> ()
+            | (g', e', sg') :: rest ->
+                if g' > from_pos then begin
+                  if e' < r.r_epoch then begin
+                    Atomic.incr comparison_ctr;
+                    if Rt.Signature.intersects r.r_sig sg' then conflict := true
+                  end;
+                  scan rest
+                end
+            (* positions descend: nothing below from_pos matters *)
+          in
+          scan storage.(w')
+        end
+      done;
+      storage.(r.r_worker) <- (r.r_g, r.r_epoch, r.r_sig) :: storage.(r.r_worker);
+      if !conflict then begin
+        Array.iter Queue.clear pending;
+        Array.fill storage 0 workers [];
+        incr cur_gen;
+        Atomic.set checker_gen !cur_gen;
+        Atomic.incr misspec_ctr;
+        Atomic.set abort true;
+        (* abort is published before processed so a worker that observes the
+           full drain also observes the abort *)
+        Atomic.incr processed
+      end
+      else Atomic.incr processed
+    in
+    let b = Backoff.create () in
+    let running = ref true in
+    while !running do
+      let any = drain () in
+      prune ();
+      (* Process pending requests in ascending global position, so every
+         signature a later request's window needs is in storage first. *)
+      let pick () =
+        let best = ref (-1) in
+        for w = 0 to workers - 1 do
+          match Queue.peek_opt pending.(w) with
+          | Some r ->
+              if !best < 0 || r.r_g < (Queue.peek pending.(!best)).r_g then
+                best := w
+          | None -> ()
+        done;
+        !best
+      in
+      let progressed = ref true in
+      while !progressed do
+        progressed := false;
+        let b = pick () in
+        if b >= 0 then begin
+          let r = Queue.peek pending.(b) in
+          if ready r then begin
+            (* The frontiers [ready] just read prove every signature from
+               epochs below [r]'s is already *pushed* — but possibly still
+               sitting in a queue.  Drain now and re-pick: a just-drained
+               request can sort below [r] and must be processed first, or
+               its signature would silently miss [r]'s comparison window. *)
+            drain () |> ignore;
+            let b' = pick () in
+            if b' >= 0 && Queue.peek pending.(b') == r then begin
+              ignore (Queue.pop pending.(b'));
+              process r;
+              (* a conflict purged the pending queues *)
+              drain () |> ignore
+            end;
+            progressed := true
+          end
+        end
+      done;
+      let empty =
+        Array.for_all Queue.is_empty pending
+        && Array.for_all (fun q -> Spsc.length q = 0) qs
+      in
+      if Atomic.get finished && empty then running := false
+      else if any then Backoff.reset b
+      else Backoff.once b
+    done
+  in
+
+  (* ---- per-epoch execution ---- *)
+  let exec_pre env_t (il : Ir.Program.inner) =
+    (* Replicated on every worker (privatizable per-invocation slots). *)
+    List.iter
+      (fun (s : Ir.Stmt.t) ->
+        Work.burn cfg.work (s.Ir.Stmt.cost env_t);
+        s.Ir.Stmt.exec env_t)
+      il.Ir.Program.pre
+  in
+  let plain_body env_j (il : Ir.Program.inner) =
+    List.iter
+      (fun (s : Ir.Stmt.t) ->
+        Work.burn cfg.work (s.Ir.Stmt.cost env_j);
+        s.Ir.Stmt.exec env_j)
+      il.Ir.Program.body
+  in
+  let throttle ~w g =
+    (* Publish first, then wait for every trailing worker to come within the
+       speculative range (dissertation 4.2.1). *)
+    Atomic.set tpos.(w) g;
+    if aborted () then raise Abort_now;
+    let floor_ = g - cfg.spec_distance + 1 in
+    if floor_ > 0 then
+      for w' = 0 to workers - 1 do
+        if w' <> w && Atomic.get tpos.(w') < floor_ then begin
+          wait_or_abort (fun () -> Atomic.get tpos.(w') >= floor_);
+          if aborted () then raise Abort_now
+        end
+      done
+  in
+  let run_task ~w ~gen ~epoch ~g body addrs_fn =
+    (* Everything of mine below [g] is already enqueued. *)
+    Atomic.set dpos.(w) (g - 1);
+    let started = Array.map Atomic.get dpos in
+    let sg = Rt.Signature.create cfg.sig_kind in
+    let force = ref false in
+    (try
+       let addrs = addrs_fn () in
+       body ();
+       Rt.Signature.add_list sg addrs
+     with e when containable e -> force := true);
+    (match cfg.inject_misspec with
+    | Some (ie, iw) when ie = epoch && iw = w && not (Atomic.get injected) ->
+        Atomic.set injected true;
+        force := true
+    | _ -> ());
+    Atomic.incr submitted;
+    Atomic.incr submitted_total;
+    Spsc.push qs.(w)
+      { r_gen = gen; r_worker = w; r_epoch = epoch; r_g = g; r_sig = sg;
+        r_started = started; r_force = !force };
+    Atomic.set dpos.(w) g
+  in
+  (* Submit a no-signature forced conflict: used when speculative state is
+     so inconsistent that even scheduling-side evaluation raises. *)
+  let submit_forced ~w ~gen ~epoch ~g =
+    Atomic.set dpos.(w) (g - 1);
+    let started = Array.map Atomic.get dpos in
+    Atomic.incr submitted;
+    Atomic.incr submitted_total;
+    Spsc.push qs.(w)
+      { r_gen = gen; r_worker = w; r_epoch = epoch; r_g = g;
+        r_sig = Rt.Signature.create cfg.sig_kind; r_started = started;
+        r_force = true };
+    Atomic.set dpos.(w) g
+  in
+  let exec_epoch_spec ~w ~gen e =
+    let il, env_t = env_of_epoch e in
+    (try exec_pre env_t il
+     with ex when containable ex ->
+       submit_forced ~w ~gen ~epoch:e ~g:epoch_base.(e);
+       raise Abort_now);
+    let trip = il.Ir.Program.trip env_t in
+    if w = 0 then tasks_total := !tasks_total + trip;
+    match cfg.mode_of il.Ir.Program.ilabel with
+    | Sx.Runtime.M_domore _ -> assert false
+    | Sx.Runtime.M_doall ->
+        let j = ref w in
+        while !j < trip do
+          if aborted () then raise Abort_now;
+          let env_j = Ir.Env.with_inner env_t !j in
+          let g = epoch_base.(e) + !j in
+          throttle ~w g;
+          run_task ~w ~gen ~epoch:e ~g
+            (fun () -> plain_body env_j il)
+            (fun () -> Ir.Footprint.body_filtered ~hot env_j il);
+          j := !j + workers
+        done
+    | Sx.Runtime.M_localwrite ->
+        for j = 0 to trip - 1 do
+          if aborted () then raise Abort_now;
+          let env_j = Ir.Env.with_inner env_t j in
+          let g = epoch_base.(e) + j in
+          throttle ~w g;
+          let owned (st : Ir.Stmt.t) =
+            List.exists
+              (fun (a : Ir.Access.t) ->
+                let idx = Ir.Expr.eval env_j a.Ir.Access.index in
+                let size = Ir.Memory.size mem a.Ir.Access.base in
+                idx * workers / size = w)
+              st.Ir.Stmt.writes
+          in
+          let mine =
+            match List.exists owned il.Ir.Program.body with
+            | m -> Some m
+            | exception ex when containable ex -> None
+          in
+          (match mine with
+          | None ->
+              (* Ownership itself read garbage: force a conflict. *)
+              submit_forced ~w ~gen ~epoch:e ~g;
+              raise Abort_now
+          | Some false -> Atomic.set dpos.(w) g
+          | Some true ->
+              run_task ~w ~gen ~epoch:e ~g
+                (fun () ->
+                  List.iter
+                    (fun (stm : Ir.Stmt.t) ->
+                      if stm.Ir.Stmt.writes = [] || owned stm then begin
+                        Work.burn cfg.work (stm.Ir.Stmt.cost env_j);
+                        stm.Ir.Stmt.exec env_j
+                      end)
+                    il.Ir.Program.body)
+                (fun () -> Ir.Footprint.body_filtered ~hot env_j il))
+        done
+  in
+  let exec_epoch_nonspec w e =
+    let il, env_t = env_of_epoch e in
+    if w = 0 then exec_pre env_t il;
+    Nbar.wait bar;
+    let trip = il.Ir.Program.trip env_t in
+    (match cfg.mode_of il.Ir.Program.ilabel with
+    | Sx.Runtime.M_domore _ -> assert false
+    | Sx.Runtime.M_doall ->
+        let j = ref w in
+        while !j < trip do
+          plain_body (Ir.Env.with_inner env_t !j) il;
+          j := !j + workers
+        done
+    | Sx.Runtime.M_localwrite ->
+        for j = 0 to trip - 1 do
+          let env_j = Ir.Env.with_inner env_t j in
+          List.iter
+            (fun (stm : Ir.Stmt.t) ->
+              if stm.Ir.Stmt.writes = [] then begin
+                Work.burn cfg.work (stm.Ir.Stmt.cost env_j);
+                if w = 0 then stm.Ir.Stmt.exec env_j
+              end
+              else if
+                List.exists
+                  (fun (a : Ir.Access.t) ->
+                    let idx = Ir.Expr.eval env_j a.Ir.Access.index in
+                    let size = Ir.Memory.size mem a.Ir.Access.base in
+                    idx * workers / size = w)
+                  stm.Ir.Stmt.writes
+              then begin
+                Work.burn cfg.work (stm.Ir.Stmt.cost env_j);
+                stm.Ir.Stmt.exec env_j
+              end)
+            il.Ir.Program.body
+        done)
+  in
+
+  (* ---- recovery ---- *)
+  let recover w gen =
+    Nbar.wait bar;
+    (* All workers rallied: nothing new is being pushed or executed. *)
+    if w = 0 then begin
+      Backoff.wait_until (fun () -> Atomic.get checker_gen > !gen);
+      let ck = Rt.Checkpoint.restore ckpts ~into:mem in
+      Atomic.set redo_from ck;
+      Atomic.set redo_to (Stdlib.min (Atomic.get max_epoch) (nepochs - 1));
+      let rf = Atomic.get redo_to + 1 in
+      Atomic.set resume_from rf;
+      Atomic.set submitted 0;
+      Atomic.set processed 0;
+      let base = epoch_base.(rf) - 1 in
+      for w' = 0 to workers - 1 do
+        Atomic.set tpos.(w') base;
+        Atomic.set dpos.(w') base;
+        Atomic.set progress.(w') (rf - 1)
+      done;
+      (* Everyone already exited their abort-escaping waits (they are at the
+         barrier), so the flag can drop before they resume. *)
+      Atomic.set abort false
+    end;
+    Nbar.wait bar;
+    gen := Atomic.get checker_gen;
+    (* Re-execute the misspeculated epochs with real non-speculative
+       barriers, then checkpoint the resume point. *)
+    for e' = Atomic.get redo_from to Atomic.get redo_to do
+      exec_epoch_nonspec w e';
+      Nbar.wait bar
+    done;
+    if w = 0 then begin
+      let rf = Atomic.get resume_from in
+      Rt.Checkpoint.save ckpts ~epoch:rf mem;
+      Atomic.set ckpt_done rf;
+      Atomic.set prune_floor (epoch_base.(rf) - 1)
+    end;
+    Nbar.wait bar;
+    Atomic.get resume_from
+  in
+
+  (* ---- worker ---- *)
+  let worker w () =
+    let e = ref 0 in
+    let gen = ref 0 in
+    let running = ref true in
+    while !running do
+      if aborted () then e := recover w gen
+      else if !e >= nepochs then begin
+        Atomic.set progress.(w) nepochs;
+        Atomic.set tpos.(w) epoch_base.(nepochs);
+        Atomic.set dpos.(w) epoch_base.(nepochs);
+        wait_or_abort (fun () -> all_progress_ge nepochs);
+        wait_or_abort drained;
+        if aborted () then e := recover w gen
+        else begin
+          if w = 0 then Atomic.set finished true;
+          running := false
+        end
+      end
+      else begin
+        Atomic.set progress.(w) !e;
+        if Atomic.get max_epoch < !e then begin
+          (* monotonic max; racy in-between values are still monotone *)
+          let rec bump () =
+            let cur = Atomic.get max_epoch in
+            if cur < !e && not (Atomic.compare_and_set max_epoch cur !e) then bump ()
+          in
+          bump ()
+        end;
+        if
+          cfg.checkpoint_every > 0
+          && !e > 0
+          && !e mod cfg.checkpoint_every = 0
+          && Atomic.get ckpt_done < !e
+        then begin
+          if w = 0 then begin
+            wait_or_abort (fun () -> all_progress_ge !e);
+            wait_or_abort drained;
+            if not (aborted ()) then begin
+              Rt.Checkpoint.save ckpts ~epoch:!e mem;
+              Atomic.set prune_floor (epoch_base.(!e) - 1);
+              Atomic.set ckpt_done !e
+            end
+          end
+          else wait_or_abort (fun () -> Atomic.get ckpt_done >= !e)
+        end;
+        if aborted () then e := recover w gen
+        else if irreversible.(!e mod ninners) then begin
+          (* Rally, drain, one worker executes the epoch exactly once,
+             checkpoint, resume (§4.2.2). *)
+          if w = 0 then begin
+            wait_or_abort (fun () -> all_progress_ge !e);
+            wait_or_abort drained;
+            if not (aborted ()) then begin
+              let il, env_t = env_of_epoch !e in
+              List.iter
+                (fun (st : Ir.Stmt.t) ->
+                  Work.burn cfg.work (st.Ir.Stmt.cost env_t);
+                  st.Ir.Stmt.exec env_t)
+                il.Ir.Program.pre;
+              let trip = il.Ir.Program.trip env_t in
+              tasks_total := !tasks_total + trip;
+              for j = 0 to trip - 1 do
+                let env_j = Ir.Env.with_inner env_t j in
+                List.iter
+                  (fun (st : Ir.Stmt.t) ->
+                    Work.burn cfg.work (st.Ir.Stmt.cost env_j);
+                    st.Ir.Stmt.exec env_j)
+                  il.Ir.Program.body
+              done;
+              Rt.Checkpoint.save ckpts ~epoch:(!e + 1) mem;
+              Atomic.set prune_floor (epoch_base.(!e + 1) - 1);
+              Atomic.set io_done !e
+            end
+          end
+          else wait_or_abort (fun () -> Atomic.get io_done >= !e);
+          if aborted () then e := recover w gen
+          else begin
+            Atomic.set tpos.(w) (epoch_base.(!e + 1) - 1);
+            Atomic.set dpos.(w) (epoch_base.(!e + 1) - 1);
+            incr e
+          end
+        end
+        else begin
+          Atomic.set tpos.(w) (epoch_base.(!e) - 1);
+          Atomic.set dpos.(w) (epoch_base.(!e) - 1);
+          (try
+             exec_epoch_spec ~w ~gen:!gen !e;
+             if not (aborted ()) then incr e
+           with Abort_now -> ())
+        end
+      end
+    done
+  in
+  let fns =
+    Array.init (workers + 1) (fun i ->
+        if i = 0 then fun () -> worker 0 ()
+        else if i <= workers - 1 then fun () -> worker i ()
+        else checker)
+  in
+  let wall_ns = Nrun.timed (fun () -> Pool.run pool fns) in
+  Nrun.make ~technique:"native-SPECCROSS" ~domains:(workers + 1) ~workers ~wall_ns
+    ~tasks:!tasks_total ~invocations:(Ir.Program.invocations p)
+    ~checks:(Atomic.get submitted_total) ~misspecs:(Atomic.get misspec_ctr)
+    ~barrier_episodes:(Nbar.waits bar) ()

@@ -1,0 +1,47 @@
+(** Native SPECCROSS (dissertation Chapter 4): speculative barriers on real
+    domains, with a dedicated checker domain.
+
+    Workers execute consecutive epochs (inner-loop invocations) without
+    barriers, bounded by the speculative-range throttle.  Each task logs a
+    {!Xinv_runtime.Signature} of its instrumented accesses together with a
+    snapshot of every other worker's signature frontier ([dpos], a
+    monotonic [Atomic] per worker: every signature at a global task
+    position <= its value is already enqueued, and — because the frontier
+    store follows the task's memory writes — those tasks' effects are
+    visible to any domain that reads the frontier afterwards).  The checker
+    compares a task only against other workers' signatures {e above the
+    snapshot} and {e from earlier epochs}: anything at or below the
+    snapshot was finished before the task started and is therefore ordered;
+    same-epoch tasks are independent by construction.
+
+    On a conflict the checker flips the global abort flag and bumps the
+    generation; workers rally at a sense-reversing barrier, worker 0
+    restores the last in-memory checkpoint, the misspeculated epochs are
+    re-executed non-speculatively with real barriers, a fresh checkpoint is
+    taken and speculation resumes.  Requests from dead generations are
+    drained and dropped, so recovery never leaks stale conflicts. *)
+
+type config = {
+  workers : int;  (** worker domains, excluding the checker *)
+  sig_kind : Xinv_runtime.Signature.kind;
+  checkpoint_every : int;  (** epochs between checkpoints; 0 disables *)
+  spec_distance : int;  (** max task lead over the slowest worker *)
+  mode_of : string -> Xinv_speccross.Runtime.mode;
+      (** per-inner execution mode; [M_domore] is not supported natively *)
+  inject_misspec : (int * int) option;  (** force one conflict at (epoch, worker) *)
+  work : Work.t;
+  queue_capacity : int;
+}
+
+val default_config : workers:int -> config
+
+val run :
+  pool:Pool.t ->
+  ?config:config ->
+  Xinv_ir.Program.t ->
+  Xinv_ir.Env.t ->
+  Nrun.t
+(** Worker 0 runs on the calling domain; workers 1.. and the checker run on
+    pool domains (the pool needs [workers] of them).  Mutates the
+    environment's memory to the final state.
+    @raise Invalid_argument if any inner's mode is [M_domore]. *)

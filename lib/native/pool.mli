@@ -1,0 +1,27 @@
+(** Persistent domain pool.
+
+    Domains are spawned once and park in a resident backoff loop between
+    jobs ("pinned" in the sense of one dedicated domain per worker for the
+    backend's whole lifetime; OS-level CPU affinity is left to the runner —
+    see EXPERIMENTS.md).  Spawning domains per run would dominate the
+    short regions the benchmarks measure. *)
+
+type t
+
+val create : workers:int -> t
+(** Spawns [workers] parked domains. *)
+
+val workers : t -> int
+
+val run : t -> (unit -> unit) array -> unit
+(** [run pool fns] executes [fns.(0)] on the calling domain and
+    [fns.(1..)] on pool domains, returning when all have finished.
+    [Array.length fns - 1] must not exceed [workers pool].  If any
+    function raises, the first exception (lowest index) is re-raised
+    after all functions have terminated. *)
+
+val shutdown : t -> unit
+(** Terminates and joins the pool domains.  The pool is unusable after. *)
+
+val with_pool : workers:int -> (t -> 'a) -> 'a
+(** Create, apply, always shut down. *)

@@ -1,0 +1,71 @@
+type 'a t = {
+  buf : 'a array;
+  mask : int;
+  dummy : 'a;
+  head : int Atomic.t;  (* next slot to pop; advanced only by the consumer *)
+  tail : int Atomic.t;  (* next slot to fill; advanced only by the producer *)
+}
+
+let create ~dummy ~capacity =
+  if capacity <= 0 then invalid_arg "Spsc.create: capacity must be positive";
+  let cap = ref 1 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  {
+    buf = Array.make !cap dummy;
+    mask = !cap - 1;
+    dummy;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = t.mask + 1
+
+let try_push t x =
+  let tail = Atomic.get t.tail in
+  if tail - Atomic.get t.head > t.mask then false
+  else begin
+    t.buf.(tail land t.mask) <- x;
+    (* seq_cst store publishes the slot write to the consumer *)
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let push t x =
+  if not (try_push t x) then begin
+    let b = Backoff.create () in
+    while not (try_push t x) do
+      Backoff.once b
+    done
+  end
+
+let try_pop t =
+  let head = Atomic.get t.head in
+  if Atomic.get t.tail - head <= 0 then None
+  else begin
+    let i = head land t.mask in
+    let x = t.buf.(i) in
+    t.buf.(i) <- t.dummy;
+    Atomic.set t.head (head + 1);
+    Some x
+  end
+
+let pop t =
+  match try_pop t with
+  | Some x -> x
+  | None ->
+      let b = Backoff.create () in
+      let r = ref t.dummy in
+      let got = ref false in
+      while not !got do
+        Backoff.once b;
+        match try_pop t with
+        | Some x ->
+            r := x;
+            got := true
+        | None -> ()
+      done;
+      !r
+
+let length t = Stdlib.max 0 (Atomic.get t.tail - Atomic.get t.head)

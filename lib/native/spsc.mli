@@ -1,0 +1,37 @@
+(** Bounded lock-free single-producer/single-consumer ring queue.
+
+    The native-backend counterpart of the simulator's {!Xinv_sim.Channel}:
+    the DOMORE scheduler domain streams {!Xinv_runtime.Sync_cond.to_int}
+    words to each worker domain through one of these, and SPECCROSS workers
+    stream signature requests to the checker domain.
+
+    Exactly one domain may push and exactly one may pop.  [head] and [tail]
+    are monotonic [Atomic] counters; each side writes only its own counter,
+    so every operation is one plain array access plus one seq_cst store —
+    no CAS loops.  The slot write happens before the counter store, which
+    gives the peer happens-before on the payload. *)
+
+type 'a t
+
+val create : dummy:'a -> capacity:int -> 'a t
+(** [capacity] is rounded up to a power of two.  [dummy] fills empty slots
+    (popped slots are reset to it so the queue never pins dead payloads). *)
+
+val capacity : 'a t -> int
+
+val try_push : 'a t -> 'a -> bool
+(** Producer only.  False when full. *)
+
+val push : 'a t -> 'a -> unit
+(** Producer only.  Blocks (with backoff) while full. *)
+
+val try_pop : 'a t -> 'a option
+(** Consumer only.  [None] when empty. *)
+
+val pop : 'a t -> 'a
+(** Consumer only.  Blocks (with backoff) while empty. *)
+
+val length : 'a t -> int
+(** Racy snapshot of the occupancy — exact for the producer/consumer
+    themselves, approximate for third parties (the scheduling policy's
+    load sampling tolerates staleness). *)

@@ -9,3 +9,38 @@ let pp ppf = function
   | End_token -> Format.fprintf ppf "END_TOKEN"
 
 let equal a b = a = b
+
+(* Compact tagged-int encoding shared by the simulator's channels and the
+   native backend's atomic ring queues.  Low two bits are the tag; tag 3 is
+   reserved for transport-level framing (the native DOMORE queue uses it for
+   Do-task headers).  Wait packs the dependence thread in 10 bits, leaving
+   ~50 bits for the iteration number on 64-bit systems. *)
+
+let tid_bits = 10
+let max_tid = (1 lsl tid_bits) - 1
+let max_iter = max_int lsr (tid_bits + 2)
+
+let to_int = function
+  | End_token -> 0
+  | No_sync { iter } ->
+      if iter < 0 || iter > max_int lsr 2 then
+        invalid_arg (Printf.sprintf "Sync_cond.to_int: iter %d out of range" iter);
+      1 lor (iter lsl 2)
+  | Wait { dep_tid; dep_iter } ->
+      if dep_tid < 0 || dep_tid > max_tid then
+        invalid_arg (Printf.sprintf "Sync_cond.to_int: dep_tid %d out of range" dep_tid);
+      if dep_iter < 0 || dep_iter > max_iter then
+        invalid_arg
+          (Printf.sprintf "Sync_cond.to_int: dep_iter %d out of range" dep_iter);
+      2 lor (dep_tid lsl 2) lor (dep_iter lsl (tid_bits + 2))
+
+let of_int w =
+  if w < 0 then invalid_arg (Printf.sprintf "Sync_cond.of_int: negative word %d" w);
+  match w land 3 with
+  | 0 ->
+      if w <> 0 then invalid_arg (Printf.sprintf "Sync_cond.of_int: bad end token %d" w);
+      End_token
+  | 1 -> No_sync { iter = w lsr 2 }
+  | 2 ->
+      Wait { dep_tid = (w lsr 2) land max_tid; dep_iter = w lsr (tid_bits + 2) }
+  | _ -> invalid_arg (Printf.sprintf "Sync_cond.of_int: reserved tag in word %d" w)

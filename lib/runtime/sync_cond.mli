@@ -13,3 +13,22 @@ type t =
 val pp : Format.formatter -> t -> unit
 
 val equal : t -> t -> bool
+
+(** {2 Compact integer encoding}
+
+    One OCaml immediate per condition, shared by the simulator's channels and
+    the native backend's lock-free int queues (no allocation on either side).
+    The low two bits carry the tag; tag [3] never appears in an encoded
+    condition and is reserved for transport framing. *)
+
+val max_tid : int
+(** Largest encodable [dep_tid] (1023). *)
+
+val max_iter : int
+(** Largest encodable [dep_iter]. *)
+
+val to_int : t -> int
+(** @raise Invalid_argument when a field exceeds the encodable range. *)
+
+val of_int : int -> t
+(** Inverse of {!to_int}.  @raise Invalid_argument on malformed words. *)

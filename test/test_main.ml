@@ -9,6 +9,7 @@ let () =
       ("obs", Test_obs.suite);
       ("domore", Test_domore.suite);
       ("speccross", Test_speccross.suite);
+      ("native", Test_native.suite);
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
     ]

@@ -1,0 +1,255 @@
+(* Tests for the native (real OCaml 5 domains) backend: the lock-free
+   primitives it is built from, and cross-validation of every registry
+   workload against both sequential execution and the simulator. *)
+
+module Ir = Xinv_ir
+module Par = Xinv_parallel
+module Nat = Xinv_native
+module Wl = Xinv_workloads
+module C = Xinv_core.Crossinv
+
+(* ---------- primitives ---------- *)
+
+let test_spsc_two_domains () =
+  let q = Nat.Spsc.create ~dummy:(-1) ~capacity:8 in
+  let n = 10_000 in
+  let producer = Domain.spawn (fun () -> for i = 0 to n - 1 do Nat.Spsc.push q i done) in
+  let bad = ref 0 in
+  for i = 0 to n - 1 do
+    if Nat.Spsc.pop q <> i then incr bad
+  done;
+  Domain.join producer;
+  Alcotest.(check int) "FIFO order preserved across domains" 0 !bad;
+  Alcotest.(check (option int)) "drained" None (Nat.Spsc.try_pop q)
+
+let test_spsc_capacity_rounding () =
+  let q = Nat.Spsc.create ~dummy:0 ~capacity:5 in
+  for i = 1 to 8 do
+    Alcotest.(check bool) "push fits rounded capacity" true (Nat.Spsc.try_push q i)
+  done;
+  Alcotest.(check bool) "ninth blocks" false (Nat.Spsc.try_push q 9);
+  Alcotest.(check int) "length" 8 (Nat.Spsc.length q)
+
+let test_nbar_rounds () =
+  let parties = 4 in
+  let bar = Nat.Nbar.create ~parties in
+  let rounds = 1000 in
+  let counters = Array.init parties (fun _ -> Atomic.make 0) in
+  let lagging = Atomic.make 0 in
+  let loop me () =
+    for _ = 1 to rounds do
+      (* Everyone must have finished the previous round before anyone
+         starts the next one. *)
+      Array.iteri
+        (fun o c ->
+          if o <> me && abs (Atomic.get c - Atomic.get counters.(me)) > 1 then
+            Atomic.incr lagging)
+        counters;
+      Atomic.incr counters.(me);
+      Nat.Nbar.wait bar
+    done
+  in
+  let ds = Array.init (parties - 1) (fun i -> Domain.spawn (loop (i + 1))) in
+  loop 0 ();
+  Array.iter Domain.join ds;
+  Alcotest.(check int) "no round skew beyond one" 0 (Atomic.get lagging);
+  Alcotest.(check int) "round count" rounds (Nat.Nbar.waits bar)
+
+let test_pool_reuse_and_errors () =
+  Nat.Pool.with_pool ~workers:2 (fun pool ->
+      let hits = Atomic.make 0 in
+      let job () = Atomic.incr hits in
+      Nat.Pool.run pool [| job; job; job |];
+      Nat.Pool.run pool [| job; job |];
+      Alcotest.(check int) "all jobs ran on a reused pool" 5 (Atomic.get hits);
+      Alcotest.check_raises "worker exception propagates" (Failure "boom")
+        (fun () -> Nat.Pool.run pool [| job; (fun () -> failwith "boom") |]);
+      (* The pool survives a failed batch. *)
+      Nat.Pool.run pool [| job |];
+      Alcotest.(check int) "pool survives failure" 7 (Atomic.get hits))
+
+let test_work_spin () =
+  let w = Nat.Work.Spin 10.0 in
+  let ns = Nat.Nrun.timed (fun () -> Nat.Work.burn w 10_000.0) in
+  (* 10k cycles at 10ns each: at least 100us of real spinning (calibration
+     jitter only ever makes it longer on a loaded machine). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "calibrated spin takes real time (%.0fns)" ns)
+    true
+    (ns > 10_000.0)
+
+(* ---------- cross-validation against the simulator ---------- *)
+
+let sim_seq_env (wl : Wl.Workload.t) input =
+  let env = wl.Wl.Workload.fresh_env input in
+  let (_ : float) = Ir.Seq_interp.run (wl.Wl.Workload.program input) env in
+  env
+
+(* Direct memory comparison for one workload: the simulator's sequential
+   interpreter vs the native engines' final state. *)
+let test_native_memory_direct () =
+  let wl = Wl.Registry.find "SYMM" in
+  let input = Wl.Workload.Train in
+  let seq = sim_seq_env wl input in
+  let program = wl.Wl.Workload.program input in
+  Nat.Pool.with_pool ~workers:3 (fun pool ->
+      let env = wl.Wl.Workload.fresh_env input in
+      (match Ir.Mtcg.generate program env with
+      | Ir.Mtcg.Inapplicable r -> Alcotest.fail r
+      | Ir.Mtcg.Plan plan ->
+          let (_ : Nat.Nrun.t) = Nat.Ndomore.run ~pool ~plan program env in
+          ());
+      Alcotest.(check (list (pair string int)))
+        "native DOMORE memory = sim sequential memory" []
+        (Ir.Memory.diff seq.Ir.Env.mem env.Ir.Env.mem))
+
+let threads = 4
+
+let sim_outcome technique wl =
+  C.execute ~input:Wl.Workload.Train ~technique ~threads wl
+
+let native_outcome ?pool technique wl =
+  C.execute_native ~input:Wl.Workload.Train ?pool ~technique ~threads wl
+
+let check_verified name (n : C.native_outcome) =
+  Alcotest.(check (list (pair string int)))
+    (name ^ ": native memory = sequential memory")
+    [] n.C.nmismatches
+
+let test_crossval_barrier () =
+  Nat.Pool.with_pool ~workers:(threads - 1) (fun pool ->
+      List.iter
+        (fun (wl : Wl.Workload.t) ->
+          let n = native_outcome ~pool C.Barrier wl in
+          check_verified (wl.Wl.Workload.name ^ "/barrier") n;
+          let s = sim_outcome C.Barrier wl in
+          Alcotest.(check bool)
+            (wl.Wl.Workload.name ^ "/barrier: sim verified")
+            true s.C.verified)
+        (Wl.Registry.all ()))
+
+let test_crossval_domore () =
+  Nat.Pool.with_pool ~workers:(threads - 1) (fun pool ->
+      List.iter
+        (fun (wl : Wl.Workload.t) ->
+          match C.applicable C.Domore wl with
+          | Error _ -> ()
+          | Ok () ->
+              let name = wl.Wl.Workload.name in
+              let n = native_outcome ~pool C.Domore wl in
+              check_verified (name ^ "/domore") n;
+              let s = sim_outcome C.Domore wl in
+              let sr = Option.get s.C.run in
+              Alcotest.(check int)
+                (name ^ "/domore: task counts match")
+                sr.Par.Run.tasks n.C.nrun.Nat.Nrun.tasks;
+              (* Same deterministic scheduling decisions => the very same
+                 sync conditions stream to the workers. *)
+              Alcotest.(check int)
+                (name ^ "/domore: sync-condition counts match")
+                sr.Par.Run.checks n.C.nrun.Nat.Nrun.conds;
+              let d = native_outcome ~pool C.Domore_dup wl in
+              check_verified (name ^ "/domore-dup") d;
+              Alcotest.(check int)
+                (name ^ "/domore-dup: task counts match")
+                sr.Par.Run.tasks d.C.nrun.Nat.Nrun.tasks)
+        (Wl.Registry.all ()))
+
+let test_crossval_speccross () =
+  Nat.Pool.with_pool ~workers:(threads - 1) (fun pool ->
+      List.iter
+        (fun (wl : Wl.Workload.t) ->
+          match C.applicable C.Speccross wl with
+          | Error _ -> ()
+          | Ok () ->
+              let name = wl.Wl.Workload.name in
+              let n = native_outcome ~pool C.Speccross wl in
+              check_verified (name ^ "/speccross") n;
+              let s = sim_outcome C.Speccross wl in
+              Alcotest.(check bool)
+                (name ^ "/speccross: sim verified")
+                true s.C.verified;
+              let sr = Option.get s.C.run in
+              (* A dependence inside the profiled speculative range (FDTD's
+                 WAR pairs at distance spec_distance - 1) misspeculates in
+                 both engines; when the simulator saw none, the throttle
+                 provably orders every profiled dependence and the native
+                 run must be race-free too.  First-attempt task counts only
+                 coincide when neither side recovered. *)
+              if sr.Par.Run.misspecs = 0 then begin
+                Alcotest.(check int)
+                  (name ^ "/speccross: native misspeculations")
+                  0 n.C.nrun.Nat.Nrun.misspecs;
+                Alcotest.(check int)
+                  (name ^ "/speccross: task counts match")
+                  sr.Par.Run.tasks n.C.nrun.Nat.Nrun.tasks
+              end)
+        (Wl.Registry.all ()))
+
+let test_native_inject_recovers () =
+  let wl = Wl.Registry.find "SYMM" in
+  let n =
+    C.execute_native ~input:Wl.Workload.Train ~technique:(C.Speccross_inject 2)
+      ~threads wl
+  in
+  Alcotest.(check int) "exactly one forced misspeculation" 1
+    n.C.nrun.Nat.Nrun.misspecs;
+  check_verified "SYMM/inject" n
+
+let test_native_bloom_speccross () =
+  (* Exercise the Bloom signature kind natively (Segmented is the default):
+     termination and correctness, not zero false positives. *)
+  let wl = Wl.Registry.find "SYMM" in
+  let input = Wl.Workload.Train in
+  let seq = sim_seq_env wl input in
+  let program = wl.Wl.Workload.program input in
+  Nat.Pool.with_pool ~workers:3 (fun pool ->
+      let env = wl.Wl.Workload.fresh_env input in
+      let config =
+        {
+          (Nat.Nspec.default_config ~workers:3) with
+          Nat.Nspec.sig_kind = Xinv_runtime.Signature.Bloom { bits = 4096; hashes = 3 };
+          mode_of = C.spec_mode_of_plan wl;
+          spec_distance = 64;
+        }
+      in
+      let (_ : Nat.Nrun.t) = Nat.Nspec.run ~pool ~config program env in
+      Alcotest.(check (list (pair string int)))
+        "bloom-checked native SPECCROSS memory" []
+        (Ir.Memory.diff seq.Ir.Env.mem env.Ir.Env.mem))
+
+let test_native_obs_counters () =
+  let wl = Wl.Registry.find "SYMM" in
+  let obs = Xinv_obs.Recorder.create () in
+  let n =
+    C.execute_native ~input:Wl.Workload.Train ~obs ~technique:C.Domore ~threads wl
+  in
+  let counters = Xinv_obs.Metrics.counters (Xinv_obs.Recorder.metrics obs) in
+  Alcotest.(check (option int))
+    "native run feeds domore.tasks_dispatched"
+    (Some n.C.nrun.Nat.Nrun.tasks)
+    (List.assoc_opt "domore.tasks_dispatched" counters)
+
+let suite =
+  [
+    Alcotest.test_case "spsc: FIFO across two domains" `Quick test_spsc_two_domains;
+    Alcotest.test_case "spsc: capacity rounds up" `Quick test_spsc_capacity_rounding;
+    Alcotest.test_case "nbar: sense-reversing rounds" `Quick test_nbar_rounds;
+    Alcotest.test_case "pool: reuse and error propagation" `Quick
+      test_pool_reuse_and_errors;
+    Alcotest.test_case "work: calibrated spin" `Quick test_work_spin;
+    Alcotest.test_case "memory: native DOMORE vs sim sequential" `Quick
+      test_native_memory_direct;
+    Alcotest.test_case "cross-validate barrier (all workloads)" `Quick
+      test_crossval_barrier;
+    Alcotest.test_case "cross-validate DOMORE (all workloads)" `Quick
+      test_crossval_domore;
+    Alcotest.test_case "cross-validate SPECCROSS (all workloads)" `Quick
+      test_crossval_speccross;
+    Alcotest.test_case "speccross: injected misspeculation recovers" `Quick
+      test_native_inject_recovers;
+    Alcotest.test_case "speccross: bloom signatures" `Quick
+      test_native_bloom_speccross;
+    Alcotest.test_case "obs: native runs feed metrics" `Quick
+      test_native_obs_counters;
+  ]

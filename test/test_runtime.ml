@@ -337,6 +337,71 @@ let prop_add_array_equals_add_list =
                && Rt.Signature.intersects c probe)))
         kinds)
 
+(* The compact int encoding (the native queues' wire format, also carried by
+   the simulator's DOMORE channels) must round-trip every constructor. *)
+let prop_sync_cond_roundtrip =
+  let open QCheck in
+  let gen =
+    Gen.oneof
+      [
+        Gen.return Rt.Sync_cond.End_token;
+        Gen.map
+          (fun iter -> Rt.Sync_cond.No_sync { iter })
+          (Gen.oneof
+             [ Gen.int_range 0 1_000_000; Gen.return (max_int lsr 2) ]);
+        Gen.map2
+          (fun dep_tid dep_iter -> Rt.Sync_cond.Wait { dep_tid; dep_iter })
+          (Gen.oneof
+             [ Gen.int_range 0 Rt.Sync_cond.max_tid;
+               Gen.return Rt.Sync_cond.max_tid ])
+          (Gen.oneof
+             [ Gen.int_range 0 1_000_000; Gen.return Rt.Sync_cond.max_iter ]);
+      ]
+  in
+  let print c = Format.asprintf "%a" Rt.Sync_cond.pp c in
+  QCheck.Test.make ~name:"Sync_cond.to_int/of_int round-trips" ~count:500
+    (QCheck.make ~print gen) (fun c ->
+      Rt.Sync_cond.equal c (Rt.Sync_cond.of_int (Rt.Sync_cond.to_int c)))
+
+(* Statistical envelope on the Bloom scheme: the false-positive rate of
+   intersection tests between disjoint address sets must stay within the
+   rate its bits/hashes parameters predict (and soundness keeps holding:
+   overlapping sets always intersect). *)
+let test_bloom_fp_rate () =
+  let bits = 4096 and hashes = 3 and adds = 8 in
+  let kind = Rt.Signature.Bloom { bits; hashes } in
+  let st = Random.State.make [| 0x5eed |] in
+  let trials = 400 in
+  let fp = ref 0 in
+  for _ = 1 to trials do
+    (* Disjoint by construction: evens on one side, odds on the other. *)
+    let a = Rt.Signature.create kind and b = Rt.Signature.create kind in
+    for _ = 1 to adds do
+      Rt.Signature.add a (2 * Random.State.int st 1_000_000);
+      Rt.Signature.add b ((2 * Random.State.int st 1_000_000) + 1)
+    done;
+    if Rt.Signature.intersects a b then incr fp
+  done;
+  (* P(one bit set) = 1-(1-1/bits)^(adds*hashes); independent-bit model for
+     a shared set bit between two such filters, with generous slack for the
+     400-trial sample and for double-hash correlation. *)
+  let p = 1. -. ((1. -. (1. /. float bits)) ** float (adds * hashes)) in
+  let theory = 1. -. ((1. -. (p *. p)) ** float bits) in
+  let observed = float !fp /. float trials in
+  Alcotest.(check bool)
+    (Printf.sprintf "FP rate %.3f within envelope of theoretical %.3f" observed
+       theory)
+    true
+    (observed <= (2.5 *. theory) +. 0.03);
+  (* Soundness side: a genuinely shared address always intersects. *)
+  for i = 0 to 99 do
+    let a = Rt.Signature.create kind and b = Rt.Signature.create kind in
+    Rt.Signature.add a i;
+    Rt.Signature.add b i;
+    Rt.Signature.add b (i + 1_000_000);
+    Alcotest.(check bool) "no false negatives" true (Rt.Signature.intersects a b)
+  done
+
 let suite =
   [
     Alcotest.test_case "shadow RAW/WAR/WAW" `Quick test_shadow_war_waw_raw;
@@ -356,4 +421,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_signature_over_approximates_exact;
     Alcotest.test_case "segmented clamps out-of-range" `Quick test_segmented_clamps_out_of_range;
     QCheck_alcotest.to_alcotest prop_add_array_equals_add_list;
+    QCheck_alcotest.to_alcotest prop_sync_cond_roundtrip;
+    Alcotest.test_case "bloom false-positive envelope" `Quick test_bloom_fp_rate;
   ]

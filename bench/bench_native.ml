@@ -40,14 +40,19 @@ let repeats = 3
 
 type row = { name : string; wall_ns : float }
 
+let backend ~work = `Native { C.native_defaults with C.work }
+
 let time_config ~work ~input (wl : Wl.Workload.t) technique domains =
   let best = ref infinity in
   for i = 0 to repeats do
-    let o = C.execute_native ~input ~verify:(i = 0) ~work ~technique ~threads:domains wl in
+    let o =
+      C.run ~backend:(backend ~work) ~input ~verify:(i = 0) ~technique
+        ~threads:domains wl
+    in
     (* i = 0 is the warmup (and the verified run); the rest are timed. *)
-    if i > 0 && o.C.nrun.Nat.Nrun.wall_ns < !best then
-      best := o.C.nrun.Nat.Nrun.wall_ns;
-    if not o.C.nverified then begin
+    let wall = C.cost_value o.C.cost in
+    if i > 0 && wall < !best then best := wall;
+    if not o.C.verified then begin
       Printf.eprintf "FATAL: %s under %s failed verification\n"
         wl.Wl.Workload.name (C.technique_name technique);
       exit 1
@@ -144,14 +149,18 @@ let smoke () =
   let wl = Wl.Registry.find "SYMM" in
   List.iter
     (fun (tname, tech) ->
-      let o = C.execute_native ~input ~technique:tech ~threads:2 wl in
-      if not o.C.nverified then begin
+      let o =
+        C.run ~backend:(backend ~work:Nat.Work.Off) ~input ~technique:tech
+          ~threads:2 wl
+      in
+      if not o.C.verified then begin
         Printf.eprintf "smoke %s: verification failed\n" tname;
         exit 1
       end;
+      let nrun = Option.get o.C.nrun in
       Printf.printf "smoke native.%-10s ok (%d tasks, %.1f ms)\n" tname
-        o.C.nrun.Nat.Nrun.tasks
-        (o.C.nrun.Nat.Nrun.wall_ns /. 1e6))
+        nrun.Nat.Nrun.tasks
+        (nrun.Nat.Nrun.wall_ns /. 1e6))
     (("sequential", C.Sequential) :: techniques);
   print_string "bench native smoke: all engines ran\n"
 

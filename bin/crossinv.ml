@@ -58,9 +58,11 @@ let list_cmd =
     List.iter
       (fun (e : Exp.t) -> Printf.printf "  %-8s %s\n" e.Exp.id e.Exp.title)
       Exp.all;
-    print_endline
-      "\nTechniques: sequential, barrier, doacross, dswp, inspector-executor, tls, \
-       domore, domore-dup, speccross"
+    let techs backend =
+      String.concat ", " (List.map Cx.technique_name (Cx.supported ~backend))
+    in
+    Printf.printf "\nTechniques (sim backend):    %s\n" (techs `Sim);
+    Printf.printf "Techniques (native backend): %s\n" (techs `Native)
   in
   Cmd.v (Cmd.info "list" ~doc:"List workloads, experiments and techniques.")
     Term.(const run $ const ())
@@ -87,56 +89,57 @@ let domains_arg =
     value
     & opt (some int) None
     & info [ "domains" ] ~docv:"N"
-        ~doc:"Real domains for the native backend (implies --backend native).")
+        ~doc:
+          "Real domains for the native backend; alias for $(b,--threads) under \
+           $(b,--backend native).")
 
-let run_sim wl technique threads input verbose stats =
-  let obs = if stats then Some (Xinv_obs.Recorder.create ()) else None in
-  let o = Cx.execute ~input ?obs ~technique ~threads wl in
-  Printf.printf "%s under %s, %d threads (input %s):\n" wl.Wl.Workload.name
-    (Cx.technique_name technique) threads
-    (Wl.Workload.input_name input);
-  Printf.printf "  sequential cost  %.0f cycles\n" o.Cx.seq_cost;
-  Printf.printf "  speedup          %.2fx\n" o.Cx.speedup;
-  Printf.printf "  verified         %b\n" o.Cx.verified;
-  (match o.Cx.run with
-  | Some r when verbose -> Format.printf "  %a@." Xinv_parallel.Run.pp r
-  | _ -> ());
-  (match o.Cx.profile with
-  | Some prof when verbose -> Format.printf "  %a@." Xinv_speccross.Profiler.pp prof
-  | _ -> ());
-  (match o.Cx.run with
-  | Some r when stats ->
-      Format.printf "%a@." Xinv_obs.Report.pp (Xinv_parallel.Run.report r)
-  | _ -> ());
-  if not o.Cx.verified then exit 2
+let run_threads_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "t"; "threads" ] ~docv:"N"
+        ~doc:
+          "Execution contexts: simulated cores (default 24) or real domains \
+           (default 4).")
 
-let run_native wl technique domains input verbose stats =
-  let obs = if stats then Some (Xinv_obs.Recorder.create ()) else None in
-  let o = Cx.execute_native ~input ?obs ~technique ~threads:domains wl in
-  Printf.printf "%s under %s, %d domains (native backend, input %s):\n"
-    wl.Wl.Workload.name
-    (Cx.technique_name technique)
-    domains
-    (Wl.Workload.input_name input);
-  Printf.printf "  sequential wall  %.3f ms\n" (o.Cx.seq_wall_ns /. 1e6);
-  Printf.printf "  wall time        %.3f ms\n"
-    (o.Cx.nrun.Xinv_native.Nrun.wall_ns /. 1e6);
-  Printf.printf "  speedup          %.2fx\n" o.Cx.nspeedup;
-  Printf.printf "  verified         %b\n" o.Cx.nverified;
-  if verbose then Format.printf "  %a@." Xinv_native.Nrun.pp o.Cx.nrun;
-  (match o.Cx.nprofile with
-  | Some prof when verbose -> Format.printf "  %a@." Xinv_speccross.Profiler.pp prof
-  | _ -> ());
-  (match obs with
-  | Some obs when stats ->
-      List.iter
-        (fun (name, v) -> Printf.printf "  %-32s %d\n" name v)
-        (Xinv_obs.Metrics.counters (Xinv_obs.Recorder.metrics obs))
-  | _ -> ());
-  if not o.Cx.nverified then exit 2
+let fault_conv =
+  let parse s =
+    match Xinv_native.Fault.spec_of_string s with
+    | Ok sp -> Ok sp
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    ( parse,
+      fun ppf sp -> Format.fprintf ppf "%s" (Xinv_native.Fault.spec_to_string sp) )
+
+let inject_arg =
+  Arg.(
+    value
+    & opt (some fault_conv) None
+    & info [ "inject" ] ~docv:"FAULTSPEC"
+        ~doc:
+          "Arm one fault on the native backend: $(b,raise@D:S), $(b,stall@D:S) or \
+           $(b,poison@D:S) with $(i,D) a domain index or $(b,*); \
+           $(b,sched-die@S); $(b,checker-die@S); or $(b,rand:SEED).")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:"Overall native-run deadline in milliseconds, degradation included.")
+
+let no_degrade_arg =
+  Arg.(
+    value & flag
+    & info [ "no-degrade" ]
+        ~doc:
+          "On a native failure, raise the typed error instead of retrying under \
+           a weaker technique.")
 
 let run_cmd =
-  let run wl technique threads input backend domains verbose stats =
+  let run wl technique threads input backend domains verbose stats inject
+      deadline_ms no_degrade =
     (match (backend, domains) with
     | `Sim, Some _ ->
         prerr_endline
@@ -144,24 +147,102 @@ let run_cmd =
            simulated cores, or add --backend native)";
         exit 1
     | _ -> ());
-    (match domains with
-    | Some n when n < 1 ->
-        Printf.eprintf "--domains must be >= 1 (got %d)\n" n;
-        exit 1
-    | _ -> ());
-    match Cx.applicable technique wl with
+    if backend = `Sim && (inject <> None || deadline_ms <> None || no_degrade)
+    then begin
+      prerr_endline
+        "--inject, --deadline-ms and --no-degrade only apply to the native \
+         backend (add --backend native)";
+      exit 1
+    end;
+    let threads =
+      match (domains, threads) with
+      | Some n, _ | None, Some n -> n
+      | None, None -> ( match backend with `Sim -> 24 | `Native -> 4)
+    in
+    if threads < 1 then begin
+      Printf.eprintf "--threads/--domains must be >= 1 (got %d)\n" threads;
+      exit 1
+    end;
+    let backend_name = match backend with `Sim -> "sim" | `Native -> "native" in
+    match Cx.applicable ~backend technique wl with
     | Error reason ->
-        Printf.printf "%s is inapplicable to %s: %s\n" (Cx.technique_name technique)
-          wl.Wl.Workload.name reason;
+        Printf.eprintf "%s is inapplicable to %s on the %s backend: %s\n"
+          (Cx.technique_name technique)
+          wl.Wl.Workload.name backend_name reason;
+        Printf.eprintf "techniques supported on %s: %s\n" backend_name
+          (String.concat ", "
+             (List.map Cx.technique_name (Cx.supported ~backend)));
         exit 1
-    | Ok () -> (
-        match (backend, domains) with
-        | `Sim, None -> run_sim wl technique threads input verbose stats
-        | `Native, d ->
-            run_native wl technique
-              (match d with Some n -> n | None -> 4)
-              input verbose stats
-        | `Sim, Some _ -> assert false)
+    | Ok () ->
+        let obs = if stats then Some (Xinv_obs.Recorder.create ()) else None in
+        let b =
+          match backend with
+          | `Sim -> `Sim None
+          | `Native ->
+              `Native
+                {
+                  Cx.native_defaults with
+                  Cx.fault = inject;
+                  deadline_ms;
+                  degrade = not no_degrade;
+                }
+        in
+        let o =
+          (* With --no-degrade (or an exhausted deadline) the native run
+             surfaces its typed error; report it instead of a backtrace. *)
+          match Cx.run ~backend:b ~input ?obs ~technique ~threads wl with
+          | o -> o
+          | exception Xinv_native.Fault.Injected { kind; domain; site } ->
+              Printf.eprintf "fault injected: %s at domain %d, site %d\n"
+                (Xinv_native.Fault.kind_name kind)
+                domain site;
+              exit 3
+          | exception Xinv_native.Watchdog.Stalled { role; waiting_for; waited_ns }
+            ->
+              Printf.eprintf "stalled: %s waited %.1f ms for %s\n" role
+                (waited_ns /. 1e6) waiting_for;
+              exit 3
+        in
+        Printf.printf "%s under %s, %d %s (%s backend, input %s):\n"
+          wl.Wl.Workload.name
+          (Cx.technique_name technique)
+          threads
+          (match backend with `Sim -> "threads" | `Native -> "domains")
+          backend_name
+          (Wl.Workload.input_name input);
+        Printf.printf "  sequential cost  %s\n" (Cx.cost_to_string o.Cx.seq_cost);
+        Printf.printf "  cost             %s\n" (Cx.cost_to_string o.Cx.cost);
+        Printf.printf "  speedup          %.2fx\n" o.Cx.speedup;
+        Printf.printf "  verified         %b\n" o.Cx.verified;
+        List.iter
+          (fun (s : Cx.degrade_step) ->
+            Printf.printf "  degraded         %s -> %s (%s)\n"
+              (Cx.technique_name s.Cx.d_from)
+              (Cx.technique_name s.Cx.d_to)
+              s.Cx.d_reason)
+          o.Cx.degraded;
+        if o.Cx.degraded <> [] then
+          Printf.printf "  executed as      %s\n"
+            (Cx.technique_name o.Cx.technique);
+        (match o.Cx.run with
+        | Some r when verbose -> Format.printf "  %a@." Xinv_parallel.Run.pp r
+        | _ -> ());
+        (match o.Cx.nrun with
+        | Some nr when verbose -> Format.printf "  %a@." Xinv_native.Nrun.pp nr
+        | _ -> ());
+        (match o.Cx.profile with
+        | Some prof when verbose ->
+            Format.printf "  %a@." Xinv_speccross.Profiler.pp prof
+        | _ -> ());
+        (match (obs, o.Cx.run) with
+        | Some _, Some r when stats ->
+            Format.printf "%a@." Xinv_obs.Report.pp (Xinv_parallel.Run.report r)
+        | Some obs, _ when stats ->
+            List.iter
+              (fun (name, v) -> Printf.printf "  %-32s %d\n" name v)
+              (Xinv_obs.Metrics.counters (Xinv_obs.Recorder.metrics obs))
+        | _ -> ());
+        if not o.Cx.verified then exit 2
   in
   let wl_arg =
     Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
@@ -177,10 +258,12 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:
          "Run one workload under one technique and verify the result, on the \
-          simulated multicore or on real domains (--backend native).")
+          simulated multicore or on real domains (--backend native), with \
+          optional fault injection and deadlines.")
     Term.(
-      const run $ wl_arg $ tech_arg $ threads_arg $ input_arg $ backend_arg
-      $ domains_arg $ verbose $ stats)
+      const run $ wl_arg $ tech_arg $ run_threads_arg $ input_arg $ backend_arg
+      $ domains_arg $ verbose $ stats $ inject_arg $ deadline_arg
+      $ no_degrade_arg)
 
 (* ---- stats ---- *)
 
@@ -193,7 +276,7 @@ let stats_cmd =
         exit 1
     | Ok () ->
         let obs = Xinv_obs.Recorder.create () in
-        let o = Cx.execute ~input ~obs ~technique ~threads wl in
+        let o = Cx.run ~input ~obs ~technique ~threads wl in
         let r =
           match o.Cx.run with
           | Some r -> r

@@ -17,14 +17,36 @@ let () =
       | Error reason ->
           Printf.printf "%-12s inapplicable: %s\n" (Cx.technique_name technique) reason
       | Ok () ->
-          let o = Cx.execute ~technique ~threads:24 wl in
+          let o = Cx.run ~technique ~threads:24 wl in
           Printf.printf "%-12s %6.2fx speedup on 24 simulated cores (verified: %b)\n"
             (Cx.technique_name technique) o.Cx.speedup o.Cx.verified)
     [ Cx.Barrier; Cx.Doacross; Cx.Dswp; Cx.Domore; Cx.Speccross ];
   print_newline ();
   (* The same loop nest on the conflict-free sparsity used for the
      speculative experiments. *)
-  let o = Cx.execute ~input:Wl.Workload.Ref_spec ~technique:Cx.Speccross ~threads:24 wl in
+  let o = Cx.run ~input:Wl.Workload.Ref_spec ~technique:Cx.Speccross ~threads:24 wl in
   Printf.printf
     "speccross on the banded (conflict-free) input: %.2fx — barriers were pure waste\n"
-    o.Cx.speedup
+    o.Cx.speedup;
+  print_newline ();
+  (* The same entry point runs on real OCaml 5 domains: select the native
+     backend.  Costs come back as wall-clock time instead of simulated
+     cycles, and the run is watchdog-bounded — a failure (or an armed
+     --inject fault) cancels the cohort and degrades to a weaker technique
+     instead of hanging. *)
+  let n =
+    Cx.run
+      ~backend:(`Native { Cx.native_defaults with Cx.deadline_ms = Some 60_000. })
+      ~input:Wl.Workload.Train ~technique:Cx.Domore ~threads:2 wl
+  in
+  Printf.printf "domore on 2 real domains: %s vs sequential %s (verified: %b)\n"
+    (Cx.cost_to_string n.Cx.cost)
+    (Cx.cost_to_string n.Cx.seq_cost)
+    n.Cx.verified;
+  List.iter
+    (fun (s : Cx.degrade_step) ->
+      Printf.printf "  degraded %s -> %s: %s\n"
+        (Cx.technique_name s.Cx.d_from)
+        (Cx.technique_name s.Cx.d_to)
+        s.Cx.d_reason)
+    n.Cx.degraded

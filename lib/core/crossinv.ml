@@ -2,6 +2,7 @@ module Ir = Xinv_ir
 module Sim = Xinv_sim
 module Par = Xinv_parallel
 module Wl = Xinv_workloads
+module Nat = Xinv_native
 
 type technique =
   | Sequential
@@ -40,13 +41,48 @@ let technique_of_string s =
   | "speccross" -> Some Speccross
   | _ -> None
 
+type cost = Sim_cycles of float | Wall_ns of float
+
+let cost_value = function Sim_cycles c -> c | Wall_ns ns -> ns
+
+let cost_to_string = function
+  | Sim_cycles c -> Printf.sprintf "%.0f cycles" c
+  | Wall_ns ns -> Printf.sprintf "%.3f ms" (ns /. 1e6)
+
+type native_opts = {
+  work : Nat.Work.t;
+  pool : Nat.Pool.t option;
+  fault : Nat.Fault.spec option;
+  deadline_ms : float option;
+  wait_timeout_ms : float option;
+  degrade : bool;
+}
+
+let native_defaults =
+  {
+    work = Nat.Work.Off;
+    pool = None;
+    fault = None;
+    deadline_ms = None;
+    wait_timeout_ms = None;
+    degrade = true;
+  }
+
+type backend = [ `Sim of Sim.Machine.t option | `Native of native_opts ]
+
+type degrade_step = { d_from : technique; d_to : technique; d_reason : string }
+
 type outcome = {
-  run : Par.Run.t option;
-  seq_cost : float;
+  technique : technique;  (** the technique that actually executed *)
+  cost : cost;
+  seq_cost : cost;
   speedup : float;
   verified : bool;
   mismatches : (string * int) list;
   profile : Xinv_speccross.Profiler.t option;
+  run : Par.Run.t option;
+  nrun : Nat.Nrun.t option;
+  degraded : degrade_step list;
 }
 
 let spec_mode_of_plan (wl : Wl.Workload.t) label =
@@ -55,30 +91,76 @@ let spec_mode_of_plan (wl : Wl.Workload.t) label =
   | Par.Intra.Localwrite -> Xinv_speccross.Runtime.M_localwrite
   | Par.Intra.Doany -> Xinv_speccross.Runtime.M_doall
 
-let applicable technique (wl : Wl.Workload.t) =
-  match technique with
-  | Sequential | Barrier | Doacross | Dswp -> Ok ()
-  | Inspector | Tls | Domore | Domore_dup ->
-      let env = wl.Wl.Workload.fresh_env Wl.Workload.Ref in
-      Par.Plan.domore_applicable (wl.Wl.Workload.program Wl.Workload.Ref) env
-  | Speccross | Speccross_inject _ ->
-      if
-        List.exists
-          (fun (_, t) -> t = Par.Intra.Spec_doall)
-          wl.Wl.Workload.plan
-      then Error "inner loop requires speculative intra-invocation parallelization"
-      else Par.Plan.speccross_applicable (wl.Wl.Workload.program Wl.Workload.Ref)
+let native_supported = function
+  | Sequential | Barrier | Domore | Domore_dup | Speccross
+  | Speccross_inject _ ->
+      true
+  | Doacross | Dswp | Inspector | Tls -> false
+
+let supported ~backend =
+  let all =
+    [ Sequential; Barrier; Doacross; Dswp; Inspector; Tls; Domore; Domore_dup;
+      Speccross ]
+  in
+  match backend with
+  | `Sim -> all
+  | `Native -> List.filter native_supported all
+
+let applicable ?(backend = `Sim) technique (wl : Wl.Workload.t) =
+  let shared () =
+    match technique with
+    | Sequential | Barrier | Doacross | Dswp -> Ok ()
+    | Inspector | Tls | Domore | Domore_dup ->
+        let env = wl.Wl.Workload.fresh_env Wl.Workload.Ref in
+        Par.Plan.domore_applicable (wl.Wl.Workload.program Wl.Workload.Ref) env
+    | Speccross | Speccross_inject _ ->
+        if
+          List.exists
+            (fun (_, t) -> t = Par.Intra.Spec_doall)
+            wl.Wl.Workload.plan
+        then
+          Error "inner loop requires speculative intra-invocation parallelization"
+        else Par.Plan.speccross_applicable (wl.Wl.Workload.program Wl.Workload.Ref)
+  in
+  match backend with
+  | `Sim -> shared ()
+  | `Native ->
+      if native_supported technique then shared ()
+      else
+        Error
+          (Printf.sprintf "%s has no native backend (simulator only)"
+             (technique_name technique))
 
 let sequential_cost (wl : Wl.Workload.t) input =
   let env = wl.Wl.Workload.fresh_env input in
   (Ir.Seq_interp.run (wl.Wl.Workload.program input) env, env)
 
-let execute ?(machine = Sim.Machine.default) ?(input = Wl.Workload.Ref)
-    ?(checkpoint_every = 1000) ?(verify = true) ?obs ~technique ~threads
+(* SPECCROSS profiles the train input matching the run input's speculative
+   flavour, as the paper's toolchain does. *)
+let spec_profile (wl : Wl.Workload.t) input =
+  let train_input =
+    match input with
+    | Wl.Workload.Ref_spec -> Wl.Workload.Train_spec
+    | _ -> Wl.Workload.Train
+  in
+  let train_env = wl.Wl.Workload.fresh_env train_input in
+  Xinv_speccross.Profiler.profile (wl.Wl.Workload.program train_input) train_env
+
+let spec_distance_of prof ~workers =
+  match prof.Xinv_speccross.Profiler.min_task_distance with
+  | Some d -> Stdlib.max workers d
+  | None ->
+      (* No profiled conflict: still bound the lead (a few invocations) so
+         threads stay loosely coupled and the checker's comparison windows
+         stay small. *)
+      Stdlib.max (4 * workers)
+        (int_of_float (4. *. prof.Xinv_speccross.Profiler.avg_tasks_per_epoch))
+
+(* ---- simulated backend ---- *)
+
+let run_sim ~machine ~input ~checkpoint_every ?obs ~technique ~threads
     (wl : Wl.Workload.t) =
-  assert (threads > 0);
   let program = wl.Wl.Workload.program input in
-  let seq_cost, seq_env = sequential_cost wl input in
   let env = wl.Wl.Workload.fresh_env input in
   let plan = Wl.Workload.plan_fn wl in
   let run, profile =
@@ -106,7 +188,9 @@ let execute ?(machine = Sim.Machine.default) ?(input = Wl.Workload.Ref)
     | Domore -> (
         match Ir.Mtcg.generate program env with
         | Ir.Mtcg.Inapplicable reason ->
-            failwith (Printf.sprintf "DOMORE inapplicable to %s: %s" wl.Wl.Workload.name reason)
+            failwith
+              (Printf.sprintf "DOMORE inapplicable to %s: %s" wl.Wl.Workload.name
+                 reason)
         | Ir.Mtcg.Plan mplan ->
             let workers = Stdlib.max 1 (threads - 1) in
             let config =
@@ -122,7 +206,9 @@ let execute ?(machine = Sim.Machine.default) ?(input = Wl.Workload.Ref)
     | Domore_dup -> (
         match Ir.Mtcg.generate program env with
         | Ir.Mtcg.Inapplicable reason ->
-            failwith (Printf.sprintf "DOMORE inapplicable to %s: %s" wl.Wl.Workload.name reason)
+            failwith
+              (Printf.sprintf "DOMORE inapplicable to %s: %s" wl.Wl.Workload.name
+                 reason)
         | Ir.Mtcg.Plan mplan ->
             let config =
               {
@@ -135,15 +221,7 @@ let execute ?(machine = Sim.Machine.default) ?(input = Wl.Workload.Ref)
             in
             (Some (Xinv_domore.Duplicated.run ~config ?obs ~plan:mplan program env), None))
     | Speccross | Speccross_inject _ ->
-        let train_input =
-          match input with
-          | Wl.Workload.Ref_spec -> Wl.Workload.Train_spec
-          | _ -> Wl.Workload.Train
-        in
-        let train_env = wl.Wl.Workload.fresh_env train_input in
-        let prof =
-          Xinv_speccross.Profiler.profile (wl.Wl.Workload.program train_input) train_env
-        in
+        let prof = spec_profile wl input in
         let workers = Stdlib.max 1 (threads - 1) in
         if not (Xinv_speccross.Profiler.profitable prof ~workers) then
           (* §4.4: a minimum dependence distance below the worker count
@@ -161,16 +239,7 @@ let execute ?(machine = Sim.Machine.default) ?(input = Wl.Workload.Ref)
               sig_kind =
                 Xinv_runtime.Signature.Segmented (Ir.Memory.bounds env.Ir.Env.mem);
               checkpoint_every;
-              spec_distance =
-                (match prof.Xinv_speccross.Profiler.min_task_distance with
-                | Some d -> Stdlib.max workers d
-                | None ->
-                    (* No profiled conflict: still bound the lead (a few
-                       invocations) so threads stay loosely coupled and the
-                       checker's comparison windows stay small. *)
-                    Stdlib.max (4 * workers)
-                      (int_of_float
-                         (4. *. prof.Xinv_speccross.Profiler.avg_tasks_per_epoch)));
+              spec_distance = spec_distance_of prof ~workers;
               mode_of = spec_mode_of_plan wl;
               inject_misspec = inject;
               non_spec_barriers = false;
@@ -179,35 +248,9 @@ let execute ?(machine = Sim.Machine.default) ?(input = Wl.Workload.Ref)
           in
           (Some (Xinv_speccross.Runtime.run ~config ?obs program env), Some prof)
   in
-  let mismatches =
-    if verify && technique <> Sequential then
-      Ir.Memory.diff seq_env.Ir.Env.mem env.Ir.Env.mem
-    else []
-  in
-  let speedup =
-    match run with
-    | None -> 1.0
-    | Some r -> Par.Run.speedup ~seq_cost r
-  in
-  {
-    run;
-    seq_cost;
-    speedup;
-    verified = mismatches = [];
-    mismatches;
-    profile;
-  }
+  (run, profile, env)
 
-module Nat = Xinv_native
-
-type native_outcome = {
-  nrun : Nat.Nrun.t;
-  seq_wall_ns : float;
-  nspeedup : float;
-  nverified : bool;
-  nmismatches : (string * int) list;
-  nprofile : Xinv_speccross.Profiler.t option;
-}
+(* ---- native backend ---- *)
 
 let native_mtcg_plan program env name =
   match Ir.Mtcg.generate program env with
@@ -222,18 +265,14 @@ let native_pool_size ~technique ~threads =
   | Domore | Speccross | Speccross_inject _ -> Stdlib.max 1 (threads - 1)
   | Doacross | Dswp | Inspector | Tls -> 0
 
-let execute_native ?(input = Wl.Workload.Ref) ?(checkpoint_every = 1000)
-    ?(verify = true) ?(work = Nat.Work.Off) ?pool ?obs ~technique ~threads
-    (wl : Wl.Workload.t) =
-  assert (threads > 0);
+(* One native attempt of one technique; raises on failure. *)
+let run_native_once ~opts ~wd ~fault ~input ~checkpoint_every ~technique
+    ~threads (wl : Wl.Workload.t) env =
   let program = wl.Wl.Workload.program input in
-  (* Wall-clock baseline and bit-exact reference memory in one pass. *)
-  let seq_env = wl.Wl.Workload.fresh_env input in
-  let seq_run = Nat.Nbarrier.run_seq ~work program seq_env in
-  let env = wl.Wl.Workload.fresh_env input in
   let plan = Wl.Workload.plan_fn wl in
+  let work = opts.work in
   let with_pool f =
-    match pool with
+    match opts.pool with
     | Some pool -> f pool
     | None -> Nat.Pool.with_pool ~workers:(native_pool_size ~technique ~threads) f
   in
@@ -241,106 +280,274 @@ let execute_native ?(input = Wl.Workload.Ref) ?(checkpoint_every = 1000)
     if wl.Wl.Workload.mem_partition then Xinv_domore.Policy.Mem_partition
     else Xinv_domore.Policy.Round_robin
   in
-  let nrun, nprofile =
-    match technique with
-    | Sequential -> (Nat.Nbarrier.run_seq ~work program env, None)
-    | Doacross | Dswp | Inspector | Tls ->
-        failwith
-          (Printf.sprintf "%s has no native backend (simulator only)"
-             (technique_name technique))
-    | Barrier ->
-        ( with_pool (fun pool ->
-              Nat.Nbarrier.run ~pool ~work ~threads ~plan program env),
-          None )
-    | Domore ->
-        let mplan = native_mtcg_plan program env wl.Wl.Workload.name in
-        let workers = Stdlib.max 1 (threads - 1) in
-        let config =
-          { (Nat.Ndomore.default_config ~workers) with Nat.Ndomore.policy; work }
-        in
-        ( with_pool (fun pool ->
-              Nat.Ndomore.run ~pool ~config ~plan:mplan program env),
-          None )
-    | Domore_dup ->
-        let mplan = native_mtcg_plan program env wl.Wl.Workload.name in
-        let config =
-          { (Nat.Ndomore.default_config ~workers:threads) with
-            Nat.Ndomore.policy; work }
-        in
-        ( with_pool (fun pool ->
-              Nat.Ndomore.run_duplicated ~pool ~config ~plan:mplan program env),
-          None )
-    | Speccross | Speccross_inject _ ->
-        let train_input =
-          match input with
-          | Wl.Workload.Ref_spec -> Wl.Workload.Train_spec
-          | _ -> Wl.Workload.Train
-        in
-        let train_env = wl.Wl.Workload.fresh_env train_input in
-        let prof =
-          Xinv_speccross.Profiler.profile
-            (wl.Wl.Workload.program train_input)
-            train_env
-        in
-        let workers = Stdlib.max 1 (threads - 1) in
-        if not (Xinv_speccross.Profiler.profitable prof ~workers) then
-          (* Same §4.4 decision as the simulated path: a short minimum
-             dependence distance recommends real barriers instead. *)
-          ( with_pool (fun pool ->
-                Nat.Nbarrier.run ~pool ~work ~threads ~plan program env),
-            Some prof )
-        else
-          let inject =
-            match technique with Speccross_inject e -> Some (e, 0) | _ -> None
-          in
-          let config =
-            {
-              (Nat.Nspec.default_config ~workers) with
-              Nat.Nspec.sig_kind =
-                Xinv_runtime.Signature.Segmented (Ir.Memory.bounds env.Ir.Env.mem);
-              checkpoint_every;
-              spec_distance =
-                (match prof.Xinv_speccross.Profiler.min_task_distance with
-                | Some d -> Stdlib.max workers d
-                | None ->
-                    Stdlib.max (4 * workers)
-                      (int_of_float
-                         (4. *. prof.Xinv_speccross.Profiler.avg_tasks_per_epoch)));
-              mode_of = spec_mode_of_plan wl;
-              inject_misspec = inject;
-              work;
-            }
-          in
-          ( with_pool (fun pool -> Nat.Nspec.run ~pool ~config program env),
-            Some prof )
-  in
-  (match obs with
-  | None -> ()
-  | Some obs ->
-      let m = Xinv_obs.Recorder.metrics obs in
-      let bump name v =
-        if v > 0 then Xinv_obs.Metrics.add (Xinv_obs.Metrics.counter m name) v
+  match technique with
+  | Sequential -> (Nat.Nbarrier.run_seq ~work program env, None)
+  | Doacross | Dswp | Inspector | Tls ->
+      failwith
+        (Printf.sprintf "%s has no native backend (simulator only)"
+           (technique_name technique))
+  | Barrier ->
+      ( with_pool (fun pool ->
+            Nat.Nbarrier.run ~pool ~wd ?fault ~work ~threads ~plan program env),
+        None )
+  | Domore ->
+      let mplan = native_mtcg_plan program env wl.Wl.Workload.name in
+      let workers = Stdlib.max 1 (threads - 1) in
+      let config =
+        { (Nat.Ndomore.default_config ~workers) with Nat.Ndomore.policy; work }
       in
-      (match technique with
-      | Domore | Domore_dup ->
-          bump "domore.tasks_dispatched" nrun.Nat.Nrun.tasks;
-          bump "domore.sync_conds_forwarded" nrun.Nat.Nrun.conds
-      | Speccross | Speccross_inject _ ->
-          bump "speccross.epochs_committed" nrun.Nat.Nrun.invocations;
-          bump "speccross.signature_checks" nrun.Nat.Nrun.checks;
-          bump "speccross.misspeculations" nrun.Nat.Nrun.misspecs;
-          bump "barrier.crossings" nrun.Nat.Nrun.barrier_episodes
-      | _ -> bump "barrier.crossings" nrun.Nat.Nrun.barrier_episodes));
-  let nmismatches =
-    if verify && technique <> Sequential then
-      Ir.Memory.diff seq_env.Ir.Env.mem env.Ir.Env.mem
-    else []
+      ( with_pool (fun pool ->
+            Nat.Ndomore.run ~pool ~wd ?fault ~config ~plan:mplan program env),
+        None )
+  | Domore_dup ->
+      let mplan = native_mtcg_plan program env wl.Wl.Workload.name in
+      let config =
+        { (Nat.Ndomore.default_config ~workers:threads) with
+          Nat.Ndomore.policy; work }
+      in
+      ( with_pool (fun pool ->
+            Nat.Ndomore.run_duplicated ~pool ~wd ?fault ~config ~plan:mplan
+              program env),
+        None )
+  | Speccross | Speccross_inject _ ->
+      let prof = spec_profile wl input in
+      let workers = Stdlib.max 1 (threads - 1) in
+      if not (Xinv_speccross.Profiler.profitable prof ~workers) then
+        (* Same §4.4 decision as the simulated path: a short minimum
+           dependence distance recommends real barriers instead. *)
+        ( with_pool (fun pool ->
+              Nat.Nbarrier.run ~pool ~wd ?fault ~work ~threads ~plan program env),
+          Some prof )
+      else
+        let inject =
+          match technique with Speccross_inject e -> Some (e, 0) | _ -> None
+        in
+        let config =
+          {
+            (Nat.Nspec.default_config ~workers) with
+            Nat.Nspec.sig_kind =
+              Xinv_runtime.Signature.Segmented (Ir.Memory.bounds env.Ir.Env.mem);
+            checkpoint_every;
+            spec_distance = spec_distance_of prof ~workers;
+            mode_of = spec_mode_of_plan wl;
+            inject_misspec = inject;
+            work;
+          }
+        in
+        ( with_pool (fun pool -> Nat.Nspec.run ~pool ~wd ?fault ~config program env),
+          Some prof )
+
+(* Runtime failures trigger degradation; environment-level errors and
+   programming bugs do not. *)
+let degradable = function
+  | Out_of_memory | Stack_overflow | Assert_failure _ | Invalid_argument _ ->
+      false
+  | _ -> true
+
+let degrade_chain = function
+  | Sequential -> [ Sequential ]
+  | Barrier -> [ Barrier; Sequential ]
+  | Domore -> [ Domore; Domore_dup; Barrier; Sequential ]
+  | Domore_dup -> [ Domore_dup; Barrier; Sequential ]
+  | (Speccross | Speccross_inject _) as t -> [ t; Barrier; Sequential ]
+  | (Doacross | Dswp | Inspector | Tls) as t -> [ t ]
+
+let failure_reason = function
+  | Nat.Fault.Injected { kind; domain; site } ->
+      Printf.sprintf "injected %s at domain %d, site %d"
+        (Nat.Fault.kind_name kind) domain site
+  | Nat.Watchdog.Stalled { role; waiting_for; waited_ns } ->
+      Printf.sprintf "%s stalled %.1f ms waiting for %s" role (waited_ns /. 1e6)
+        waiting_for
+  | Nat.Watchdog.Cancelled role -> Printf.sprintf "%s cancelled" role
+  | e -> Printexc.to_string e
+
+let record_event obs ev =
+  match obs with
+  | None -> ()
+  | Some r -> Xinv_obs.Recorder.record r ~at:0. ~tid:0 ev
+
+let bump_counter obs name v =
+  match obs with
+  | None -> ()
+  | Some r ->
+      if v > 0 then
+        let m = Xinv_obs.Recorder.metrics r in
+        Xinv_obs.Metrics.add (Xinv_obs.Metrics.counter m name) v
+
+let run_native ~opts ~input ~checkpoint_every ?obs ~technique ~threads
+    (wl : Wl.Workload.t) =
+  let program = wl.Wl.Workload.program input in
+  (* Wall-clock baseline and bit-exact reference memory in one pass. *)
+  let seq_env = wl.Wl.Workload.fresh_env input in
+  let seq_run = Nat.Nbarrier.run_seq ~work:opts.work program seq_env in
+  (* The degradation chain shares one overall deadline and one armed fault
+     (which fires at most once across every attempt). *)
+  let overall_deadline =
+    match opts.deadline_ms with
+    | None -> None
+    | Some ms -> Some (Unix.gettimeofday () +. (ms /. 1e3))
   in
-  {
-    nrun;
-    seq_wall_ns = seq_run.Nat.Nrun.wall_ns;
-    nspeedup = Nat.Nrun.speedup ~seq_wall_ns:seq_run.Nat.Nrun.wall_ns nrun;
-    nverified = nmismatches = [];
-    nmismatches;
-    nprofile;
-  }
+  let wait_timeout_ms =
+    match (opts.wait_timeout_ms, opts.deadline_ms, opts.fault) with
+    | Some ms, _, _ -> Some ms
+    | None, Some dl, _ -> Some (Float.min dl 5000.)
+    | None, None, Some _ ->
+        (* An armed fault without explicit bounds must still terminate. *)
+        Some 5000.
+    | None, None, None -> None
+  in
+  let fault =
+    match opts.fault with
+    | None -> None
+    | Some spec ->
+        let sites = Ir.Program.invocations program in
+        Some (Nat.Fault.resolve ~domains:threads ~sites spec)
+  in
+  let stalls_total = ref 0 in
+  let degraded = ref [] in
+  let rec attempt = function
+    | [] -> assert false
+    | tech :: rest -> (
+        let remaining_ms =
+          match overall_deadline with
+          | None -> None
+          | Some at -> Some ((at -. Unix.gettimeofday ()) *. 1e3)
+        in
+        (match remaining_ms with
+        | Some ms when ms <= 0. ->
+            raise
+              (Nat.Watchdog.Stalled
+                 { role = "facade"; waiting_for = "run deadline";
+                   waited_ns = Option.get opts.deadline_ms *. 1e6 })
+        | _ -> ());
+        let wd =
+          Nat.Watchdog.create ?deadline_ms:remaining_ms ?wait_timeout_ms ()
+        in
+        let env = wl.Wl.Workload.fresh_env input in
+        let finish (nrun, profile) =
+          stalls_total := !stalls_total + Nat.Watchdog.stalls wd;
+          (tech, nrun, profile, env)
+        in
+        match
+          run_native_once ~opts ~wd ~fault ~input ~checkpoint_every
+            ~technique:tech ~threads wl env
+        with
+        | result -> finish result
+        | exception e when rest <> [] && opts.degrade && degradable e ->
+            stalls_total := !stalls_total + Nat.Watchdog.stalls wd;
+            (match e with
+            | Nat.Watchdog.Stalled { role; waiting_for; waited_ns } ->
+                record_event obs
+                  (Xinv_obs.Event.Run_stalled { role; waiting_for; waited_ns })
+            | _ -> ());
+            let next = List.hd rest in
+            let reason = failure_reason e in
+            degraded :=
+              !degraded @ [ { d_from = tech; d_to = next; d_reason = reason } ];
+            record_event obs
+              (Xinv_obs.Event.Degraded
+                 { from_ = technique_name tech; to_ = technique_name next; reason });
+            attempt rest
+        | exception e ->
+            stalls_total := !stalls_total + Nat.Watchdog.stalls wd;
+            raise e)
+  in
+  let executed, nrun, nprofile, env = attempt (degrade_chain technique) in
+  (if Nat.Fault.fired fault then
+     match fault with
+     | Some f ->
+         let kind, domain, site = Nat.Fault.info f in
+         record_event obs
+           (Xinv_obs.Event.Fault_injected
+              { kind = Nat.Fault.kind_name kind; domain; site })
+     | None -> ());
+  bump_counter obs "fault.injected" (if Nat.Fault.fired fault then 1 else 0);
+  bump_counter obs "watchdog.stall" !stalls_total;
+  bump_counter obs "degrade.level" (List.length !degraded);
+  (match executed with
+  | Domore | Domore_dup ->
+      bump_counter obs "domore.tasks_dispatched" nrun.Nat.Nrun.tasks;
+      bump_counter obs "domore.sync_conds_forwarded" nrun.Nat.Nrun.conds
+  | Speccross | Speccross_inject _ ->
+      bump_counter obs "speccross.epochs_committed" nrun.Nat.Nrun.invocations;
+      bump_counter obs "speccross.signature_checks" nrun.Nat.Nrun.checks;
+      bump_counter obs "speccross.misspeculations" nrun.Nat.Nrun.misspecs;
+      bump_counter obs "barrier.crossings" nrun.Nat.Nrun.barrier_episodes
+  | _ -> bump_counter obs "barrier.crossings" nrun.Nat.Nrun.barrier_episodes);
+  (nrun, seq_run, nprofile, env, seq_env, executed, !degraded)
+
+(* ---- unified entry point ---- *)
+
+let run ?(backend = `Sim None) ?(input = Wl.Workload.Ref)
+    ?(checkpoint_every = 1000) ?(verify = true) ?obs ~technique ~threads
+    (wl : Wl.Workload.t) =
+  assert (threads > 0);
+  match backend with
+  | `Sim machine ->
+      let machine = Option.value machine ~default:Sim.Machine.default in
+      let seq_cost, seq_env = sequential_cost wl input in
+      let run, profile, env =
+        run_sim ~machine ~input ~checkpoint_every ?obs ~technique ~threads wl
+      in
+      let mismatches =
+        if verify && technique <> Sequential then
+          Ir.Memory.diff seq_env.Ir.Env.mem env.Ir.Env.mem
+        else []
+      in
+      let cost =
+        match run with
+        | None -> Sim_cycles seq_cost
+        | Some r -> Sim_cycles r.Par.Run.makespan
+      in
+      let speedup =
+        match run with None -> 1.0 | Some r -> Par.Run.speedup ~seq_cost r
+      in
+      {
+        technique;
+        cost;
+        seq_cost = Sim_cycles seq_cost;
+        speedup;
+        verified = mismatches = [];
+        mismatches;
+        profile;
+        run;
+        nrun = None;
+        degraded = [];
+      }
+  | `Native opts ->
+      let nrun, seq_run, profile, env, seq_env, executed, degraded =
+        run_native ~opts ~input ~checkpoint_every ?obs ~technique ~threads wl
+      in
+      let requested_sequential = technique = Sequential && degraded = [] in
+      let mismatches =
+        if verify && not requested_sequential then
+          Ir.Memory.diff seq_env.Ir.Env.mem env.Ir.Env.mem
+        else []
+      in
+      let seq_wall_ns = seq_run.Nat.Nrun.wall_ns in
+      {
+        technique = executed;
+        cost = Wall_ns nrun.Nat.Nrun.wall_ns;
+        seq_cost = Wall_ns seq_wall_ns;
+        speedup = Nat.Nrun.speedup ~seq_wall_ns nrun;
+        verified = mismatches = [];
+        mismatches;
+        profile;
+        run = None;
+        nrun = Some nrun;
+        degraded;
+      }
+
+(* ---- deprecated wrappers ---- *)
+
+let execute ?machine ?input ?checkpoint_every ?verify ?obs ~technique ~threads
+    wl =
+  run ~backend:(`Sim machine) ?input ?checkpoint_every ?verify ?obs ~technique
+    ~threads wl
+
+let execute_native ?input ?checkpoint_every ?verify ?(work = Nat.Work.Off)
+    ?pool ?obs ~technique ~threads wl =
+  run
+    ~backend:(`Native { native_defaults with work; pool })
+    ?input ?checkpoint_every ?verify ?obs ~technique ~threads wl

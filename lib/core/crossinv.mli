@@ -1,13 +1,21 @@
 (** Public facade: run a workload under any of the parallelization systems
-    this library reproduces, on a simulated multicore, and compare against
-    sequential execution.
+    this library reproduces — on a simulated multicore or on real OCaml 5
+    domains — and compare against sequential execution.
 
     Quickstart:
     {[
       let wl = Xinv_workloads.Registry.find "CG" in
-      let outcome = Crossinv.execute ~technique:Crossinv.Domore ~threads:8 wl in
-      Format.printf "speedup %.2fx, verified: %b@."
-        outcome.Crossinv.speedup outcome.Crossinv.verified
+      (* simulated machine (default backend) *)
+      let o = Crossinv.run ~technique:Crossinv.Domore ~threads:8 wl in
+      (* real domains, with robustness bounds *)
+      let o' =
+        Crossinv.run
+          ~backend:
+            (`Native { Crossinv.native_defaults with deadline_ms = Some 60_000. })
+          ~technique:Crossinv.Domore ~threads:4 wl
+      in
+      Format.printf "sim %.2fx / native %.2fx, verified: %b@."
+        o.Crossinv.speedup o'.Crossinv.speedup o'.Crossinv.verified
     ]} *)
 
 type technique =
@@ -27,18 +35,109 @@ val technique_name : technique -> string
 
 val technique_of_string : string -> technique option
 
+(** {1 The unified entry point} *)
+
+type cost =
+  | Sim_cycles of float  (** virtual cycles on the simulated machine *)
+  | Wall_ns of float  (** wall-clock nanoseconds on real domains *)
+
+val cost_value : cost -> float
+val cost_to_string : cost -> string
+
+type native_opts = {
+  work : Xinv_native.Work.t;
+      (** calibrated spinning per simulated cost unit; [Off] runs raw ops *)
+  pool : Xinv_native.Pool.t option;
+      (** reuse an existing domain pool; one is spun up per run otherwise *)
+  fault : Xinv_native.Fault.spec option;  (** armed fault, at most one firing *)
+  deadline_ms : float option;  (** overall run deadline, degradation included *)
+  wait_timeout_ms : float option;
+      (** per-wait bound; defaults to [min deadline 5000] when a deadline is
+          set, 5000 when only a fault is armed, unbounded otherwise *)
+  degrade : bool;  (** retry failed runs under weaker techniques (default) *)
+}
+
+val native_defaults : native_opts
+
+type backend = [ `Sim of Xinv_sim.Machine.t option | `Native of native_opts ]
+
+type degrade_step = { d_from : technique; d_to : technique; d_reason : string }
+
 type outcome = {
-  run : Xinv_parallel.Run.t option;  (** [None] for sequential execution *)
-  seq_cost : float;  (** sequential virtual time of the same input *)
+  technique : technique;
+      (** the technique that actually executed (after degradation) *)
+  cost : cost;  (** the run's cost in its backend's unit *)
+  seq_cost : cost;  (** sequential execution of the same input, same unit *)
   speedup : float;
   verified : bool;  (** final memory identical to sequential execution *)
   mismatches : (string * int) list;  (** locations that differ, when any *)
   profile : Xinv_speccross.Profiler.t option;  (** SPECCROSS profiling result *)
+  run : Xinv_parallel.Run.t option;  (** simulated backend's run record *)
+  nrun : Xinv_native.Nrun.t option;  (** native backend's run record *)
+  degraded : degrade_step list;  (** degradation steps taken, in order *)
 }
 
 val applicable :
-  technique -> Xinv_workloads.Workload.t -> (unit, string) result
-(** Compile-time applicability of the technique to the workload. *)
+  ?backend:[ `Sim | `Native ] ->
+  technique ->
+  Xinv_workloads.Workload.t ->
+  (unit, string) result
+(** Compile-time applicability of the technique to the workload on the
+    given backend (default [`Sim]).  Native inapplicability (Doacross,
+    DSWP, Inspector, TLS have no native engines) is an [Error], not an
+    exception. *)
+
+val supported : backend:[ `Sim | `Native ] -> technique list
+(** Techniques with an engine on the backend. *)
+
+val run :
+  ?backend:backend ->
+  ?input:Xinv_workloads.Workload.input ->
+  ?checkpoint_every:int ->
+  ?verify:bool ->
+  ?obs:Xinv_obs.Recorder.t ->
+  technique:technique ->
+  threads:int ->
+  Xinv_workloads.Workload.t ->
+  outcome
+(** Runs the workload under the technique with [threads] execution
+    contexts total (DOMORE: 1 scheduler + workers; SPECCROSS: workers +
+    1 checker) on the chosen backend (default: simulated, default
+    machine).  SPECCROSS profiles the train input first and falls back to
+    barriers when unprofitable (§4.4), on both backends.
+
+    With [?obs], the run is instrumented: the simulated backend streams
+    typed events and metrics into the recorder; the native backend bumps
+    aggregate counters ([domore.*], [speccross.*], [barrier.crossings])
+    plus the robustness counters [fault.injected], [watchdog.stall] and
+    [degrade.level], and records [Fault_injected] / [Run_stalled] /
+    [Degraded] events.
+
+    Native robustness: an armed [fault] fires at most once across the
+    whole run; every blocking wait is bounded per [native_opts]; a failed
+    attempt (injected fault, stall, worker exception) cancels its cohort,
+    unwinds cleanly, and — with [degrade] on — is retried on a fresh
+    environment under the next weaker technique
+    (SPECCROSS → barrier → sequential; DOMORE → duplicated scheduler →
+    barrier → sequential) within the same overall deadline.  The outcome's
+    [technique] and [degraded] fields report what actually ran.  With
+    [degrade] off, the typed error ({!Xinv_native.Fault.Injected},
+    {!Xinv_native.Watchdog.Stalled}, …) is raised instead.
+
+    @raise Failure when the technique is inapplicable to the backend
+    (see {!applicable}). *)
+
+val spec_mode_of_plan :
+  Xinv_workloads.Workload.t -> string -> Xinv_speccross.Runtime.mode
+(** Map the workload's Table 5.1 plan onto SPECCROSS execution modes. *)
+
+val native_pool_size : technique:technique -> threads:int -> int
+(** Pool domains one native run of [technique] needs beyond the caller. *)
+
+(** {1 Deprecated wrappers}
+
+    One release of compatibility for the pre-unification entry points.
+    Both now return the unified {!outcome}. *)
 
 val execute :
   ?machine:Xinv_sim.Machine.t ->
@@ -50,34 +149,7 @@ val execute :
   threads:int ->
   Xinv_workloads.Workload.t ->
   outcome
-(** Runs the workload under the technique with [threads] simulated cores
-    total (DOMORE: 1 scheduler + workers; SPECCROSS: workers + 1 checker).
-    SPECCROSS profiles the train input first, as the paper's toolchain
-    does.  With [?obs], the run is instrumented: the recorder collects
-    typed events and metrics (retrievable via [Run.report] on the
-    outcome's run, which also carries the recorder).  Recording consumes no
-    virtual time — results are bit-identical with and without it.
-    Inspector and TLS predate the event log and only surface
-    engine-derived accounting.  @raise Failure when the technique is
-    inapplicable. *)
-
-val spec_mode_of_plan :
-  Xinv_workloads.Workload.t -> string -> Xinv_speccross.Runtime.mode
-(** Map the workload's Table 5.1 plan onto SPECCROSS execution modes. *)
-
-(** {1 Native backend}
-
-    The same programs on real OCaml 5 domains, measured in wall-clock time
-    instead of simulated cycles. *)
-
-type native_outcome = {
-  nrun : Xinv_native.Nrun.t;
-  seq_wall_ns : float;  (** native sequential wall time of the same input *)
-  nspeedup : float;  (** wall-clock speedup over native sequential *)
-  nverified : bool;  (** final memory identical to sequential execution *)
-  nmismatches : (string * int) list;
-  nprofile : Xinv_speccross.Profiler.t option;
-}
+[@@deprecated "use Crossinv.run (optionally with ~backend:(`Sim ...))"]
 
 val execute_native :
   ?input:Xinv_workloads.Workload.input ->
@@ -89,17 +161,5 @@ val execute_native :
   technique:technique ->
   threads:int ->
   Xinv_workloads.Workload.t ->
-  native_outcome
-(** Runs the workload on [threads] real domains total (DOMORE: scheduler +
-    workers; SPECCROSS: workers + checker — both count the caller's domain).
-    [?work] converts simulated statement costs into calibrated spinning so
-    wall-clock scaling reflects the workload's cost model; the default
-    [Work.Off] runs the raw memory operations.  [?pool] reuses an existing
-    domain pool (it must hold at least [threads - 1] domains); otherwise a
-    pool is spun up for this call.  SPECCROSS profiles the train input and
-    falls back to native barriers when unprofitable, exactly like the
-    simulated path.  With [?obs], the same counters the simulator maintains
-    ([domore.*], [speccross.*], [barrier.crossings]) are bumped from the
-    native run's totals.
-    @raise Failure for techniques with no native backend
-    (Doacross, DSWP, Inspector, TLS). *)
+  outcome
+[@@deprecated "use Crossinv.run ~backend:(`Native ...)"]

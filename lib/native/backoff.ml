@@ -13,6 +13,7 @@ let once b =
     Unix.sleepf (Float.min max_nap nap)
 
 let reset b = b.steps <- 0
+let steps b = b.steps
 
 let wait_until pred =
   if not (pred ()) then begin

@@ -14,6 +14,10 @@ val once : t -> unit
 
 val reset : t -> unit
 
+val steps : t -> int
+(** Backoff steps taken since creation/reset — lets callers amortize
+    expensive per-iteration checks (clock reads) over the spin phase. *)
+
 val wait_until : (unit -> bool) -> unit
 (** Spin (with escalation) until the predicate holds.  The predicate is
     expected to read [Atomic] state, so a satisfied wait also establishes

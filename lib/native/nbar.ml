@@ -1,16 +1,40 @@
-type t = { parties : int; count : int Atomic.t; sense : int Atomic.t }
+exception Poisoned
+
+type t = {
+  parties : int;
+  count : int Atomic.t;
+  sense : int Atomic.t;
+  poisoned_ : bool Atomic.t;
+}
 
 let create ~parties =
   if parties <= 0 then invalid_arg "Nbar.create: parties must be positive";
-  { parties; count = Atomic.make 0; sense = Atomic.make 0 }
+  {
+    parties;
+    count = Atomic.make 0;
+    sense = Atomic.make 0;
+    poisoned_ = Atomic.make false;
+  }
 
-let wait t =
+let poison t = Atomic.set t.poisoned_ true
+let poisoned t = Atomic.get t.poisoned_
+
+let wait ?wd ?(role = "party") t =
+  if Atomic.get t.poisoned_ then raise Poisoned;
   let s = Atomic.get t.sense in
   if Atomic.fetch_and_add t.count 1 = t.parties - 1 then begin
     (* Last arrival resets and flips the sense, releasing the others. *)
     Atomic.set t.count 0;
     Atomic.set t.sense (s + 1)
   end
-  else Backoff.wait_until (fun () -> Atomic.get t.sense <> s)
+  else begin
+    let pred () = Atomic.get t.sense <> s || Atomic.get t.poisoned_ in
+    (match wd with
+    | Some wd -> Watchdog.wait wd ~role ~for_:"barrier" pred
+    | None -> Backoff.wait_until pred);
+    (* A poison racing a legitimate release lets the release win: only a
+       party still stuck on the old sense reports the poisoning. *)
+    if Atomic.get t.sense = s then raise Poisoned
+  end
 
 let waits t = Atomic.get t.sense

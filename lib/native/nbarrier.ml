@@ -38,10 +38,12 @@ let owner_of env ~threads (a : Ir.Access.t) =
   let size = Ir.Memory.size mem a.Ir.Access.base in
   idx * threads / size
 
-let run ~pool ?(work = Work.Off) ~threads ~plan (p : Ir.Program.t) env =
+let run ~pool ?wd ?fault ?(work = Work.Off) ~threads ~plan (p : Ir.Program.t)
+    env =
   assert (threads > 0);
   if threads - 1 > Pool.workers pool then
     invalid_arg "Nbarrier.run: pool too small for the requested thread count";
+  let wd = match wd with Some w -> w | None -> Watchdog.unbounded () in
   let bar = Nbar.create ~parties:threads in
   let nlocks = 64 in
   let locks = Array.init nlocks (fun _ -> Mutex.create ()) in
@@ -87,11 +89,14 @@ let run ~pool ?(work = Work.Off) ~threads ~plan (p : Ir.Program.t) env =
             else if List.mem tid (owners_of s) then exec_stmt env_j s)
           body
   in
+  let ninners = List.length p.Ir.Program.inners in
   let worker tid () =
+    let role = Printf.sprintf "worker %d" tid in
     for t = 0 to p.Ir.Program.outer_trip - 1 do
       let env_t = Ir.Env.with_outer env t in
-      List.iter
-        (fun (il : Ir.Program.inner) ->
+      List.iteri
+        (fun k (il : Ir.Program.inner) ->
+          let site = (t * ninners) + k in
           let tech = plan il.Ir.Program.ilabel in
           if tid = 0 then
             List.iter
@@ -101,7 +106,10 @@ let run ~pool ?(work = Work.Off) ~threads ~plan (p : Ir.Program.t) env =
               il.Ir.Program.pre;
           (* Unlike the simulator, real workers race ahead: order the
              sequential region before any body iteration reads it. *)
-          Nbar.wait bar;
+          Nbar.wait ~wd ~role bar;
+          Fault.inject fault Fault.Worker_raise ~domain:tid ~site;
+          if Fault.fires fault Fault.Poison_cond ~domain:tid ~site then
+            Watchdog.park wd ~role;
           let trip = il.Ir.Program.trip env_t in
           if tid = 0 then begin
             incr invocations;
@@ -118,12 +126,33 @@ let run ~pool ?(work = Work.Off) ~threads ~plan (p : Ir.Program.t) env =
               j := !j + threads
             done
           end;
-          Nbar.wait bar)
+          Nbar.wait ~wd ~role bar)
         p.Ir.Program.inners
     done
   in
-  let fns = Array.init threads (fun tid () -> worker tid ()) in
-  let wall_ns = Nrun.timed (fun () -> Pool.run pool fns) in
+  let cancel_cohort e =
+    ignore (Watchdog.cancel wd e);
+    Nbar.poison bar
+  in
+  let guard tid fn () =
+    try fn ()
+    with e -> (
+      let first = Watchdog.cancel wd e in
+      Nbar.poison bar;
+      match e with
+      | (Watchdog.Cancelled _ | Nbar.Poisoned) when not first ->
+          ignore tid (* secondary unwind, not a failure of its own *)
+      | _ -> raise e)
+  in
+  let fns = Array.init threads (fun tid -> guard tid (worker tid)) in
+  let wall_ns =
+    Nrun.timed (fun () ->
+        try Pool.run ~wd ~on_stall:cancel_cohort pool fns
+        with e -> (
+          match Watchdog.root_cause wd with
+          | Some root when root != e -> raise root
+          | _ -> raise e))
+  in
   let tech0 = plan (List.hd p.Ir.Program.inners).Ir.Program.ilabel in
   Nrun.make
     ~technique:(Printf.sprintf "native-%s+barrier" (Par.Intra.name tech0))

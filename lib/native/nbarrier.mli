@@ -7,6 +7,8 @@ val run_seq : ?work:Work.t -> Xinv_ir.Program.t -> Xinv_ir.Env.t -> Nrun.t
 
 val run :
   pool:Pool.t ->
+  ?wd:Watchdog.t ->
+  ?fault:Fault.t ->
   ?work:Work.t ->
   threads:int ->
   plan:(string -> Xinv_parallel.Intra.technique) ->
@@ -15,4 +17,11 @@ val run :
   Nrun.t
 (** [threads] domains (1 from the caller + [threads - 1] pool domains)
     execute every invocation under its planned technique, separated by
-    barriers.  The pool must have at least [threads - 1] workers. *)
+    barriers.  The pool must have at least [threads - 1] workers.
+
+    All barrier waits are bounded by [wd] (an internal unbounded watchdog
+    provides cancellation when omitted).  A failing domain poisons the
+    barrier and cancels the cohort; the first failure is re-raised after
+    the run unwinds.  [fault] injection sites are global invocation
+    ordinals; the barrier engine honours [Worker_raise] and
+    [Poison_cond]. *)

@@ -16,17 +16,25 @@ let default_config ~workers =
    word [3 lor (inner lsl 2)] is unambiguous on the same queue. *)
 let do_header inner = 3 lor (inner lsl 2)
 
-let wait_cell cells dep_tid dep_iter =
+let wait_cell ~wd ~role cells dep_tid dep_iter =
   if Atomic.get cells.(dep_tid) < dep_iter then
-    Backoff.wait_until (fun () -> Atomic.get cells.(dep_tid) >= dep_iter)
+    Watchdog.wait wd ~role
+      ~for_:(Printf.sprintf "iteration %d of worker %d" dep_iter dep_tid)
+      (fun () -> Atomic.get cells.(dep_tid) >= dep_iter)
 
-let run ~pool ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
+let reraise_root wd e =
+  match Watchdog.root_cause wd with
+  | Some root when root != e -> raise root
+  | _ -> raise e
+
+let run ~pool ?wd ?fault ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
   let config = match config with Some c -> c | None -> default_config ~workers:3 in
   let { policy; workers; queue_capacity; work } = config in
   assert (workers > 0);
   if workers > Pool.workers pool then invalid_arg "Ndomore.run: pool too small";
   if plan.Ir.Mtcg.scheduler_extra <> [] then
     invalid_arg "Ndomore.run: body statements re-partitioned into the scheduler";
+  let wd = match wd with Some w -> w | None -> Watchdog.unbounded () in
   let queues =
     Array.init workers (fun _ -> Spsc.create ~dummy:0 ~capacity:queue_capacity)
   in
@@ -40,6 +48,8 @@ let run ~pool ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
   let deps = Rt.Shadow.Deps.create () in
   let end_word = Rt.Sync_cond.to_int Rt.Sync_cond.End_token in
   let scheduler () =
+    let role = "scheduler" in
+    let push q word = Spsc.push ~wd ~role q word in
     let sched () =
       for t = 0 to p.Ir.Program.outer_trip - 1 do
         let env_t = Ir.Env.with_outer env t in
@@ -53,6 +63,7 @@ let run ~pool ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
             let slice = Ir.Mtcg.slice_for plan il.Ir.Program.ilabel in
             let trip = il.Ir.Program.trip env_t in
             for j = 0 to trip - 1 do
+              Fault.inject fault Fault.Scheduler_die ~domain:0 ~site:!iternum;
               let env_j = Ir.Env.with_inner env_t j in
               let waddrs = Ir.Slice.write_addresses slice env_j in
               for w = 0 to workers - 1 do
@@ -62,6 +73,20 @@ let run ~pool ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
                 Xinv_domore.Policy.pick policy ~loads:loads_opt ~mem:env.Ir.Env.mem
                   ~threads:workers ~iter:!iternum ~write_addrs:waddrs
               in
+              (* A stalled queue: the producer wedges and the consumer
+                 starves — exactly what the watchdog must detect. *)
+              if Fault.fires fault Fault.Queue_stall ~domain:tid ~site:!iternum
+              then Watchdog.park wd ~role;
+              (* A poisoned sync condition: the worker is told to await an
+                 iteration number no execution can ever reach. *)
+              if Fault.fires fault Fault.Poison_cond ~domain:tid ~site:!iternum
+              then begin
+                incr conds;
+                push queues.(tid)
+                  (Rt.Sync_cond.to_int
+                     (Rt.Sync_cond.Wait
+                        { dep_tid = tid; dep_iter = Rt.Sync_cond.max_iter }))
+              end;
               Rt.Shadow.Deps.clear deps;
               Ir.Slice.iter_read_addresses slice env_j (fun addr ->
                   Rt.Shadow.note_read_deps shadow addr ~tid ~iter:!iternum deps);
@@ -72,37 +97,40 @@ let run ~pool ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
               Rt.Shadow.Deps.iter
                 (fun ~tid:dt ~iter:di ->
                   incr conds;
-                  Spsc.push queues.(tid)
+                  push queues.(tid)
                     (Rt.Sync_cond.to_int
                        (Rt.Sync_cond.Wait { dep_tid = dt; dep_iter = di })))
                 deps;
-              Spsc.push queues.(tid) (do_header ii);
-              Spsc.push queues.(tid) t;
-              Spsc.push queues.(tid) j;
-              Spsc.push queues.(tid) !iternum;
+              push queues.(tid) (do_header ii);
+              push queues.(tid) t;
+              push queues.(tid) j;
+              push queues.(tid) !iternum;
               incr iternum
             done)
           bodies
       done
     in
-    (* Workers block on their queues: terminate them even if scheduling
-       itself fails, so the pool join cannot hang. *)
+    (* Workers block on their queues: release them even if scheduling itself
+       fails.  Closing the queues (rather than pushing end tokens, which can
+       block on a full queue whose consumer is dead) guarantees the wakeup. *)
     (try sched ()
      with e ->
-       Array.iter (fun q -> Spsc.push q end_word) queues;
+       Array.iter Spsc.close queues;
        raise e);
-    Array.iter (fun q -> Spsc.push q end_word) queues
+    Array.iter (fun q -> push q end_word) queues
   in
   let worker w () =
+    let role = Printf.sprintf "worker %d" w in
     let q = queues.(w) in
     let continue_ = ref true in
     while !continue_ do
-      let word = Spsc.pop q in
+      let word = Spsc.pop ~wd ~role q in
       if word land 3 = 3 then begin
         let inner = word lsr 2 in
-        let t = Spsc.pop q in
-        let j = Spsc.pop q in
-        let iter = Spsc.pop q in
+        let t = Spsc.pop ~wd ~role q in
+        let j = Spsc.pop ~wd ~role q in
+        let iter = Spsc.pop ~wd ~role q in
+        Fault.inject fault Fault.Worker_raise ~domain:w ~site:iter;
         let il = bodies.(inner) in
         let env_j = Ir.Env.with_inner (Ir.Env.with_outer env t) j in
         List.iter
@@ -116,19 +144,38 @@ let run ~pool ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
         match Rt.Sync_cond.of_int word with
         | Rt.Sync_cond.End_token -> continue_ := false
         | Rt.Sync_cond.No_sync _ -> ()
-        | Rt.Sync_cond.Wait { dep_tid; dep_iter } -> wait_cell cells dep_tid dep_iter
+        | Rt.Sync_cond.Wait { dep_tid; dep_iter } ->
+            wait_cell ~wd ~role cells dep_tid dep_iter
     done
+  in
+  let cancel_cohort e =
+    ignore (Watchdog.cancel wd e);
+    Array.iter Spsc.close queues
+  in
+  let guard fn () =
+    try fn ()
+    with e -> (
+      let first = Watchdog.cancel wd e in
+      Array.iter Spsc.close queues;
+      match e with
+      | (Watchdog.Cancelled _ | Spsc.Closed) when not first -> ()
+      | _ -> raise e)
   in
   let fns =
     Array.init (workers + 1) (fun i ->
-        if i = 0 then scheduler else fun () -> worker (i - 1) ())
+        if i = 0 then guard scheduler else guard (fun () -> worker (i - 1) ()))
   in
-  let wall_ns = Nrun.timed (fun () -> Pool.run pool fns) in
+  let wall_ns =
+    Nrun.timed (fun () ->
+        try Pool.run ~wd ~on_stall:cancel_cohort pool fns
+        with e -> reraise_root wd e)
+  in
   Nrun.make ~technique:"native-DOMORE" ~domains:(workers + 1) ~workers ~wall_ns
     ~tasks:!iternum ~invocations:(Ir.Program.invocations p) ~conds:!conds
     ~checks:!conds ()
 
-let run_duplicated ~pool ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
+let run_duplicated ~pool ?wd ?fault ?config ~(plan : Ir.Mtcg.plan)
+    (p : Ir.Program.t) env =
   let config = match config with Some c -> c | None -> default_config ~workers:4 in
   let { policy; workers; work; _ } = config in
   assert (workers > 0);
@@ -136,9 +183,11 @@ let run_duplicated ~pool ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
     invalid_arg "Ndomore.run_duplicated: pool too small";
   if plan.Ir.Mtcg.scheduler_extra <> [] then
     invalid_arg "Ndomore.run_duplicated: body statements re-partitioned into the scheduler";
+  let wd = match wd with Some w -> w | None -> Watchdog.unbounded () in
   let cells = Array.init workers (fun _ -> Atomic.make (-1)) in
   let tasks = ref 0 in
   let worker tid () =
+    let role = Printf.sprintf "worker %d" tid in
     let shadow = Rt.Shadow.create () in
     let deps = Rt.Shadow.Deps.create () in
     let iternum = ref 0 in
@@ -173,8 +222,11 @@ let run_duplicated ~pool ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
                 Rt.Shadow.note_write_deps shadow addr ~tid:owner ~iter:!iternum deps)
               waddrs;
             if owner = tid then begin
+              Fault.inject fault Fault.Worker_raise ~domain:tid ~site:!iternum;
+              if Fault.fires fault Fault.Poison_cond ~domain:tid ~site:!iternum
+              then Watchdog.park wd ~role;
               Rt.Shadow.Deps.iter
-                (fun ~tid:dt ~iter:di -> wait_cell cells dt di)
+                (fun ~tid:dt ~iter:di -> wait_cell ~wd ~role cells dt di)
                 deps;
               List.iter
                 (fun (s : Ir.Stmt.t) ->
@@ -188,7 +240,20 @@ let run_duplicated ~pool ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
         p.Ir.Program.inners
     done
   in
-  let fns = Array.init workers (fun tid () -> worker tid ()) in
-  let wall_ns = Nrun.timed (fun () -> Pool.run pool fns) in
+  let guard fn () =
+    try fn ()
+    with e -> (
+      let first = Watchdog.cancel wd e in
+      match e with
+      | Watchdog.Cancelled _ when not first -> ()
+      | _ -> raise e)
+  in
+  let fns = Array.init workers (fun tid -> guard (worker tid)) in
+  let cancel_cohort e = ignore (Watchdog.cancel wd e) in
+  let wall_ns =
+    Nrun.timed (fun () ->
+        try Pool.run ~wd ~on_stall:cancel_cohort pool fns
+        with e -> reraise_root wd e)
+  in
   Nrun.make ~technique:"native-DOMORE-dup" ~domains:workers ~workers ~wall_ns
     ~tasks:!tasks ~invocations:(Ir.Program.invocations p) ()

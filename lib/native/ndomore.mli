@@ -24,6 +24,8 @@ val default_config : workers:int -> config
 
 val run :
   pool:Pool.t ->
+  ?wd:Watchdog.t ->
+  ?fault:Fault.t ->
   ?config:config ->
   plan:Xinv_ir.Mtcg.plan ->
   Xinv_ir.Program.t ->
@@ -32,10 +34,21 @@ val run :
 (** The scheduler runs on the calling domain, workers on pool domains (the
     pool needs [workers] of them).  Mutates the environment's memory to the
     final state; with deterministic scheduling policies the dispatch — and
-    therefore the sync-condition count — matches the simulator exactly. *)
+    therefore the sync-condition count — matches the simulator exactly.
+
+    All queue operations and cell waits are bounded by [wd] (an internal
+    unbounded watchdog provides cancellation when omitted).  A failing
+    domain closes every queue and cancels the cohort; the first failure
+    is re-raised after the run unwinds.  [fault] sites are combined
+    iteration numbers: [Scheduler_die] raises in the scheduler,
+    [Worker_raise] in the dispatched worker, [Queue_stall] wedges the
+    scheduler before feeding the matched worker, and [Poison_cond] sends
+    that worker an unsatisfiable [Wait]. *)
 
 val run_duplicated :
   pool:Pool.t ->
+  ?wd:Watchdog.t ->
+  ?fault:Fault.t ->
   ?config:config ->
   plan:Xinv_ir.Mtcg.plan ->
   Xinv_ir.Program.t ->

@@ -42,14 +42,22 @@ exception Abort_now
 (* Exceptions raised while executing a *speculative* task on possibly
    inconsistent state are contained: the task is submitted as a forced
    conflict and recovery re-executes it non-speculatively (where a
-   deterministic bug would then surface for real). *)
-let containable = function Out_of_memory | Stack_overflow -> false | _ -> true
+   deterministic bug would then surface for real).  Runtime faults and
+   cancellation are *not* misspeculation — they must escape and unwind
+   the whole cohort. *)
+let containable = function
+  | Out_of_memory | Stack_overflow -> false
+  | Fault.Injected _ | Watchdog.Stalled _ | Watchdog.Cancelled _
+  | Spsc.Closed | Nbar.Poisoned ->
+      false
+  | _ -> true
 
-let run ~pool ?config (p : Ir.Program.t) env =
+let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
   let cfg = match config with Some c -> c | None -> default_config ~workers:3 in
   let workers = cfg.workers in
   assert (workers > 0);
   if workers > Pool.workers pool then invalid_arg "Nspec.run: pool too small";
+  let wd = match wd with Some w -> w | None -> Watchdog.unbounded () in
   let mem = env.Ir.Env.mem in
   let inners = Array.of_list p.Ir.Program.inners in
   let ninners = Array.length inners in
@@ -123,9 +131,14 @@ let run ~pool ?config (p : Ir.Program.t) env =
   let tasks_total = ref 0 in
   (* worker 0 runs on the calling domain *)
   let aborted () = Atomic.get abort in
-  let wait_or_abort pred =
-    Backoff.wait_until (fun () -> pred () || aborted ())
+  let role_of w = Printf.sprintf "worker %d" w in
+  let wait_or_abort ~role ~for_ pred =
+    Watchdog.wait wd ~role ~for_ (fun () -> pred () || aborted ())
   in
+  (* A queue-stalled worker keeps executing but stops submitting
+     signatures, starving the checker — the failure the watchdog's
+     bounded waits must surface. *)
+  let q_stalled = Array.make workers false in
   let all_progress_ge e =
     let ok = ref true in
     for w' = 0 to workers - 1 do
@@ -176,6 +189,8 @@ let run ~pool ?config (p : Ir.Program.t) env =
       !ok
     in
     let process (r : req) =
+      Fault.inject fault Fault.Checker_die ~domain:workers
+        ~site:(Atomic.get processed);
       let conflict = ref r.r_force in
       for w' = 0 to workers - 1 do
         if w' <> r.r_worker then begin
@@ -256,6 +271,7 @@ let run ~pool ?config (p : Ir.Program.t) env =
         && Array.for_all (fun q -> Spsc.length q = 0) qs
       in
       if Atomic.get finished && empty then running := false
+      else if Watchdog.cancelled wd then running := false
       else if any then Backoff.reset b
       else Backoff.once b
     done
@@ -279,40 +295,50 @@ let run ~pool ?config (p : Ir.Program.t) env =
   in
   let throttle ~w g =
     (* Publish first, then wait for every trailing worker to come within the
-       speculative range (dissertation 4.2.1). *)
-    Atomic.set tpos.(w) g;
+       speculative range (dissertation 4.2.1).  A stalled worker keeps
+       executing but stops publishing: its frozen frontier starves the
+       peers' range throttle, which the watchdog then bounds. *)
+    if not q_stalled.(w) then Atomic.set tpos.(w) g;
     if aborted () then raise Abort_now;
     let floor_ = g - cfg.spec_distance + 1 in
     if floor_ > 0 then
       for w' = 0 to workers - 1 do
         if w' <> w && Atomic.get tpos.(w') < floor_ then begin
-          wait_or_abort (fun () -> Atomic.get tpos.(w') >= floor_);
+          wait_or_abort ~role:(role_of w)
+            ~for_:(Printf.sprintf "spec-range throttle behind worker %d" w')
+            (fun () -> Atomic.get tpos.(w') >= floor_);
           if aborted () then raise Abort_now
         end
       done
   in
   let run_task ~w ~gen ~epoch ~g body addrs_fn =
-    (* Everything of mine below [g] is already enqueued. *)
-    Atomic.set dpos.(w) (g - 1);
-    let started = Array.map Atomic.get dpos in
-    let sg = Rt.Signature.create cfg.sig_kind in
-    let force = ref false in
-    (try
-       let addrs = addrs_fn () in
-       body ();
-       Rt.Signature.add_list sg addrs
-     with e when containable e -> force := true);
-    (match cfg.inject_misspec with
-    | Some (ie, iw) when ie = epoch && iw = w && not (Atomic.get injected) ->
-        Atomic.set injected true;
-        force := true
-    | _ -> ());
-    Atomic.incr submitted;
-    Atomic.incr submitted_total;
-    Spsc.push qs.(w)
-      { r_gen = gen; r_worker = w; r_epoch = epoch; r_g = g; r_sig = sg;
-        r_started = started; r_force = !force };
-    Atomic.set dpos.(w) g
+    if q_stalled.(w) then
+      (* Stalled signature stream: execute the task but never submit it,
+         and freeze the frontier — downstream waits must time out. *)
+      (try body () with e when containable e -> ())
+    else begin
+      (* Everything of mine below [g] is already enqueued. *)
+      Atomic.set dpos.(w) (g - 1);
+      let started = Array.map Atomic.get dpos in
+      let sg = Rt.Signature.create cfg.sig_kind in
+      let force = ref false in
+      (try
+         let addrs = addrs_fn () in
+         body ();
+         Rt.Signature.add_list sg addrs
+       with e when containable e -> force := true);
+      (match cfg.inject_misspec with
+      | Some (ie, iw) when ie = epoch && iw = w && not (Atomic.get injected) ->
+          Atomic.set injected true;
+          force := true
+      | _ -> ());
+      Atomic.incr submitted;
+      Atomic.incr submitted_total;
+      Spsc.push ~wd ~role:(role_of w) qs.(w)
+        { r_gen = gen; r_worker = w; r_epoch = epoch; r_g = g; r_sig = sg;
+          r_started = started; r_force = !force };
+      Atomic.set dpos.(w) g
+    end
   in
   (* Submit a no-signature forced conflict: used when speculative state is
      so inconsistent that even scheduling-side evaluation raises. *)
@@ -321,7 +347,7 @@ let run ~pool ?config (p : Ir.Program.t) env =
     let started = Array.map Atomic.get dpos in
     Atomic.incr submitted;
     Atomic.incr submitted_total;
-    Spsc.push qs.(w)
+    Spsc.push ~wd ~role:(role_of w) qs.(w)
       { r_gen = gen; r_worker = w; r_epoch = epoch; r_g = g;
         r_sig = Rt.Signature.create cfg.sig_kind; r_started = started;
         r_force = true };
@@ -390,7 +416,7 @@ let run ~pool ?config (p : Ir.Program.t) env =
   let exec_epoch_nonspec w e =
     let il, env_t = env_of_epoch e in
     if w = 0 then exec_pre env_t il;
-    Nbar.wait bar;
+    Nbar.wait ~wd ~role:(role_of w) bar;
     let trip = il.Ir.Program.trip env_t in
     (match cfg.mode_of il.Ir.Program.ilabel with
     | Sx.Runtime.M_domore _ -> assert false
@@ -426,10 +452,12 @@ let run ~pool ?config (p : Ir.Program.t) env =
 
   (* ---- recovery ---- *)
   let recover w gen =
-    Nbar.wait bar;
+    let role = role_of w in
+    Nbar.wait ~wd ~role bar;
     (* All workers rallied: nothing new is being pushed or executed. *)
     if w = 0 then begin
-      Backoff.wait_until (fun () -> Atomic.get checker_gen > !gen);
+      Watchdog.wait wd ~role ~for_:"checker generation bump" (fun () ->
+          Atomic.get checker_gen > !gen);
       let ck = Rt.Checkpoint.restore ckpts ~into:mem in
       Atomic.set redo_from ck;
       Atomic.set redo_to (Stdlib.min (Atomic.get max_epoch) (nepochs - 1));
@@ -447,13 +475,13 @@ let run ~pool ?config (p : Ir.Program.t) env =
          barrier), so the flag can drop before they resume. *)
       Atomic.set abort false
     end;
-    Nbar.wait bar;
+    Nbar.wait ~wd ~role bar;
     gen := Atomic.get checker_gen;
     (* Re-execute the misspeculated epochs with real non-speculative
        barriers, then checkpoint the resume point. *)
     for e' = Atomic.get redo_from to Atomic.get redo_to do
       exec_epoch_nonspec w e';
-      Nbar.wait bar
+      Nbar.wait ~wd ~role bar
     done;
     if w = 0 then begin
       let rf = Atomic.get resume_from in
@@ -461,23 +489,27 @@ let run ~pool ?config (p : Ir.Program.t) env =
       Atomic.set ckpt_done rf;
       Atomic.set prune_floor (epoch_base.(rf) - 1)
     end;
-    Nbar.wait bar;
+    Nbar.wait ~wd ~role bar;
     Atomic.get resume_from
   in
 
   (* ---- worker ---- *)
   let worker w () =
+    let role = role_of w in
     let e = ref 0 in
     let gen = ref 0 in
     let running = ref true in
     while !running do
       if aborted () then e := recover w gen
       else if !e >= nepochs then begin
-        Atomic.set progress.(w) nepochs;
-        Atomic.set tpos.(w) epoch_base.(nepochs);
-        Atomic.set dpos.(w) epoch_base.(nepochs);
-        wait_or_abort (fun () -> all_progress_ge nepochs);
-        wait_or_abort drained;
+        if not q_stalled.(w) then begin
+          Atomic.set progress.(w) nepochs;
+          Atomic.set tpos.(w) epoch_base.(nepochs);
+          Atomic.set dpos.(w) epoch_base.(nepochs)
+        end;
+        wait_or_abort ~role ~for_:"peers to finish" (fun () ->
+            all_progress_ge nepochs);
+        wait_or_abort ~role ~for_:"checker drain" drained;
         if aborted () then e := recover w gen
         else begin
           if w = 0 then Atomic.set finished true;
@@ -485,7 +517,15 @@ let run ~pool ?config (p : Ir.Program.t) env =
         end
       end
       else begin
-        Atomic.set progress.(w) !e;
+        if not q_stalled.(w) then Atomic.set progress.(w) !e;
+        (* Fault sites are epoch ordinals. *)
+        Fault.inject fault Fault.Worker_raise ~domain:w ~site:!e;
+        if w = 0 then
+          Fault.inject fault Fault.Scheduler_die ~domain:0 ~site:!e;
+        if Fault.fires fault Fault.Queue_stall ~domain:w ~site:!e then
+          q_stalled.(w) <- true;
+        if Fault.fires fault Fault.Poison_cond ~domain:w ~site:!e then
+          Watchdog.park wd ~role;
         if Atomic.get max_epoch < !e then begin
           (* monotonic max; racy in-between values are still monotone *)
           let rec bump () =
@@ -501,23 +541,27 @@ let run ~pool ?config (p : Ir.Program.t) env =
           && Atomic.get ckpt_done < !e
         then begin
           if w = 0 then begin
-            wait_or_abort (fun () -> all_progress_ge !e);
-            wait_or_abort drained;
+            wait_or_abort ~role ~for_:"checkpoint rally" (fun () ->
+                all_progress_ge !e);
+            wait_or_abort ~role ~for_:"checker drain" drained;
             if not (aborted ()) then begin
               Rt.Checkpoint.save ckpts ~epoch:!e mem;
               Atomic.set prune_floor (epoch_base.(!e) - 1);
               Atomic.set ckpt_done !e
             end
           end
-          else wait_or_abort (fun () -> Atomic.get ckpt_done >= !e)
+          else
+            wait_or_abort ~role ~for_:"checkpoint" (fun () ->
+                Atomic.get ckpt_done >= !e)
         end;
         if aborted () then e := recover w gen
         else if irreversible.(!e mod ninners) then begin
           (* Rally, drain, one worker executes the epoch exactly once,
              checkpoint, resume (§4.2.2). *)
           if w = 0 then begin
-            wait_or_abort (fun () -> all_progress_ge !e);
-            wait_or_abort drained;
+            wait_or_abort ~role ~for_:"irreversible-epoch rally" (fun () ->
+                all_progress_ge !e);
+            wait_or_abort ~role ~for_:"checker drain" drained;
             if not (aborted ()) then begin
               let il, env_t = env_of_epoch !e in
               List.iter
@@ -540,7 +584,9 @@ let run ~pool ?config (p : Ir.Program.t) env =
               Atomic.set io_done !e
             end
           end
-          else wait_or_abort (fun () -> Atomic.get io_done >= !e);
+          else
+            wait_or_abort ~role ~for_:"irreversible epoch" (fun () ->
+                Atomic.get io_done >= !e);
           if aborted () then e := recover w gen
           else begin
             Atomic.set tpos.(w) (epoch_base.(!e + 1) - 1);
@@ -559,13 +605,36 @@ let run ~pool ?config (p : Ir.Program.t) env =
       end
     done
   in
+  let cancel_cohort e =
+    ignore (Watchdog.cancel wd e);
+    Array.iter Spsc.close qs;
+    Nbar.poison bar
+  in
+  let guard fn () =
+    try fn ()
+    with e -> (
+      let first = Watchdog.cancel wd e in
+      Array.iter Spsc.close qs;
+      Nbar.poison bar;
+      match e with
+      | (Watchdog.Cancelled _ | Spsc.Closed | Nbar.Poisoned) when not first ->
+          ()
+      | _ -> raise e)
+  in
   let fns =
     Array.init (workers + 1) (fun i ->
-        if i = 0 then fun () -> worker 0 ()
-        else if i <= workers - 1 then fun () -> worker i ()
-        else checker)
+        if i = 0 then guard (fun () -> worker 0 ())
+        else if i <= workers - 1 then guard (fun () -> worker i ())
+        else guard checker)
   in
-  let wall_ns = Nrun.timed (fun () -> Pool.run pool fns) in
+  let wall_ns =
+    Nrun.timed (fun () ->
+        try Pool.run ~wd ~on_stall:cancel_cohort pool fns
+        with e -> (
+          match Watchdog.root_cause wd with
+          | Some root when root != e -> raise root
+          | _ -> raise e))
+  in
   Nrun.make ~technique:"native-SPECCROSS" ~domains:(workers + 1) ~workers ~wall_ns
     ~tasks:!tasks_total ~invocations:(Ir.Program.invocations p)
     ~checks:(Atomic.get submitted_total) ~misspecs:(Atomic.get misspec_ctr)

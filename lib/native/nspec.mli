@@ -37,6 +37,8 @@ val default_config : workers:int -> config
 
 val run :
   pool:Pool.t ->
+  ?wd:Watchdog.t ->
+  ?fault:Fault.t ->
   ?config:config ->
   Xinv_ir.Program.t ->
   Xinv_ir.Env.t ->
@@ -44,4 +46,15 @@ val run :
 (** Worker 0 runs on the calling domain; workers 1.. and the checker run on
     pool domains (the pool needs [workers] of them).  Mutates the
     environment's memory to the final state.
+
+    Every blocking wait (throttle, rallies, barrier, queue push) is
+    bounded by [wd] (an internal unbounded watchdog provides cancellation
+    when omitted).  A failing domain closes the request queues, poisons
+    the rally barrier and cancels the cohort; the first failure is
+    re-raised after the run unwinds — speculative misspeculation recovery
+    is unaffected.  [fault] sites are epoch ordinals ([Checker_die]:
+    drained-request count): [Worker_raise] raises in the matched worker,
+    [Scheduler_die] in worker 0, [Checker_die] in the checker,
+    [Queue_stall] freezes the matched worker's signature stream, and
+    [Poison_cond] wedges the matched worker.
     @raise Invalid_argument if any inner's mode is [M_domore]. *)

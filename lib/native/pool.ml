@@ -33,7 +33,7 @@ let create ~workers =
 
 let workers t = Array.length t.doms
 
-let run t fns =
+let run ?wd ?(on_stall = fun (_ : exn) -> ()) t fns =
   if not t.live then invalid_arg "Pool.run: pool was shut down";
   let n = Array.length fns in
   if n = 0 then ()
@@ -47,10 +47,34 @@ let run t fns =
     done;
     let main_err = ref None in
     (try fns.(0) () with e -> main_err := Some e);
-    for i = 1 to n - 1 do
+    let join i =
       let s = t.slots.(i - 1) in
-      Backoff.wait_until (fun () -> Atomic.get s.done_ > before.(i - 1))
+      let pred () = Atomic.get s.done_ > before.(i - 1) in
+      match wd with
+      | None -> Backoff.wait_until pred
+      | Some wd -> (
+          (* The join must outlive cancellation — cancelled workers are
+             still unwinding — so it is non-cancellable. *)
+          let role = "pool" and for_ = Printf.sprintf "join of worker %d" i in
+          try Watchdog.wait ~cancellable:false wd ~role ~for_ pred
+          with Watchdog.Stalled _ as stall -> (
+            (* Give the caller one chance to cancel the cohort (close
+               queues, poison barriers) and the worker one more timeout
+               window to unwind before declaring it wedged. *)
+            on_stall stall;
+            try Watchdog.wait ~cancellable:false wd ~role ~for_ pred
+            with Watchdog.Stalled _ ->
+              (* The domain is unrecoverable; abandoning its join would
+                 corrupt the next run, so the pool dies with it.  The
+                 domain itself is leaked until process exit. *)
+              t.live <- false;
+              raise stall))
+    in
+    let join_err = ref None in
+    for i = 1 to n - 1 do
+      try join i with e -> if !join_err = None then join_err := Some e
     done;
+    (match !join_err with Some e -> raise e | None -> ());
     (match !main_err with Some e -> raise e | None -> ());
     Array.iteri
       (fun i s -> if i < n - 1 then

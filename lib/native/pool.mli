@@ -13,15 +13,25 @@ val create : workers:int -> t
 
 val workers : t -> int
 
-val run : t -> (unit -> unit) array -> unit
+val run :
+  ?wd:Watchdog.t -> ?on_stall:(exn -> unit) -> t -> (unit -> unit) array -> unit
 (** [run pool fns] executes [fns.(0)] on the calling domain and
     [fns.(1..)] on pool domains, returning when all have finished.
     [Array.length fns - 1] must not exceed [workers pool].  If any
     function raises, the first exception (lowest index) is re-raised
-    after all functions have terminated. *)
+    after all functions have terminated.
+
+    With [wd], joins are bounded: a worker that exceeds the watchdog's
+    bounds triggers [on_stall] (the engine's chance to cancel the cohort
+    so wedged workers unwind), then one more bounded wait; if the worker
+    is still stuck the pool is marked dead — its domains leak until
+    process exit, but the stall surfaces as {!Watchdog.Stalled} instead
+    of a hang, and the poisoned pool can never corrupt a later run. *)
 
 val shutdown : t -> unit
-(** Terminates and joins the pool domains.  The pool is unusable after. *)
+(** Terminates and joins the pool domains.  The pool is unusable after.
+    No-op on a pool already marked dead by a stalled join (joining a
+    wedged domain would hang forever). *)
 
 val with_pool : workers:int -> (t -> 'a) -> 'a
 (** Create, apply, always shut down. *)

@@ -1,9 +1,12 @@
+exception Closed
+
 type 'a t = {
   buf : 'a array;
   mask : int;
   dummy : 'a;
   head : int Atomic.t;  (* next slot to pop; advanced only by the consumer *)
   tail : int Atomic.t;  (* next slot to fill; advanced only by the producer *)
+  closed_ : bool Atomic.t;
 }
 
 let create ~dummy ~capacity =
@@ -18,9 +21,12 @@ let create ~dummy ~capacity =
     dummy;
     head = Atomic.make 0;
     tail = Atomic.make 0;
+    closed_ = Atomic.make false;
   }
 
 let capacity t = t.mask + 1
+let close t = Atomic.set t.closed_ true
+let closed t = Atomic.get t.closed_
 
 let try_push t x =
   let tail = Atomic.get t.tail in
@@ -32,12 +38,21 @@ let try_push t x =
     true
   end
 
-let push t x =
+let push ?wd ?(role = "producer") t x =
+  if Atomic.get t.closed_ then raise Closed;
   if not (try_push t x) then begin
-    let b = Backoff.create () in
-    while not (try_push t x) do
-      Backoff.once b
-    done
+    let pushed = ref false in
+    let pred () =
+      Atomic.get t.closed_
+      ||
+      let ok = try_push t x in
+      pushed := ok;
+      ok
+    in
+    (match wd with
+    | Some wd -> Watchdog.wait wd ~role ~for_:"queue slot" pred
+    | None -> Backoff.wait_until pred);
+    if not !pushed then raise Closed
   end
 
 let try_pop t =
@@ -51,21 +66,25 @@ let try_pop t =
     Some x
   end
 
-let pop t =
+let pop ?wd ?(role = "consumer") t =
   match try_pop t with
   | Some x -> x
   | None ->
-      let b = Backoff.create () in
       let r = ref t.dummy in
       let got = ref false in
-      while not !got do
-        Backoff.once b;
+      (* Drain before reporting closure: items pushed before [close] must
+         still reach the consumer, so emptiness is re-checked first. *)
+      let pred () =
         match try_pop t with
         | Some x ->
             r := x;
-            got := true
-        | None -> ()
-      done;
-      !r
+            got := true;
+            true
+        | None -> Atomic.get t.closed_
+      in
+      (match wd with
+      | Some wd -> Watchdog.wait wd ~role ~for_:"queue item" pred
+      | None -> Backoff.wait_until pred);
+      if !got then !r else raise Closed
 
 let length t = Stdlib.max 0 (Atomic.get t.tail - Atomic.get t.head)

@@ -13,23 +13,36 @@
 
 type 'a t
 
+exception Closed
+
 val create : dummy:'a -> capacity:int -> 'a t
 (** [capacity] is rounded up to a power of two.  [dummy] fills empty slots
     (popped slots are reset to it so the queue never pins dead payloads). *)
 
 val capacity : 'a t -> int
 
+val close : 'a t -> unit
+(** Marks the queue closed (any domain may call it — cancellation runs on
+    whichever domain failed first).  Blocked producers and consumers wake
+    with {!Closed}; the consumer first drains items already enqueued. *)
+
+val closed : 'a t -> bool
+
 val try_push : 'a t -> 'a -> bool
 (** Producer only.  False when full. *)
 
-val push : 'a t -> 'a -> unit
-(** Producer only.  Blocks (with backoff) while full. *)
+val push : ?wd:Watchdog.t -> ?role:string -> 'a t -> 'a -> unit
+(** Producer only.  Blocks (with backoff) while full.
+    @raise Closed when the queue is or becomes closed.
+    @raise Watchdog.Stalled / Watchdog.Cancelled per [wd]'s bounds. *)
 
 val try_pop : 'a t -> 'a option
 (** Consumer only.  [None] when empty. *)
 
-val pop : 'a t -> 'a
-(** Consumer only.  Blocks (with backoff) while empty. *)
+val pop : ?wd:Watchdog.t -> ?role:string -> 'a t -> 'a
+(** Consumer only.  Blocks (with backoff) while empty.
+    @raise Closed when the queue is closed and fully drained.
+    @raise Watchdog.Stalled / Watchdog.Cancelled per [wd]'s bounds. *)
 
 val length : 'a t -> int
 (** Racy snapshot of the occupancy — exact for the producer/consumer

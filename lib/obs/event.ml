@@ -25,6 +25,9 @@ type t =
   | Checkpoint_forked of { epoch : int }
   | Signature_checked of { worker : int; epoch : int; window : int; conflict : bool }
   | Barrier_crossed of { episode : int }
+  | Fault_injected of { kind : string; domain : int; site : int }
+  | Run_stalled of { role : string; waiting_for : string; waited_ns : float }
+  | Degraded of { from_ : string; to_ : string; reason : string }
 
 let name = function
   | Sync_forwarded _ -> "sync_forwarded"
@@ -37,6 +40,9 @@ let name = function
   | Checkpoint_forked _ -> "checkpoint_forked"
   | Signature_checked _ -> "signature_checked"
   | Barrier_crossed _ -> "barrier_crossed"
+  | Fault_injected _ -> "fault_injected"
+  | Run_stalled _ -> "run_stalled"
+  | Degraded _ -> "degraded"
 
 type arg = I of int | F of float | B of bool | S of string
 
@@ -55,3 +61,9 @@ let args = function
   | Signature_checked { worker; epoch; window; conflict } ->
       [ ("worker", I worker); ("epoch", I epoch); ("window", I window); ("conflict", B conflict) ]
   | Barrier_crossed { episode } -> [ ("episode", I episode) ]
+  | Fault_injected { kind; domain; site } ->
+      [ ("kind", S kind); ("domain", I domain); ("site", I site) ]
+  | Run_stalled { role; waiting_for; waited_ns } ->
+      [ ("role", S role); ("waiting_for", S waiting_for); ("waited_ns", F waited_ns) ]
+  | Degraded { from_; to_; reason } ->
+      [ ("from", S from_); ("to", S to_); ("reason", S reason) ]

@@ -35,6 +35,12 @@ type t =
   | Signature_checked of { worker : int; epoch : int; window : int; conflict : bool }
       (** one checking request: [window] signatures compared *)
   | Barrier_crossed of { episode : int }
+  | Fault_injected of { kind : string; domain : int; site : int }
+      (** a {!Xinv_native.Fault} fired at (domain, site) during a native run *)
+  | Run_stalled of { role : string; waiting_for : string; waited_ns : float }
+      (** a watchdog-bounded wait exceeded its budget and raised [Stalled] *)
+  | Degraded of { from_ : string; to_ : string; reason : string }
+      (** the facade retried a failed native run under a weaker technique *)
 
 val name : t -> string
 (** Short stable identifier, used as the Perfetto event name. *)

@@ -117,7 +117,11 @@ let build ~engine ?recorder () =
           | Event.Signature_checked { window; _ } ->
               incr signature_checks;
               signatures_compared := !signatures_compared + window
-          | Event.Barrier_crossed _ -> incr barrier_crossings)
+          | Event.Barrier_crossed _ -> incr barrier_crossings
+          (* Robustness events surface through the fault.injected /
+             watchdog.stall / degrade.level counters below. *)
+          | Event.Fault_injected _ | Event.Run_stalled _ | Event.Degraded _ ->
+              ())
         r);
   let stall_events =
     List.filter_map

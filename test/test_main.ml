@@ -10,6 +10,7 @@ let () =
       ("domore", Test_domore.suite);
       ("speccross", Test_speccross.suite);
       ("native", Test_native.suite);
+      ("robust", Test_robust.suite);
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
     ]

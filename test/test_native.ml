@@ -106,15 +106,19 @@ let test_native_memory_direct () =
 let threads = 4
 
 let sim_outcome technique wl =
-  C.execute ~input:Wl.Workload.Train ~technique ~threads wl
+  C.run ~input:Wl.Workload.Train ~technique ~threads wl
 
 let native_outcome ?pool technique wl =
-  C.execute_native ~input:Wl.Workload.Train ?pool ~technique ~threads wl
+  C.run
+    ~backend:(`Native { C.native_defaults with C.pool })
+    ~input:Wl.Workload.Train ~technique ~threads wl
 
-let check_verified name (n : C.native_outcome) =
+let nrun (n : C.outcome) = Option.get n.C.nrun
+
+let check_verified name (n : C.outcome) =
   Alcotest.(check (list (pair string int)))
     (name ^ ": native memory = sequential memory")
-    [] n.C.nmismatches
+    [] n.C.mismatches
 
 let test_crossval_barrier () =
   Nat.Pool.with_pool ~workers:(threads - 1) (fun pool ->
@@ -142,17 +146,17 @@ let test_crossval_domore () =
               let sr = Option.get s.C.run in
               Alcotest.(check int)
                 (name ^ "/domore: task counts match")
-                sr.Par.Run.tasks n.C.nrun.Nat.Nrun.tasks;
+                sr.Par.Run.tasks (nrun n).Nat.Nrun.tasks;
               (* Same deterministic scheduling decisions => the very same
                  sync conditions stream to the workers. *)
               Alcotest.(check int)
                 (name ^ "/domore: sync-condition counts match")
-                sr.Par.Run.checks n.C.nrun.Nat.Nrun.conds;
+                sr.Par.Run.checks (nrun n).Nat.Nrun.conds;
               let d = native_outcome ~pool C.Domore_dup wl in
               check_verified (name ^ "/domore-dup") d;
               Alcotest.(check int)
                 (name ^ "/domore-dup: task counts match")
-                sr.Par.Run.tasks d.C.nrun.Nat.Nrun.tasks)
+                sr.Par.Run.tasks (nrun d).Nat.Nrun.tasks)
         (Wl.Registry.all ()))
 
 let test_crossval_speccross () =
@@ -179,21 +183,21 @@ let test_crossval_speccross () =
               if sr.Par.Run.misspecs = 0 then begin
                 Alcotest.(check int)
                   (name ^ "/speccross: native misspeculations")
-                  0 n.C.nrun.Nat.Nrun.misspecs;
+                  0 (nrun n).Nat.Nrun.misspecs;
                 Alcotest.(check int)
                   (name ^ "/speccross: task counts match")
-                  sr.Par.Run.tasks n.C.nrun.Nat.Nrun.tasks
+                  sr.Par.Run.tasks (nrun n).Nat.Nrun.tasks
               end)
         (Wl.Registry.all ()))
 
 let test_native_inject_recovers () =
   let wl = Wl.Registry.find "SYMM" in
   let n =
-    C.execute_native ~input:Wl.Workload.Train ~technique:(C.Speccross_inject 2)
-      ~threads wl
+    C.run ~backend:(`Native C.native_defaults) ~input:Wl.Workload.Train
+      ~technique:(C.Speccross_inject 2) ~threads wl
   in
   Alcotest.(check int) "exactly one forced misspeculation" 1
-    n.C.nrun.Nat.Nrun.misspecs;
+    (nrun n).Nat.Nrun.misspecs;
   check_verified "SYMM/inject" n
 
 let test_native_bloom_speccross () =
@@ -222,12 +226,13 @@ let test_native_obs_counters () =
   let wl = Wl.Registry.find "SYMM" in
   let obs = Xinv_obs.Recorder.create () in
   let n =
-    C.execute_native ~input:Wl.Workload.Train ~obs ~technique:C.Domore ~threads wl
+    C.run ~backend:(`Native C.native_defaults) ~input:Wl.Workload.Train ~obs
+      ~technique:C.Domore ~threads wl
   in
   let counters = Xinv_obs.Metrics.counters (Xinv_obs.Recorder.metrics obs) in
   Alcotest.(check (option int))
     "native run feeds domore.tasks_dispatched"
-    (Some n.C.nrun.Nat.Nrun.tasks)
+    (Some (nrun n).Nat.Nrun.tasks)
     (List.assoc_opt "domore.tasks_dispatched" counters)
 
 let suite =

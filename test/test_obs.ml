@@ -295,7 +295,7 @@ let test_misspec_report () =
   let wl = Wl.Registry.find "JACOBI" in
   let obs = Obs.Recorder.create () in
   let o =
-    Cx.execute ~input:Wl.Workload.Train ~obs ~technique:(Cx.Speccross_inject 5)
+    Cx.run ~input:Wl.Workload.Train ~obs ~technique:(Cx.Speccross_inject 5)
       ~threads:8 wl
   in
   let r = match o.Cx.run with Some r -> r | None -> Alcotest.fail "no run" in
@@ -325,9 +325,9 @@ let test_obs_off_bit_identical () =
   List.iter
     (fun (name, technique, threads) ->
       let wl = Wl.Registry.find name in
-      let off = Cx.execute ~input:Wl.Workload.Train ~technique ~threads wl in
+      let off = Cx.run ~input:Wl.Workload.Train ~technique ~threads wl in
       let obs = Obs.Recorder.create () in
-      let on = Cx.execute ~input:Wl.Workload.Train ~obs ~technique ~threads wl in
+      let on = Cx.run ~input:Wl.Workload.Train ~obs ~technique ~threads wl in
       let tag field = Printf.sprintf "%s/%s: %s" name (Cx.technique_name technique) field in
       let get o f = match o.Cx.run with Some r -> f r | None -> Alcotest.fail "no run" in
       Alcotest.(check (float 0.)) (tag "makespan")

@@ -8,22 +8,29 @@
    Modes:
      bench_native                   print a table of wall ms per configuration
      bench_native --smoke           one tiny run per engine (runtest alias)
-     bench_native --raw FILE        append "name wall_ns" lines to FILE
+     bench_native --perf-smoke      CI gate: time SYMM seq vs barrier.d2 and
+                                    assert the parallel run stays inside a
+                                    sanity envelope of sequential; with --json
+                                    it also writes the two rows as an artifact
+     bench_native --grain N         dispatch grain for all parallel rows
+     bench_native --raw FILE        append "name wall_ns cause=ns,..." to FILE
      bench_native --json OUT [--from-raw RAWFILE]
-                                    emit BENCH_PR4.json; with --from-raw, read
-                                    the numbers from a raw file instead of
-                                    re-timing.  Repeated lines per
-                                    configuration merge by minimum, so
-                                    alternating appended runs cancel machine
-                                    drift (same protocol as bench_primitives)
+                                    emit BENCH json (schema xinv-bench-native/2);
+                                    with --from-raw, read the numbers from a raw
+                                    file instead of re-timing.  Repeated lines
+                                    per configuration merge by minimum wall
+                                    time, so alternating appended runs cancel
+                                    machine drift (same protocol as
+                                    bench_primitives)
 
    Each configuration is timed [repeats] times after a warmup run and the
-   minimum wall time is kept.  Speedups are computed against the same
-   workload's native-sequential row.  The JSON records the machine's core
-   count: scaling beyond 1.0x needs at least as many cores as domains, so a
-   single-core container measures (honest) slowdowns. *)
+   minimum wall time is kept; the stall breakdown reported is the one from
+   that fastest run, so causes explain the number beside them.  Speedups are
+   computed against the same workload's native-sequential row.  The JSON
+   records the machine's core count: scaling beyond 1.0x needs at least as
+   many cores as domains, so a single-core container measures (honest)
+   slowdowns — which is exactly what the stall column is for. *)
 
-module Ir = Xinv_ir
 module Nat = Xinv_native
 module Wl = Xinv_workloads
 module C = Xinv_core.Crossinv
@@ -38,51 +45,80 @@ let ns_per_cycle = 1.0
 
 let repeats = 3
 
-type row = { name : string; wall_ns : float }
+type row = { name : string; wall_ns : float; stalls : (string * float) list }
 
-let backend ~work = `Native { C.native_defaults with C.work }
+let backend ~work ~grain = `Native { C.native_defaults with C.work; grain }
 
-let time_config ~work ~input (wl : Wl.Workload.t) technique domains =
-  let best = ref infinity in
+let dominant stalls =
+  match List.sort (fun (_, a) (_, b) -> compare b a) stalls with
+  | (c, ns) :: _ when ns > 0. -> Some c
+  | _ -> None
+
+let stall_note stalls =
+  match dominant stalls with
+  | Some c -> Printf.sprintf "[mostly %s]" c
+  | None -> "[no stalls]"
+
+let time_config ~work ~grain ~input (wl : Wl.Workload.t) technique domains =
+  let best = ref infinity and best_stalls = ref [] in
   for i = 0 to repeats do
     let o =
-      C.run ~backend:(backend ~work) ~input ~verify:(i = 0) ~technique
-        ~threads:domains wl
+      C.run ~backend:(backend ~work ~grain) ~input ~verify:(i = 0)
+        ~technique ~threads:domains wl
     in
     (* i = 0 is the warmup (and the verified run); the rest are timed. *)
     let wall = C.cost_value o.C.cost in
-    if i > 0 && wall < !best then best := wall;
+    if i > 0 && wall < !best then begin
+      best := wall;
+      best_stalls :=
+        (match o.C.nrun with Some n -> n.Nat.Nrun.stalls | None -> [])
+    end;
     if not o.C.verified then begin
       Printf.eprintf "FATAL: %s under %s failed verification\n"
         wl.Wl.Workload.name (C.technique_name technique);
       exit 1
     end
   done;
-  !best
+  (!best, !best_stalls)
 
-let measure () =
+let measure ~grain =
   let work = Nat.Work.Spin ns_per_cycle in
   let input = Wl.Workload.Train in
   List.concat_map
     (fun wname ->
       let wl = Wl.Registry.find wname in
-      let seq = time_config ~work ~input wl C.Sequential 1 in
-      Printf.printf "%-28s %10.2f ms\n%!" (wname ^ ".seq") (seq /. 1e6);
-      { name = wname ^ ".seq"; wall_ns = seq }
+      let seq, seq_st = time_config ~work ~grain ~input wl C.Sequential 1 in
+      Printf.printf "%-28s %10.2f ms              %s\n%!" (wname ^ ".seq")
+        (seq /. 1e6) (stall_note seq_st);
+      { name = wname ^ ".seq"; wall_ns = seq; stalls = seq_st }
       :: List.concat_map
            (fun (tname, tech) ->
              List.map
                (fun d ->
-                 let ns = time_config ~work ~input wl tech d in
+                 let ns, st = time_config ~work ~grain ~input wl tech d in
                  let name = Printf.sprintf "%s.%s.d%d" wname tname d in
-                 Printf.printf "%-28s %10.2f ms  (%.2fx)\n%!" name (ns /. 1e6)
-                   (seq /. ns);
-                 { name; wall_ns = ns })
+                 Printf.printf "%-28s %10.2f ms  (%.2fx)    %s\n%!" name
+                   (ns /. 1e6) (seq /. ns) (stall_note st);
+                 { name; wall_ns = ns; stalls = st })
                domain_counts)
            techniques)
     workloads
 
 (* ---------- raw-file merge (same protocol as bench_primitives) ---------- *)
+
+let stalls_to_string stalls =
+  String.concat ","
+    (List.map (fun (c, ns) -> Printf.sprintf "%s=%.0f" c ns) stalls)
+
+let stalls_of_string s =
+  if s = "" then []
+  else
+    List.filter_map
+      (fun kv ->
+        match String.split_on_char '=' kv with
+        | [ c; ns ] -> ( try Some (c, float_of_string ns) with _ -> None)
+        | _ -> None)
+      (String.split_on_char ',' s)
 
 let read_raw_ordered path =
   let ic = open_in path in
@@ -90,19 +126,25 @@ let read_raw_ordered path =
   (try
      while true do
        let line = input_line ic in
+       let record name v st =
+         match Hashtbl.find_opt tbl name with
+         | None ->
+             order := name :: !order;
+             Hashtbl.replace tbl name (v, st)
+         | Some (prev, _) -> if v < prev then Hashtbl.replace tbl name (v, st)
+       in
        match String.split_on_char ' ' (String.trim line) with
-       | [ name; ns ] ->
-           let v = float_of_string ns in
-           (match Hashtbl.find_opt tbl name with
-           | None ->
-               order := name :: !order;
-               Hashtbl.replace tbl name v
-           | Some prev -> if v < prev then Hashtbl.replace tbl name v)
+       | [ name; ns ] -> record name (float_of_string ns) []
+       | [ name; ns; st ] -> record name (float_of_string ns) (stalls_of_string st)
        | _ -> ()
      done
    with End_of_file -> ());
   close_in ic;
-  List.rev_map (fun name -> (name, Hashtbl.find tbl name)) !order
+  List.rev_map
+    (fun name ->
+      let wall_ns, stalls = Hashtbl.find tbl name in
+      { name; wall_ns; stalls })
+    !order
 
 (* ---------- JSON ---------- *)
 
@@ -110,16 +152,25 @@ let seq_of rows name =
   (* "SYMM.domore.d4" -> the "SYMM.seq" row *)
   match String.index_opt name '.' with
   | None -> None
-  | Some i -> List.assoc_opt (String.sub name 0 i ^ ".seq") rows
+  | Some i ->
+      List.find_map
+        (fun r ->
+          if r.name = String.sub name 0 i ^ ".seq" then Some r.wall_ns else None)
+        rows
 
-let emit_json ~out rows =
+let is_seq name =
+  String.length name >= 4
+  && String.sub name (String.length name - 4) 4 = ".seq"
+
+let emit_json ~out ~grain rows =
+  let cores = Domain.recommended_domain_count () in
   let oc = open_out out in
-  let b = Buffer.create 2048 in
+  let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"xinv-bench-native/1\",\n";
+  Buffer.add_string b "  \"schema\": \"xinv-bench-native/2\",\n";
   Buffer.add_string b "  \"unit\": \"wall_ns\",\n";
-  Buffer.add_string b
-    (Printf.sprintf "  \"cores\": %d,\n" (Domain.recommended_domain_count ()));
+  Buffer.add_string b (Printf.sprintf "  \"cores\": %d,\n" cores);
+  Buffer.add_string b (Printf.sprintf "  \"grain\": %d,\n" grain);
   Buffer.add_string b
     (Printf.sprintf "  \"work_ns_per_cycle\": %.2f,\n" ns_per_cycle);
   Buffer.add_string b "  \"input\": \"train\",\n";
@@ -127,15 +178,26 @@ let emit_json ~out rows =
   Buffer.add_string b "  \"results\": [\n";
   let n = List.length rows in
   List.iteri
-    (fun i (name, ns) ->
+    (fun i r ->
       Buffer.add_string b
-        (Printf.sprintf "    {\"name\": %S, \"wall_ns\": %.0f" name ns);
-      (match seq_of rows name with
-      | Some seq when name <> "" && not (String.length name >= 4
-                                         && String.sub name (String.length name - 4) 4 = ".seq") ->
+        (Printf.sprintf
+           "    {\"name\": %S, \"wall_ns\": %.0f, \"cores\": %d, \"grain\": %d"
+           r.name r.wall_ns cores grain);
+      (match seq_of rows r.name with
+      | Some seq when not (is_seq r.name) ->
           Buffer.add_string b
-            (Printf.sprintf ", \"speedup_vs_seq\": %.3f" (seq /. ns))
+            (Printf.sprintf ", \"speedup_vs_seq\": %.3f" (seq /. r.wall_ns))
       | _ -> ());
+      Buffer.add_string b ", \"stall_causes\": {";
+      List.iteri
+        (fun k (c, ns) ->
+          Buffer.add_string b
+            (Printf.sprintf "%s%S: %.0f" (if k = 0 then "" else ", ") c ns))
+        r.stalls;
+      Buffer.add_string b "}";
+      Buffer.add_string b
+        (Printf.sprintf ", \"dominant_stall\": %S"
+           (match dominant r.stalls with Some c -> c | None -> "none"));
       Buffer.add_string b (if i = n - 1 then "}\n" else "},\n"))
     rows;
   Buffer.add_string b "  ]\n}\n";
@@ -150,8 +212,9 @@ let smoke () =
   List.iter
     (fun (tname, tech) ->
       let o =
-        C.run ~backend:(backend ~work:Nat.Work.Off) ~input ~technique:tech
-          ~threads:2 wl
+        C.run
+          ~backend:(backend ~work:Nat.Work.Off ~grain:C.native_defaults.C.grain)
+          ~input ~technique:tech ~threads:2 wl
       in
       if not o.C.verified then begin
         Printf.eprintf "smoke %s: verification failed\n" tname;
@@ -164,6 +227,45 @@ let smoke () =
     (("sequential", C.Sequential) :: techniques);
   print_string "bench native smoke: all engines ran\n"
 
+(* ---------- perf smoke (CI gate) ---------- *)
+
+(* Sanity envelope, not a scaling target: on >= 2 real cores a 2-domain
+   barrier run of SYMM must not be catastrophically slower than sequential
+   (lock convoy, livelock, quadratic sync).  On an oversubscribed single
+   core, honest slowdown from context switching is expected, so the bound
+   is loose there — it still catches hangs and order-of-magnitude
+   regressions. *)
+let perf_smoke ~grain ~json =
+  let work = Nat.Work.Spin ns_per_cycle in
+  let input = Wl.Workload.Train in
+  let wl = Wl.Registry.find "SYMM" in
+  let cores = Domain.recommended_domain_count () in
+  let seq, seq_st = time_config ~work ~grain ~input wl C.Sequential 1 in
+  let par, par_st = time_config ~work ~grain ~input wl C.Barrier 2 in
+  let envelope = if cores >= 2 then 4.0 else 12.0 in
+  let ratio = par /. seq in
+  Printf.printf "perf-smoke: cores=%d grain=%d\n" cores grain;
+  Printf.printf "  SYMM.seq         %10.2f ms  %s\n" (seq /. 1e6)
+    (stall_note seq_st);
+  Printf.printf "  SYMM.barrier.d2  %10.2f ms  (%.2fx of seq)  %s\n"
+    (par /. 1e6) ratio (stall_note par_st);
+  (match json with
+  | Some out ->
+      emit_json ~out ~grain
+        [
+          { name = "SYMM.seq"; wall_ns = seq; stalls = seq_st };
+          { name = "SYMM.barrier.d2"; wall_ns = par; stalls = par_st };
+        ];
+      Printf.printf "wrote %s\n" out
+  | None -> ());
+  if ratio > envelope then begin
+    Printf.eprintf
+      "perf-smoke FAIL: barrier.d2 is %.2fx sequential (envelope %.1fx at %d cores)\n"
+      ratio envelope cores;
+    exit 1
+  end;
+  Printf.printf "perf-smoke ok: %.2fx within %.1fx envelope\n" ratio envelope
+
 let () =
   let args = Array.to_list Sys.argv in
   let has f = List.mem f args in
@@ -175,22 +277,37 @@ let () =
     in
     go args
   in
+  let grain =
+    match opt "--grain" with
+    | Some g -> (
+        match int_of_string_opt g with
+        | Some g when g >= 1 -> g
+        | _ ->
+            prerr_endline "--grain wants a positive integer";
+            exit 2)
+    | None -> C.native_defaults.C.grain
+  in
   if has "--smoke" then smoke ()
+  else if has "--perf-smoke" then perf_smoke ~grain ~json:(opt "--json")
   else begin
     let rows =
       match opt "--from-raw" with
       | Some path -> read_raw_ordered path
-      | None -> List.map (fun r -> (r.name, r.wall_ns)) (measure ())
+      | None -> measure ~grain
     in
     (match opt "--raw" with
     | Some path ->
         let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path in
-        List.iter (fun (name, ns) -> Printf.fprintf oc "%s %.0f\n" name ns) rows;
+        List.iter
+          (fun r ->
+            Printf.fprintf oc "%s %.0f %s\n" r.name r.wall_ns
+              (stalls_to_string r.stalls))
+          rows;
         close_out oc
     | None -> ());
     match opt "--json" with
     | Some out ->
-        emit_json ~out rows;
+        emit_json ~out ~grain rows;
         Printf.printf "wrote %s\n" out
     | None -> ()
   end

@@ -137,9 +137,30 @@ let no_degrade_arg =
           "On a native failure, raise the typed error instead of retrying under \
            a weaker technique.")
 
+let grain_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "grain" ] ~docv:"N"
+        ~doc:
+          "Native chunk size: iterations dispatched/distributed as one block \
+           (barrier block-cyclic blocks, DOMORE chunk frames, SPECCROSS \
+           speculative blocks).  Default 1 reproduces the per-iteration \
+           protocols exactly.")
+
+let batch_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "batch" ] ~docv:"N"
+        ~doc:
+          "Native write-combining factor: queue words per atomic publish in \
+           the DOMORE scheduler (default 32); 1 publishes per word like the \
+           unbatched protocol.")
+
 let run_cmd =
   let run wl technique threads input backend domains verbose stats inject
-      deadline_ms no_degrade =
+      deadline_ms no_degrade grain batch =
     (match (backend, domains) with
     | `Sim, Some _ ->
         prerr_endline
@@ -154,6 +175,20 @@ let run_cmd =
          backend (add --backend native)";
       exit 1
     end;
+    if backend = `Sim && (grain <> None || batch <> None) then begin
+      prerr_endline
+        "--grain and --batch only apply to the native backend (add --backend \
+         native)";
+      exit 1
+    end;
+    (match (grain, batch) with
+    | Some g, _ when g < 1 ->
+        Printf.eprintf "--grain must be >= 1 (got %d)\n" g;
+        exit 1
+    | _, Some b when b < 1 ->
+        Printf.eprintf "--batch must be >= 1 (got %d)\n" b;
+        exit 1
+    | _ -> ());
     let threads =
       match (domains, threads) with
       | Some n, _ | None, Some n -> n
@@ -185,6 +220,8 @@ let run_cmd =
                   Cx.fault = inject;
                   deadline_ms;
                   degrade = not no_degrade;
+                  grain = Option.value grain ~default:Cx.native_defaults.Cx.grain;
+                  batch = Option.value batch ~default:Cx.native_defaults.Cx.batch;
                 }
         in
         let o =
@@ -263,7 +300,7 @@ let run_cmd =
     Term.(
       const run $ wl_arg $ tech_arg $ run_threads_arg $ input_arg $ backend_arg
       $ domains_arg $ verbose $ stats $ inject_arg $ deadline_arg
-      $ no_degrade_arg)
+      $ no_degrade_arg $ grain_arg $ batch_arg)
 
 (* ---- stats ---- *)
 

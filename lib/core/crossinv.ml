@@ -56,6 +56,8 @@ type native_opts = {
   deadline_ms : float option;
   wait_timeout_ms : float option;
   degrade : bool;
+  grain : int;
+  batch : int;
 }
 
 let native_defaults =
@@ -66,6 +68,8 @@ let native_defaults =
     deadline_ms = None;
     wait_timeout_ms = None;
     degrade = true;
+    grain = 1;
+    batch = 32;
   }
 
 type backend = [ `Sim of Sim.Machine.t option | `Native of native_opts ]
@@ -288,13 +292,15 @@ let run_native_once ~opts ~wd ~fault ~input ~checkpoint_every ~technique
            (technique_name technique))
   | Barrier ->
       ( with_pool (fun pool ->
-            Nat.Nbarrier.run ~pool ~wd ?fault ~work ~threads ~plan program env),
+            Nat.Nbarrier.run ~pool ~wd ?fault ~work ~grain:opts.grain ~threads
+              ~plan program env),
         None )
   | Domore ->
       let mplan = native_mtcg_plan program env wl.Wl.Workload.name in
       let workers = Stdlib.max 1 (threads - 1) in
       let config =
-        { (Nat.Ndomore.default_config ~workers) with Nat.Ndomore.policy; work }
+        { (Nat.Ndomore.default_config ~workers) with
+          Nat.Ndomore.policy; work; grain = opts.grain; batch = opts.batch }
       in
       ( with_pool (fun pool ->
             Nat.Ndomore.run ~pool ~wd ?fault ~config ~plan:mplan program env),
@@ -303,7 +309,7 @@ let run_native_once ~opts ~wd ~fault ~input ~checkpoint_every ~technique
       let mplan = native_mtcg_plan program env wl.Wl.Workload.name in
       let config =
         { (Nat.Ndomore.default_config ~workers:threads) with
-          Nat.Ndomore.policy; work }
+          Nat.Ndomore.policy; work; grain = opts.grain; batch = opts.batch }
       in
       ( with_pool (fun pool ->
             Nat.Ndomore.run_duplicated ~pool ~wd ?fault ~config ~plan:mplan
@@ -332,6 +338,7 @@ let run_native_once ~opts ~wd ~fault ~input ~checkpoint_every ~technique
             mode_of = spec_mode_of_plan wl;
             inject_misspec = inject;
             work;
+            grain = opts.grain;
           }
         in
         ( with_pool (fun pool -> Nat.Nspec.run ~pool ~wd ?fault ~config program env),
@@ -475,6 +482,16 @@ let run_native ~opts ~input ~checkpoint_every ?obs ~technique ~threads
       bump_counter obs "speccross.misspeculations" nrun.Nat.Nrun.misspecs;
       bump_counter obs "barrier.crossings" nrun.Nat.Nrun.barrier_episodes
   | _ -> bump_counter obs "barrier.crossings" nrun.Nat.Nrun.barrier_episodes);
+  (* Per-cause blocked wall time, as recorded by the engines' Stallcat
+     accounting — one Worker_stalled event per cause with the aggregate
+     duration, so `xinv stats` and Perfetto name the run's bottleneck. *)
+  List.iter
+    (fun (name, ns) ->
+      match Xinv_obs.Event.stall_cause_of_name name with
+      | Some cause ->
+          record_event obs (Xinv_obs.Event.Worker_stalled { cause; dur = ns })
+      | None -> ())
+    nrun.Nat.Nrun.stalls;
   (nrun, seq_run, nprofile, env, seq_env, executed, !degraded)
 
 (* ---- unified entry point ---- *)

@@ -55,6 +55,16 @@ type native_opts = {
       (** per-wait bound; defaults to [min deadline 5000] when a deadline is
           set, 5000 when only a fault is armed, unbounded otherwise *)
   degrade : bool;  (** retry failed runs under weaker techniques (default) *)
+  grain : int;
+      (** iterations dispatched/distributed as one chunk (barrier
+          block-cyclic blocks, DOMORE chunk frames, SPECCROSS speculative
+          blocks).  Default 1: per-iteration protocols, bit-identical to
+          the simulator's dispatch. *)
+  batch : int;
+      (** native write-combining factor: words per {!Xinv_native.Spsc.Batch}
+          publish in the DOMORE scheduler, owned iterations per
+          completion-cell publish in the duplicated variant.  Default 32;
+          1 publishes per word/iteration like the pre-batching protocol. *)
 }
 
 val native_defaults : native_opts

@@ -74,6 +74,18 @@ let set_float m name i v =
   | F a -> a.(i) <- v
   | I _ -> invalid_arg (Printf.sprintf "Memory.set_float: %s is an int array" name)
 
+let observed m = m.observer <> None
+
+let int_data m name =
+  match (entry m name).data with
+  | I a -> a
+  | F _ -> invalid_arg (Printf.sprintf "Memory.int_data: %s is a float array" name)
+
+let float_data m name =
+  match (entry m name).data with
+  | F a -> a
+  | I _ -> invalid_arg (Printf.sprintf "Memory.float_data: %s is an int array" name)
+
 let snapshot m =
   let t =
     { tbl = Hashtbl.create 16; next_base = m.next_base; order = ref !(m.order); observer = None }

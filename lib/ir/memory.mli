@@ -60,3 +60,18 @@ val set_observer : (write:bool -> string -> int -> unit) option -> t -> unit
 (** Install (or clear) an access observer: every subsequent [get_*]/[set_*]
     on this memory reports to it.  Used by {!Validate} to check that
     statement semantics stay within their declared footprints. *)
+
+val observed : t -> bool
+(** Whether an observer is installed.  Workload hot paths use this to pick
+    between the raw-array fast path and the observable [get_*]/[set_*]
+    route — direct array accesses bypass the observer, so they are only
+    legal when this is [false]. *)
+
+val int_data : t -> string -> int array
+(** The live backing array of an int array — {e not} a copy: writes through
+    it are writes to the memory.  Bypasses the observer and the per-access
+    name lookup; callers must bounds-check like any OCaml array access.
+    Raises if [name] holds floats. *)
+
+val float_data : t -> string -> float array
+(** The live backing array of a float array; see {!int_data}. *)

@@ -9,11 +9,14 @@ type t = {
 
 let create ~parties =
   if parties <= 0 then invalid_arg "Nbar.create: parties must be positive";
+  (* Each atomic on its own cache line: arrivals hammer [count] while
+     released parties spin on [sense]; sharing a line would make every
+     arrival invalidate every spinner. *)
   {
     parties;
-    count = Atomic.make 0;
-    sense = Atomic.make 0;
-    poisoned_ = Atomic.make false;
+    count = Pad.atomic 0;
+    sense = Pad.atomic 0;
+    poisoned_ = Pad.atomic false;
   }
 
 let poison t = Atomic.set t.poisoned_ true

@@ -38,12 +38,14 @@ let owner_of env ~threads (a : Ir.Access.t) =
   let size = Ir.Memory.size mem a.Ir.Access.base in
   idx * threads / size
 
-let run ~pool ?wd ?fault ?(work = Work.Off) ~threads ~plan (p : Ir.Program.t)
-    env =
+let run ~pool ?wd ?fault ?(work = Work.Off) ?(grain = 1) ~threads ~plan
+    (p : Ir.Program.t) env =
   assert (threads > 0);
+  if grain <= 0 then invalid_arg "Nbarrier.run: grain must be positive";
   if threads - 1 > Pool.workers pool then
     invalid_arg "Nbarrier.run: pool too small for the requested thread count";
   let wd = match wd with Some w -> w | None -> Watchdog.unbounded () in
+  let stat = Stallcat.create () in
   let bar = Nbar.create ~parties:threads in
   let nlocks = 64 in
   let locks = Array.init nlocks (fun _ -> Mutex.create ()) in
@@ -92,6 +94,10 @@ let run ~pool ?wd ?fault ?(work = Work.Off) ~threads ~plan (p : Ir.Program.t)
   let ninners = List.length p.Ir.Program.inners in
   let worker tid () =
     let role = Printf.sprintf "worker %d" tid in
+    let bwait () =
+      Stallcat.timed stat Stallcat.Barrier_wait (fun () ->
+          Nbar.wait ~wd ~role bar)
+    in
     for t = 0 to p.Ir.Program.outer_trip - 1 do
       let env_t = Ir.Env.with_outer env t in
       List.iteri
@@ -106,7 +112,7 @@ let run ~pool ?wd ?fault ?(work = Work.Off) ~threads ~plan (p : Ir.Program.t)
               il.Ir.Program.pre;
           (* Unlike the simulator, real workers race ahead: order the
              sequential region before any body iteration reads it. *)
-          Nbar.wait ~wd ~role bar;
+          bwait ();
           Fault.inject fault Fault.Worker_raise ~domain:tid ~site;
           if Fault.fires fault Fault.Poison_cond ~domain:tid ~site then
             Watchdog.park wd ~role;
@@ -120,13 +126,20 @@ let run ~pool ?wd ?fault ?(work = Work.Off) ~threads ~plan (p : Ir.Program.t)
               exec_iteration tech tid (Ir.Env.with_inner env_t j) il
             done
           else begin
-            let j = ref tid in
-            while !j < trip do
-              exec_iteration tech tid (Ir.Env.with_inner env_t !j) il;
-              j := !j + threads
+            (* Block-cyclic: thread [tid] owns blocks of [grain] consecutive
+               iterations, [threads * grain] apart — grain 1 is the classic
+               cyclic distribution, larger grains trade balance for locality
+               (taskloop-style chunking). *)
+            let base = ref (tid * grain) in
+            while !base < trip do
+              let stop = Stdlib.min trip (!base + grain) in
+              for j = !base to stop - 1 do
+                exec_iteration tech tid (Ir.Env.with_inner env_t j) il
+              done;
+              base := !base + (threads * grain)
             done
           end;
-          Nbar.wait ~wd ~role bar)
+          bwait ())
         p.Ir.Program.inners
     done
   in
@@ -157,4 +170,5 @@ let run ~pool ?wd ?fault ?(work = Work.Off) ~threads ~plan (p : Ir.Program.t)
   Nrun.make
     ~technique:(Printf.sprintf "native-%s+barrier" (Par.Intra.name tech0))
     ~domains:threads ~workers:threads ~wall_ns ~tasks:!tasks
-    ~invocations:!invocations ~barrier_episodes:(Nbar.waits bar) ()
+    ~invocations:!invocations ~barrier_episodes:(Nbar.waits bar)
+    ~stalls:(Stallcat.to_list stat) ()

@@ -10,6 +10,7 @@ val run :
   ?wd:Watchdog.t ->
   ?fault:Fault.t ->
   ?work:Work.t ->
+  ?grain:int ->
   threads:int ->
   plan:(string -> Xinv_parallel.Intra.technique) ->
   Xinv_ir.Program.t ->
@@ -18,6 +19,10 @@ val run :
 (** [threads] domains (1 from the caller + [threads - 1] pool domains)
     execute every invocation under its planned technique, separated by
     barriers.  The pool must have at least [threads - 1] workers.
+    [grain] (default 1) selects a block-cyclic iteration distribution for
+    cyclic techniques: blocks of [grain] consecutive iterations per thread,
+    trading load balance for spatial locality; 1 is the classic cyclic
+    distribution and leaves the memory state bit-identical.
 
     All barrier waits are bounded by [wd] (an internal unbounded watchdog
     provides cancellation when omitted).  A failing domain poisons the

@@ -11,13 +11,24 @@
     Wire format (one word per message on the queue): words with low bits
     00/01/10 are {!Xinv_runtime.Sync_cond.to_int} encodings; low bits 11
     (the encoding's reserved tag) frame a Do-task header carrying the inner
-    index, followed by three raw words [t], [j], [iter]. *)
+    index.  Bit 2 of the header selects the frame shape: clear means a
+    single iteration ([hdr; t; j; iter]), set means a chunk of [len]
+    consecutive iterations ([hdr; t; j0; len; iter0]) produced when
+    [grain > 1].  Words travel through per-worker write-combining buffers
+    ({!Spsc.Batch}): one atomic publish per [batch] words instead of one
+    per word, with the flushed stream identical to the unbatched one. *)
 
 type config = {
   policy : Xinv_domore.Policy.t;
   workers : int;  (** worker domains, excluding the scheduler *)
   queue_capacity : int;
   work : Work.t;
+  grain : int;
+      (** max consecutive iterations dispatched as one chunk frame; 1
+          (the default) reproduces the per-iteration protocol exactly *)
+  batch : int;
+      (** write-combining buffer size in words (scheduler side); in
+          {!run_duplicated}, owned iterations per completion-cell publish *)
 }
 
 val default_config : workers:int -> config

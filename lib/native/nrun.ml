@@ -9,12 +9,13 @@ type t = {
   checks : int;
   misspecs : int;
   barrier_episodes : int;
+  stalls : (string * float) list;
 }
 
 let make ~technique ~domains ~workers ~wall_ns ~tasks ~invocations ?(conds = 0)
-    ?(checks = 0) ?(misspecs = 0) ?(barrier_episodes = 0) () =
+    ?(checks = 0) ?(misspecs = 0) ?(barrier_episodes = 0) ?(stalls = []) () =
   { technique; domains; workers; wall_ns; tasks; invocations; conds; checks;
-    misspecs; barrier_episodes }
+    misspecs; barrier_episodes; stalls }
 
 let timed f =
   let t0 = Unix.gettimeofday () in
@@ -22,6 +23,16 @@ let timed f =
   1e9 *. (Unix.gettimeofday () -. t0)
 
 let speedup ~seq_wall_ns t = if t.wall_ns <= 0. then 1.0 else seq_wall_ns /. t.wall_ns
+
+let dominant_stall t =
+  match
+    List.fold_left
+      (fun acc (k, v) ->
+        match acc with Some (_, bv) when bv >= v -> acc | _ -> Some (k, v))
+      None t.stalls
+  with
+  | Some (k, _) -> Some k
+  | None -> None
 
 let pp ppf t =
   Format.fprintf ppf
@@ -31,4 +42,9 @@ let pp ppf t =
   if t.checks > 0 then Format.fprintf ppf ", %d checks" t.checks;
   if t.misspecs > 0 then Format.fprintf ppf ", %d misspecs" t.misspecs;
   if t.barrier_episodes > 0 then
-    Format.fprintf ppf ", %d barrier episodes" t.barrier_episodes
+    Format.fprintf ppf ", %d barrier episodes" t.barrier_episodes;
+  match dominant_stall t with
+  | Some cause ->
+      let total = List.fold_left (fun a (_, v) -> a +. v) 0. t.stalls in
+      Format.fprintf ppf ", stalled %.3f ms (mostly %s)" (total /. 1e6) cause
+  | None -> ()

@@ -12,6 +12,8 @@ type t = {
   checks : int;  (** SPECCROSS signature requests submitted *)
   misspecs : int;
   barrier_episodes : int;
+  stalls : (string * float) list;
+      (** blocked wall-ns by cause ({!Stallcat}); names the run's bottleneck *)
 }
 
 val make :
@@ -25,8 +27,12 @@ val make :
   ?checks:int ->
   ?misspecs:int ->
   ?barrier_episodes:int ->
+  ?stalls:(string * float) list ->
   unit ->
   t
+
+val dominant_stall : t -> string option
+(** The stall cause with the most blocked wall time, if any. *)
 
 val timed : (unit -> unit) -> float
 (** Wall-clock nanoseconds the thunk took. *)

@@ -11,6 +11,7 @@ type config = {
   inject_misspec : (int * int) option;
   work : Work.t;
   queue_capacity : int;
+  grain : int;
 }
 
 let default_config ~workers =
@@ -23,6 +24,7 @@ let default_config ~workers =
     inject_misspec = None;
     work = Work.Off;
     queue_capacity = 1024;
+    grain = 1;
   }
 
 (* Signature request, one per speculative task.  [r_started] is the dpos
@@ -56,6 +58,12 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
   let cfg = match config with Some c -> c | None -> default_config ~workers:3 in
   let workers = cfg.workers in
   assert (workers > 0);
+  if cfg.grain <= 0 then invalid_arg "Nspec.run: grain must be positive";
+  (* A block is checked as one unit at its last task's position, so its
+     whole extent counts against the speculative range: clamp the grain so
+     chunking can never widen the misspeculation window past the
+     spec-distance throttle. *)
+  let grain = Stdlib.max 1 (Stdlib.min cfg.grain (Stdlib.max 1 (cfg.spec_distance / 2))) in
   if workers > Pool.workers pool then invalid_arg "Nspec.run: pool too small";
   let wd = match wd with Some w -> w | None -> Watchdog.unbounded () in
   let mem = env.Ir.Env.mem in
@@ -108,32 +116,43 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
     Array.init workers (fun _ ->
         Spsc.create ~dummy:dummy_req ~capacity:cfg.queue_capacity)
   in
-  let tpos = Array.init workers (fun _ -> Atomic.make (-1)) in
-  let dpos = Array.init workers (fun _ -> Atomic.make (-1)) in
-  let progress = Array.init workers (fun _ -> Atomic.make (-1)) in
-  let abort = Atomic.make false in
-  let checker_gen = Atomic.make 0 in
-  let submitted = Atomic.make 0 in
-  let processed = Atomic.make 0 in
-  let submitted_total = Atomic.make 0 in
-  let misspec_ctr = Atomic.make 0 in
-  let comparison_ctr = Atomic.make 0 in
-  let max_epoch = Atomic.make 0 in
-  let ckpt_done = Atomic.make (-1) in
-  let io_done = Atomic.make (-1) in
-  let prune_floor = Atomic.make (-1) in
-  let redo_from = Atomic.make 0 in
-  let redo_to = Atomic.make 0 in
-  let resume_from = Atomic.make 0 in
-  let finished = Atomic.make false in
-  let injected = Atomic.make false in
+  (* The frontier arrays are the contended heart of the protocol: every
+     worker writes its own slot while every peer polls all of them, so each
+     slot lives on its own cache line ({!Pad}), as do the scalar flags the
+     throttle and rally predicates spin on. *)
+  let tpos = Pad.atomic_array workers (-1) in
+  let dpos = Pad.atomic_array workers (-1) in
+  let progress = Pad.atomic_array workers (-1) in
+  let abort = Pad.atomic false in
+  let checker_gen = Pad.atomic 0 in
+  let submitted = Pad.atomic 0 in
+  let processed = Pad.atomic 0 in
+  let submitted_total = Pad.atomic 0 in
+  let misspec_ctr = Pad.atomic 0 in
+  let comparison_ctr = Pad.atomic 0 in
+  let max_epoch = Pad.atomic 0 in
+  let ckpt_done = Pad.atomic (-1) in
+  let io_done = Pad.atomic (-1) in
+  let prune_floor = Pad.atomic (-1) in
+  let redo_from = Pad.atomic 0 in
+  let redo_to = Pad.atomic 0 in
+  let resume_from = Pad.atomic 0 in
+  let finished = Pad.atomic false in
+  let injected = Pad.atomic false in
   let bar = Nbar.create ~parties:workers in
+  let stat = Stallcat.create () in
   let tasks_total = ref 0 in
   (* worker 0 runs on the calling domain *)
   let aborted () = Atomic.get abort in
   let role_of w = Printf.sprintf "worker %d" w in
-  let wait_or_abort ~role ~for_ pred =
-    Watchdog.wait wd ~role ~for_ (fun () -> pred () || aborted ())
+  let wait_or_abort ?(cause = Stallcat.Rally) ~role ~for_ pred =
+    if not (pred () || aborted ()) then
+      Stallcat.timed stat cause (fun () ->
+          Watchdog.wait wd ~role ~for_ (fun () -> pred () || aborted ()))
+  in
+  let bar_wait ~role =
+    Stallcat.timed stat Stallcat.Barrier_wait (fun () ->
+        Nbar.wait ~wd ~role bar)
   in
   (* A queue-stalled worker keeps executing but stops submitting
      signatures, starving the checker — the failure the watchdog's
@@ -293,6 +312,13 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
         s.Ir.Stmt.exec env_j)
       il.Ir.Program.body
   in
+  let submit ~w req =
+    (* Fast path: the checker normally keeps the ring drained.  Only a
+       genuinely full queue pays the blocking (and stall-accounted) push. *)
+    if not (Spsc.try_push qs.(w) req) then
+      Stallcat.timed stat Stallcat.Queue_full (fun () ->
+          Spsc.push ~wd ~role:(role_of w) qs.(w) req)
+  in
   let throttle ~w g =
     (* Publish first, then wait for every trailing worker to come within the
        speculative range (dissertation 4.2.1).  A stalled worker keeps
@@ -304,28 +330,28 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
     if floor_ > 0 then
       for w' = 0 to workers - 1 do
         if w' <> w && Atomic.get tpos.(w') < floor_ then begin
-          wait_or_abort ~role:(role_of w)
+          wait_or_abort ~cause:Stallcat.Throttle ~role:(role_of w)
             ~for_:(Printf.sprintf "spec-range throttle behind worker %d" w')
             (fun () -> Atomic.get tpos.(w') >= floor_);
           if aborted () then raise Abort_now
         end
       done
   in
-  let run_task ~w ~gen ~epoch ~g body addrs_fn =
+  (* [task] executes the block and returns the instrumented addresses it
+     touched (footprints evaluated iteration by iteration, each just before
+     its body runs, exactly as the unchunked protocol did). *)
+  let run_task ~w ~gen ~epoch ~g task =
     if q_stalled.(w) then
       (* Stalled signature stream: execute the task but never submit it,
          and freeze the frontier — downstream waits must time out. *)
-      (try body () with e when containable e -> ())
+      (try ignore (task ()) with e when containable e -> ())
     else begin
       (* Everything of mine below [g] is already enqueued. *)
       Atomic.set dpos.(w) (g - 1);
       let started = Array.map Atomic.get dpos in
       let sg = Rt.Signature.create cfg.sig_kind in
       let force = ref false in
-      (try
-         let addrs = addrs_fn () in
-         body ();
-         Rt.Signature.add_list sg addrs
+      (try Rt.Signature.add_list sg (task ())
        with e when containable e -> force := true);
       (match cfg.inject_misspec with
       | Some (ie, iw) when ie = epoch && iw = w && not (Atomic.get injected) ->
@@ -334,7 +360,7 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
       | _ -> ());
       Atomic.incr submitted;
       Atomic.incr submitted_total;
-      Spsc.push ~wd ~role:(role_of w) qs.(w)
+      submit ~w
         { r_gen = gen; r_worker = w; r_epoch = epoch; r_g = g; r_sig = sg;
           r_started = started; r_force = !force };
       Atomic.set dpos.(w) g
@@ -347,7 +373,7 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
     let started = Array.map Atomic.get dpos in
     Atomic.incr submitted;
     Atomic.incr submitted_total;
-    Spsc.push ~wd ~role:(role_of w) qs.(w)
+    submit ~w
       { r_gen = gen; r_worker = w; r_epoch = epoch; r_g = g;
         r_sig = Rt.Signature.create cfg.sig_kind; r_started = started;
         r_force = true };
@@ -364,16 +390,28 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
     match cfg.mode_of il.Ir.Program.ilabel with
     | Sx.Runtime.M_domore _ -> assert false
     | Sx.Runtime.M_doall ->
-        let j = ref w in
-        while !j < trip do
+        (* Block-cyclic blocks of [grain] tasks: one throttle, one signature
+           and one checking request per block, positioned (like any task) at
+           the block's last global position.  Grain 1 is the original
+           task-per-iteration protocol. *)
+        let nblocks = (trip + grain - 1) / grain in
+        let b = ref w in
+        while !b < nblocks do
           if aborted () then raise Abort_now;
-          let env_j = Ir.Env.with_inner env_t !j in
-          let g = epoch_base.(e) + !j in
+          let j0 = !b * grain in
+          let j1 = Stdlib.min trip (j0 + grain) - 1 in
+          let g = epoch_base.(e) + j1 in
           throttle ~w g;
-          run_task ~w ~gen ~epoch:e ~g
-            (fun () -> plain_body env_j il)
-            (fun () -> Ir.Footprint.body_filtered ~hot env_j il);
-          j := !j + workers
+          run_task ~w ~gen ~epoch:e ~g (fun () ->
+              let acc = ref [] in
+              for j = j0 to j1 do
+                let env_j = Ir.Env.with_inner env_t j in
+                let addrs = Ir.Footprint.body_filtered ~hot env_j il in
+                plain_body env_j il;
+                acc := List.rev_append addrs !acc
+              done;
+              !acc);
+          b := !b + workers
         done
     | Sx.Runtime.M_localwrite ->
         for j = 0 to trip - 1 do
@@ -401,22 +439,22 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
               raise Abort_now
           | Some false -> Atomic.set dpos.(w) g
           | Some true ->
-              run_task ~w ~gen ~epoch:e ~g
-                (fun () ->
+              run_task ~w ~gen ~epoch:e ~g (fun () ->
+                  let addrs = Ir.Footprint.body_filtered ~hot env_j il in
                   List.iter
                     (fun (stm : Ir.Stmt.t) ->
                       if stm.Ir.Stmt.writes = [] || owned stm then begin
                         Work.burn cfg.work (stm.Ir.Stmt.cost env_j);
                         stm.Ir.Stmt.exec env_j
                       end)
-                    il.Ir.Program.body)
-                (fun () -> Ir.Footprint.body_filtered ~hot env_j il))
+                    il.Ir.Program.body;
+                  addrs))
         done
   in
   let exec_epoch_nonspec w e =
     let il, env_t = env_of_epoch e in
     if w = 0 then exec_pre env_t il;
-    Nbar.wait ~wd ~role:(role_of w) bar;
+    bar_wait ~role:(role_of w);
     let trip = il.Ir.Program.trip env_t in
     (match cfg.mode_of il.Ir.Program.ilabel with
     | Sx.Runtime.M_domore _ -> assert false
@@ -453,11 +491,12 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
   (* ---- recovery ---- *)
   let recover w gen =
     let role = role_of w in
-    Nbar.wait ~wd ~role bar;
+    bar_wait ~role;
     (* All workers rallied: nothing new is being pushed or executed. *)
     if w = 0 then begin
-      Watchdog.wait wd ~role ~for_:"checker generation bump" (fun () ->
-          Atomic.get checker_gen > !gen);
+      Stallcat.timed stat Stallcat.Checker_lag (fun () ->
+          Watchdog.wait wd ~role ~for_:"checker generation bump" (fun () ->
+              Atomic.get checker_gen > !gen));
       let ck = Rt.Checkpoint.restore ckpts ~into:mem in
       Atomic.set redo_from ck;
       Atomic.set redo_to (Stdlib.min (Atomic.get max_epoch) (nepochs - 1));
@@ -475,13 +514,13 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
          barrier), so the flag can drop before they resume. *)
       Atomic.set abort false
     end;
-    Nbar.wait ~wd ~role bar;
+    bar_wait ~role;
     gen := Atomic.get checker_gen;
     (* Re-execute the misspeculated epochs with real non-speculative
        barriers, then checkpoint the resume point. *)
     for e' = Atomic.get redo_from to Atomic.get redo_to do
       exec_epoch_nonspec w e';
-      Nbar.wait ~wd ~role bar
+      bar_wait ~role
     done;
     if w = 0 then begin
       let rf = Atomic.get resume_from in
@@ -489,7 +528,7 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
       Atomic.set ckpt_done rf;
       Atomic.set prune_floor (epoch_base.(rf) - 1)
     end;
-    Nbar.wait ~wd ~role bar;
+    bar_wait ~role;
     Atomic.get resume_from
   in
 
@@ -509,7 +548,7 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
         end;
         wait_or_abort ~role ~for_:"peers to finish" (fun () ->
             all_progress_ge nepochs);
-        wait_or_abort ~role ~for_:"checker drain" drained;
+        wait_or_abort ~cause:Stallcat.Checker_lag ~role ~for_:"checker drain" drained;
         if aborted () then e := recover w gen
         else begin
           if w = 0 then Atomic.set finished true;
@@ -543,7 +582,7 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
           if w = 0 then begin
             wait_or_abort ~role ~for_:"checkpoint rally" (fun () ->
                 all_progress_ge !e);
-            wait_or_abort ~role ~for_:"checker drain" drained;
+            wait_or_abort ~cause:Stallcat.Checker_lag ~role ~for_:"checker drain" drained;
             if not (aborted ()) then begin
               Rt.Checkpoint.save ckpts ~epoch:!e mem;
               Atomic.set prune_floor (epoch_base.(!e) - 1);
@@ -561,7 +600,7 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
           if w = 0 then begin
             wait_or_abort ~role ~for_:"irreversible-epoch rally" (fun () ->
                 all_progress_ge !e);
-            wait_or_abort ~role ~for_:"checker drain" drained;
+            wait_or_abort ~cause:Stallcat.Checker_lag ~role ~for_:"checker drain" drained;
             if not (aborted ()) then begin
               let il, env_t = env_of_epoch !e in
               List.iter
@@ -638,4 +677,4 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
   Nrun.make ~technique:"native-SPECCROSS" ~domains:(workers + 1) ~workers ~wall_ns
     ~tasks:!tasks_total ~invocations:(Ir.Program.invocations p)
     ~checks:(Atomic.get submitted_total) ~misspecs:(Atomic.get misspec_ctr)
-    ~barrier_episodes:(Nbar.waits bar) ()
+    ~barrier_episodes:(Nbar.waits bar) ~stalls:(Stallcat.to_list stat) ()

@@ -31,6 +31,13 @@ type config = {
   inject_misspec : (int * int) option;  (** force one conflict at (epoch, worker) *)
   work : Work.t;
   queue_capacity : int;
+  grain : int;
+      (** [M_doall] tasks per speculative block: one throttle step, one
+          signature and one checking request per block of [grain]
+          consecutive iterations.  1 (the default) is the original
+          task-per-iteration protocol; larger grains are clamped against
+          [spec_distance] so chunking cannot widen the misspeculation
+          window past the throttle. *)
 }
 
 val default_config : workers:int -> config

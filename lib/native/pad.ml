@@ -1,0 +1,44 @@
+(* Cache-line isolation for contended atomics.
+
+   OCaml allocates an [int Atomic.t] as a one-word heap block, and blocks
+   allocated back to back land on the same cache line: a ring queue whose
+   [head] and [tail] were created consecutively ping-pongs one line between
+   the producer and the consumer core on every operation (false sharing).
+
+   [copy_as_padded] re-allocates a block with trailing immediate filler
+   words so the payload field gets a cache line (plus spillover against the
+   adjacent-line prefetcher) to itself.  The trick is the same one the
+   multicore-magic library uses: [Atomic.get]/[Atomic.set] only ever touch
+   field 0, so the oversized block behaves exactly like the original.  The
+   filler fields hold immediates, which the GC scans without chasing. *)
+
+let words_per_cache_line = 8 (* 64-byte lines, 8-byte words *)
+
+(* Two lines: one for the payload, one to defeat adjacent-line prefetch. *)
+let pad_words = 2 * words_per_cache_line
+
+let copy_as_padded (v : 'a) : 'a =
+  let o = Obj.repr v in
+  if Obj.is_int o then v
+  else begin
+    let n = Obj.size o in
+    let b = Obj.new_block (Obj.tag o) (n + pad_words) in
+    for i = 0 to n - 1 do
+      Obj.set_field b i (Obj.field o i)
+    done;
+    for i = n to n + pad_words - 1 do
+      Obj.set_field b i (Obj.repr 0)
+    done;
+    Obj.magic b
+  end
+
+let atomic v = copy_as_padded (Atomic.make v)
+
+let atomic_array n v = Array.init n (fun _ -> atomic v)
+
+(* A padded mutable int cell for single-writer state (e.g. the producer's
+   cached view of the consumer's index): not atomic, so only the owning
+   domain may read or write it. *)
+type cell = { mutable v : int }
+
+let cell v = copy_as_padded { v }

@@ -1,0 +1,32 @@
+(** Cache-line isolation for contended shared state.
+
+    OCaml heap blocks allocated consecutively share cache lines; for the
+    native backend's hot atomics (ring-queue indices, barrier counters,
+    per-worker progress cells) that false sharing costs an order of
+    magnitude in cross-core traffic.  These helpers re-allocate a block
+    with enough trailing filler that its payload field owns its line
+    ([bench/bench_contention.exe] measures the effect). *)
+
+val words_per_cache_line : int
+
+val pad_words : int
+(** Filler words appended per padded block (two cache lines' worth). *)
+
+val copy_as_padded : 'a -> 'a
+(** Re-allocate a heap block with [pad_words] immediate filler words
+    appended.  Immediates are returned unchanged.  Safe for any block whose
+    consumers only access its declared fields (records, [Atomic.t]). *)
+
+val atomic : 'a -> 'a Atomic.t
+(** [Atomic.make] on its own pair of cache lines. *)
+
+val atomic_array : int -> 'a -> 'a Atomic.t array
+(** [n] independent padded atomics (one per worker, say): unlike
+    [Array.init n (fun _ -> Atomic.make v)], updating one element never
+    invalidates a peer's line. *)
+
+type cell = { mutable v : int }
+
+val cell : int -> cell
+(** A padded single-writer scratch cell (not atomic: only the owning domain
+    may touch it — used for producer/consumer-local index caches). *)

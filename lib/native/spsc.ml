@@ -1,12 +1,26 @@
 exception Closed
 
+(* Hot-path layout:
+   - [head]/[tail] are padded onto their own cache lines (Pad.atomic), so a
+     producer advancing [tail] never invalidates the consumer's spin on
+     [head] and vice versa.
+   - Each side keeps a *cached* copy of the peer's index (again padded and
+     single-writer): the producer only re-reads [head] when the queue looks
+     full against its cache, so in steady state an operation touches no
+     shared line but its own counter.
+   - [cap] is the exact requested capacity: a queue asked for 5 slots admits
+     exactly 5 items even though the backing buffer is rounded to 8 for
+     mask-indexing. *)
 type 'a t = {
   buf : 'a array;
   mask : int;
+  cap : int;
   dummy : 'a;
   head : int Atomic.t;  (* next slot to pop; advanced only by the consumer *)
   tail : int Atomic.t;  (* next slot to fill; advanced only by the producer *)
   closed_ : bool Atomic.t;
+  head_cache : Pad.cell;  (* producer's view of head; producer-only *)
+  tail_cache : Pad.cell;  (* consumer's view of tail; consumer-only *)
 }
 
 let create ~dummy ~capacity =
@@ -18,24 +32,51 @@ let create ~dummy ~capacity =
   {
     buf = Array.make !cap dummy;
     mask = !cap - 1;
+    cap = capacity;
     dummy;
-    head = Atomic.make 0;
-    tail = Atomic.make 0;
-    closed_ = Atomic.make false;
+    head = Pad.atomic 0;
+    tail = Pad.atomic 0;
+    closed_ = Pad.atomic false;
+    head_cache = Pad.cell 0;
+    tail_cache = Pad.cell 0;
   }
 
-let capacity t = t.mask + 1
+let capacity t = t.cap
 let close t = Atomic.set t.closed_ true
 let closed t = Atomic.get t.closed_
 
 let try_push t x =
   let tail = Atomic.get t.tail in
-  if tail - Atomic.get t.head > t.mask then false
+  (if tail - t.head_cache.Pad.v >= t.cap then
+     (* Looks full against the cached view: refresh from the shared index. *)
+     t.head_cache.Pad.v <- Atomic.get t.head);
+  if tail - t.head_cache.Pad.v >= t.cap then false
   else begin
     t.buf.(tail land t.mask) <- x;
     (* seq_cst store publishes the slot write to the consumer *)
     Atomic.set t.tail (tail + 1);
     true
+  end
+
+(* Bulk publish: writes as many of [src.(pos .. pos+len-1)] as fit, with a
+   single atomic store of [tail] covering all of them.  Returns the number
+   written.  Producer only. *)
+let try_push_array t src ~pos ~len =
+  if len = 0 then 0
+  else begin
+    let tail = Atomic.get t.tail in
+    (if tail + len - t.head_cache.Pad.v > t.cap then
+       t.head_cache.Pad.v <- Atomic.get t.head);
+    let room = t.cap - (tail - t.head_cache.Pad.v) in
+    let n = Stdlib.min len room in
+    if n <= 0 then 0
+    else begin
+      for k = 0 to n - 1 do
+        t.buf.((tail + k) land t.mask) <- src.(pos + k)
+      done;
+      Atomic.set t.tail (tail + n);
+      n
+    end
   end
 
 let push ?wd ?(role = "producer") t x =
@@ -57,13 +98,38 @@ let push ?wd ?(role = "producer") t x =
 
 let try_pop t =
   let head = Atomic.get t.head in
-  if Atomic.get t.tail - head <= 0 then None
+  (if t.tail_cache.Pad.v - head <= 0 then
+     t.tail_cache.Pad.v <- Atomic.get t.tail);
+  if t.tail_cache.Pad.v - head <= 0 then None
   else begin
     let i = head land t.mask in
     let x = t.buf.(i) in
     t.buf.(i) <- t.dummy;
     Atomic.set t.head (head + 1);
     Some x
+  end
+
+(* Bulk drain: pops up to [len] items into [dst.(pos ..)], with a single
+   atomic store of [head] covering all of them.  Returns the number popped
+   (0 when empty — check [closed] separately).  Consumer only. *)
+let pop_chunk t dst ~pos ~len =
+  if len = 0 then 0
+  else begin
+    let head = Atomic.get t.head in
+    (if t.tail_cache.Pad.v - head < len then
+       t.tail_cache.Pad.v <- Atomic.get t.tail);
+    let avail = t.tail_cache.Pad.v - head in
+    let n = Stdlib.min len avail in
+    if n <= 0 then 0
+    else begin
+      for k = 0 to n - 1 do
+        let i = (head + k) land t.mask in
+        dst.(pos + k) <- t.buf.(i);
+        t.buf.(i) <- t.dummy
+      done;
+      Atomic.set t.head (head + n);
+      n
+    end
   end
 
 let pop ?wd ?(role = "consumer") t =
@@ -88,3 +154,55 @@ let pop ?wd ?(role = "consumer") t =
       if !got then !r else raise Closed
 
 let length t = Stdlib.max 0 (Atomic.get t.tail - Atomic.get t.head)
+
+(* ---- producer-side write combining ---- *)
+
+module Batch = struct
+  type 'a queue = 'a t
+
+  type 'a b = { q : 'a queue; store : 'a array; mutable fill : int }
+
+  let create ?(size = 32) q =
+    if size <= 0 then invalid_arg "Spsc.Batch.create: size must be positive";
+    { q; store = Array.make size q.dummy; fill = 0 }
+
+  let queue b = b.q
+  let pending b = b.fill
+  let size b = Array.length b.store
+
+  let try_flush b =
+    if b.fill = 0 then true
+    else begin
+      let n = try_push_array b.q b.store ~pos:0 ~len:b.fill in
+      if n > 0 && n < b.fill then
+        Array.blit b.store n b.store 0 (b.fill - n);
+      b.fill <- b.fill - n;
+      b.fill = 0
+    end
+
+  let flush ?wd ?(role = "producer") b =
+    if not (try_flush b) then begin
+      let pred () = Atomic.get b.q.closed_ || try_flush b in
+      (match wd with
+      | Some wd -> Watchdog.wait wd ~role ~for_:"queue space for batch" pred
+      | None -> Backoff.wait_until pred);
+      if b.fill > 0 then raise Closed
+    end
+
+  let add b x =
+    if b.fill >= Array.length b.store then ignore (try_flush b);
+    if b.fill >= Array.length b.store then false
+    else begin
+      b.store.(b.fill) <- x;
+      b.fill <- b.fill + 1;
+      true
+    end
+
+  let push ?wd ?role b x =
+    if Atomic.get b.q.closed_ then raise Closed;
+    if not (add b x) then begin
+      flush ?wd ?role b;
+      b.store.(0) <- x;
+      b.fill <- 1
+    end
+end

@@ -6,20 +6,29 @@
     stream signature requests to the checker domain.
 
     Exactly one domain may push and exactly one may pop.  [head] and [tail]
-    are monotonic [Atomic] counters; each side writes only its own counter,
-    so every operation is one plain array access plus one seq_cst store —
-    no CAS loops.  The slot write happens before the counter store, which
-    gives the peer happens-before on the payload. *)
+    are monotonic [Atomic] counters padded onto their own cache lines; each
+    side writes only its own counter and keeps a local cache of the peer's,
+    so a steady-state operation touches no contended line beyond its own
+    counter's.  The slot write happens before the counter store, which gives
+    the peer happens-before on the payload.
+
+    The bulk operations ({!try_push_array}, {!pop_chunk}, {!Batch}) amortize
+    the expensive seq_cst counter store over many items: one atomic publish
+    per batch instead of one per element. *)
 
 type 'a t
 
 exception Closed
 
 val create : dummy:'a -> capacity:int -> 'a t
-(** [capacity] is rounded up to a power of two.  [dummy] fills empty slots
-    (popped slots are reset to it so the queue never pins dead payloads). *)
+(** The queue admits exactly [capacity] items (the backing buffer is rounded
+    up to a power of two internally, but occupancy is bounded by the
+    requested figure — a capacity-5 queue rejects a sixth push).  [dummy]
+    fills empty slots (popped slots are reset to it so the queue never pins
+    dead payloads). *)
 
 val capacity : 'a t -> int
+(** The requested capacity: the exact maximum occupancy. *)
 
 val close : 'a t -> unit
 (** Marks the queue closed (any domain may call it — cancellation runs on
@@ -31,6 +40,11 @@ val closed : 'a t -> bool
 val try_push : 'a t -> 'a -> bool
 (** Producer only.  False when full. *)
 
+val try_push_array : 'a t -> 'a array -> pos:int -> len:int -> int
+(** Producer only.  Writes as many of [src.(pos .. pos+len-1)] as currently
+    fit and publishes them with a {e single} atomic store; returns the
+    number written (0 when full). *)
+
 val push : ?wd:Watchdog.t -> ?role:string -> 'a t -> 'a -> unit
 (** Producer only.  Blocks (with backoff) while full.
     @raise Closed when the queue is or becomes closed.
@@ -38,6 +52,11 @@ val push : ?wd:Watchdog.t -> ?role:string -> 'a t -> 'a -> unit
 
 val try_pop : 'a t -> 'a option
 (** Consumer only.  [None] when empty. *)
+
+val pop_chunk : 'a t -> 'a array -> pos:int -> len:int -> int
+(** Consumer only.  Pops up to [len] items into [dst.(pos ..)] with a
+    single atomic store of the head index; returns the number popped (0
+    when empty — closure must be checked separately). *)
 
 val pop : ?wd:Watchdog.t -> ?role:string -> 'a t -> 'a
 (** Consumer only.  Blocks (with backoff) while empty.
@@ -48,3 +67,42 @@ val length : 'a t -> int
 (** Racy snapshot of the occupancy — exact for the producer/consumer
     themselves, approximate for third parties (the scheduling policy's
     load sampling tolerates staleness). *)
+
+(** Producer-side write-combining buffer: [push] accumulates items locally
+    and publishes them in ring-sized bursts, so the per-item cost drops to
+    a plain array store.  The flushed stream is byte-for-byte the same
+    sequence a plain {!push} loop would have produced — framing only, no
+    reordering (property-tested against the unbatched path). *)
+module Batch : sig
+  type 'a queue := 'a t
+
+  type 'a b
+
+  val create : ?size:int -> 'a queue -> 'a b
+  (** A buffer of [size] (default 32) items over [q].  Producer only. *)
+
+  val queue : 'a b -> 'a queue
+
+  val pending : 'a b -> int
+  (** Items buffered locally, not yet visible to the consumer. *)
+
+  val size : 'a b -> int
+
+  val try_flush : 'a b -> bool
+  (** Publish as much of the buffer as currently fits (one atomic store);
+      true when the buffer drained completely. *)
+
+  val flush : ?wd:Watchdog.t -> ?role:string -> 'a b -> unit
+  (** Blocking {!try_flush} until the buffer drains.
+      @raise Closed if the queue closes first. *)
+
+  val add : 'a b -> 'a -> bool
+  (** Append without blocking (auto-[try_flush] when the buffer fills);
+      false if neither buffer nor ring had room — the caller decides how to
+      wait (see [Ndomore]'s all-queues flush loop, which must not block on
+      one full queue while holding another worker's wake-up words). *)
+
+  val push : ?wd:Watchdog.t -> ?role:string -> 'a b -> 'a -> unit
+  (** Blocking [add]: flushes and waits for ring space as needed.
+      @raise Closed when the queue is or becomes closed. *)
+end

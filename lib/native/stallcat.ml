@@ -1,0 +1,77 @@
+(* Wall-clock accounting of *why* native domains block.
+
+   Each engine owns one accumulator and wraps only its blocking slow paths
+   (the fast path pays nothing); every blocked episode adds its measured
+   nanoseconds to one cause bucket.  The buckets are padded atomics because
+   several domains report concurrently.
+
+   The cause names intentionally match the simulator's Obs stall
+   vocabulary where the concepts coincide, so bench rows and `xinv stats`
+   reports read the same across backends. *)
+
+type cause =
+  | Queue_empty   (* consumer waiting for work words *)
+  | Queue_full    (* producer waiting for ring space *)
+  | Sync_cond     (* worker waiting on a forwarded synchronization condition *)
+  | Barrier_wait  (* party waiting at a barrier *)
+  | Checker_lag   (* speculative worker waiting for the checker to drain *)
+  | Throttle      (* speculative worker held back by the spec-distance range *)
+  | Rally         (* waiting for peers at a checkpoint / irreversible rally *)
+
+let all = [ Queue_empty; Queue_full; Sync_cond; Barrier_wait; Checker_lag; Throttle; Rally ]
+
+let index = function
+  | Queue_empty -> 0
+  | Queue_full -> 1
+  | Sync_cond -> 2
+  | Barrier_wait -> 3
+  | Checker_lag -> 4
+  | Throttle -> 5
+  | Rally -> 6
+
+let name = function
+  | Queue_empty -> "queue-empty"
+  | Queue_full -> "queue-full"
+  | Sync_cond -> "sync-cond"
+  | Barrier_wait -> "barrier"
+  | Checker_lag -> "checker-lag"
+  | Throttle -> "throttle"
+  | Rally -> "rally"
+
+type t = int Atomic.t array (* accumulated ns per cause, padded *)
+
+let ncauses = List.length all
+
+let create () = Pad.atomic_array ncauses 0
+
+let add_ns t cause ns =
+  if ns > 0 then ignore (Atomic.fetch_and_add t.(index cause) ns)
+
+let now_ns () = int_of_float (1e9 *. Unix.gettimeofday ())
+
+(* Times [f] and charges the elapsed wall time to [cause].  Use only around
+   code that is (or is about to be) blocked: the two clock reads cost ~50ns,
+   noise against a backoff episode but not against a ring operation. *)
+let timed t cause f =
+  let t0 = now_ns () in
+  Fun.protect ~finally:(fun () -> add_ns t cause (now_ns () - t0)) f
+
+let ns t cause = Atomic.get t.(index cause)
+
+let to_list t =
+  List.filter_map
+    (fun c ->
+      let v = Atomic.get t.(index c) in
+      if v > 0 then Some (name c, float_of_int v) else None)
+    all
+
+let dominant t =
+  let best = ref None in
+  List.iter
+    (fun c ->
+      let v = Atomic.get t.(index c) in
+      match !best with
+      | Some (_, bv) when bv >= v -> ()
+      | _ -> if v > 0 then best := Some (name c, v))
+    all;
+  Option.map fst !best

@@ -1,0 +1,40 @@
+(** Per-run accounting of why native domains block, by wall time.
+
+    Engines wrap their blocking slow paths in {!timed}; the accumulated
+    nanoseconds per cause flow into {!Nrun.t.stalls} and from there into
+    bench rows and the Obs stall report, so every measured configuration
+    names its bottleneck (queue-empty vs barrier-wait vs checker-lag …). *)
+
+type cause =
+  | Queue_empty
+  | Queue_full
+  | Sync_cond
+  | Barrier_wait
+  | Checker_lag
+  | Throttle
+  | Rally
+
+val all : cause list
+
+val name : cause -> string
+(** Stable label, shared with the bench JSON and the Obs vocabulary. *)
+
+type t
+
+val create : unit -> t
+
+val add_ns : t -> cause -> int -> unit
+(** Thread-safe; the buckets are padded atomics. *)
+
+val timed : t -> cause -> (unit -> 'a) -> 'a
+(** Charge [f]'s wall time to [cause] (exception-safe).  Wrap only blocking
+    episodes — the two clock reads are noise against a backoff wait, not
+    against a ring operation. *)
+
+val ns : t -> cause -> int
+
+val to_list : t -> (string * float) list
+(** Non-zero buckets as [(name, ns)], in fixed cause order. *)
+
+val dominant : t -> string option
+(** The cause with the most blocked time, if any blocking happened. *)

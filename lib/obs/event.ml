@@ -2,17 +2,32 @@ type stall_cause =
   | Sync_cond
   | Barrier
   | Queue_empty
+  | Queue_full
   | Checker_lag
   | Checkpoint_wait
+  | Throttle
 
 let stall_cause_name = function
   | Sync_cond -> "sync-cond"
   | Barrier -> "barrier"
   | Queue_empty -> "queue-empty"
+  | Queue_full -> "queue-full"
   | Checker_lag -> "checker-lag"
   | Checkpoint_wait -> "checkpoint-wait"
+  | Throttle -> "throttle"
 
-let all_stall_causes = [ Sync_cond; Barrier; Queue_empty; Checker_lag; Checkpoint_wait ]
+let all_stall_causes =
+  [ Sync_cond; Barrier; Queue_empty; Queue_full; Checker_lag; Checkpoint_wait; Throttle ]
+
+let stall_cause_of_name = function
+  | "sync-cond" -> Some Sync_cond
+  | "barrier" -> Some Barrier
+  | "queue-empty" -> Some Queue_empty
+  | "queue-full" -> Some Queue_full
+  | "checker-lag" -> Some Checker_lag
+  | "checkpoint-wait" -> Some Checkpoint_wait
+  | "throttle" | "rally" -> Some Throttle
+  | _ -> None
 
 type t =
   | Sync_forwarded of { to_tid : int; dep_tid : int; dep_iter : int }

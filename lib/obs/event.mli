@@ -12,12 +12,18 @@ type stall_cause =
   | Sync_cond  (** blocked on a DOMORE cross-iteration synchronization condition *)
   | Barrier  (** blocked at a (real or speculative-range) barrier *)
   | Queue_empty  (** consumer blocked on an empty communication queue *)
+  | Queue_full  (** producer blocked on a full communication queue *)
   | Checker_lag  (** blocked waiting for the speculation checker to catch up *)
   | Checkpoint_wait  (** blocked on checkpointing or recovery rendezvous *)
+  | Throttle  (** speculative worker held back by the spec-distance range *)
 
 val stall_cause_name : stall_cause -> string
 
 val all_stall_causes : stall_cause list
+
+val stall_cause_of_name : string -> stall_cause option
+(** Inverse of {!stall_cause_name}, for the native backend's string-keyed
+    stall report ({!Xinv_native.Stallcat} names map onto these causes). *)
 
 type t =
   | Sync_forwarded of { to_tid : int; dep_tid : int; dep_iter : int }

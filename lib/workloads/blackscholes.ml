@@ -29,6 +29,12 @@ let build_input input =
 let slot = E.ld "pm" E.i
 
 let build_program outer =
+  let handles =
+    Wl_util.memo (fun mem ->
+        ( Ir.Memory.int_data mem "pm",
+          Ir.Memory.float_data mem "price",
+          Ir.Memory.float_data mem "spot" ))
+  in
   let body =
     Ir.Stmt.make
       ~reads:[ Ir.Access.make "spot" E.i; Ir.Access.make "price" slot ]
@@ -36,10 +42,18 @@ let build_program outer =
       ~cost:(fun env -> Wl_util.jittered ~base:1600. ~spread:0.45 ~salt:23 env)
       ~exec:(fun env ->
         let mem = env.Ir.Env.mem in
-        let s = Ir.Memory.get_float mem "spot" env.Ir.Env.j_inner in
-        let p = E.eval env slot in
-        let cur = Ir.Memory.get_float mem "price" p in
-        Ir.Memory.set_float mem "price" p (Wl_util.mix cur s))
+        if Ir.Memory.observed mem then begin
+          (* Observable slow path: Validate watches every access. *)
+          let s = Ir.Memory.get_float mem "spot" env.Ir.Env.j_inner in
+          let p = E.eval env slot in
+          let cur = Ir.Memory.get_float mem "price" p in
+          Ir.Memory.set_float mem "price" p (Wl_util.mix cur s)
+        end
+        else begin
+          let pm, price, spot = handles mem in
+          let p = pm.(env.Ir.Env.j_inner) in
+          price.(p) <- Wl_util.mix price.(p) spot.(env.Ir.Env.j_inner)
+        end)
       "price[pm[j]] = BlkSchls(...)"
   in
   Ir.Program.make ~name:"BLACKSCHOLES" ~outer_trip:outer

@@ -20,6 +20,10 @@ let build_input input =
 
 let stencil ~label ~src ~dst n =
   let out = E.(i + c 1) in
+  let handles =
+    Wl_util.memo (fun mem ->
+        (Ir.Memory.float_data mem src, Ir.Memory.float_data mem dst))
+  in
   let body =
     Ir.Stmt.make
       ~reads:
@@ -33,12 +37,19 @@ let stencil ~label ~src ~dst n =
       ~exec:(fun env ->
         let mem = env.Ir.Env.mem in
         let j = env.Ir.Env.j_inner in
-        let s =
-          Ir.Memory.get_float mem src j
-          +. Ir.Memory.get_float mem src (j + 1)
-          +. Ir.Memory.get_float mem src (j + 2)
-        in
-        Ir.Memory.set_float mem dst (j + 1) (Float.rem (s +. 1.) Wl_util.modulus))
+        if Ir.Memory.observed mem then begin
+          (* Observable slow path: Validate watches every access. *)
+          let s =
+            Ir.Memory.get_float mem src j
+            +. Ir.Memory.get_float mem src (j + 1)
+            +. Ir.Memory.get_float mem src (j + 2)
+          in
+          Ir.Memory.set_float mem dst (j + 1) (Float.rem (s +. 1.) Wl_util.modulus)
+        end
+        else begin
+          let s, d = handles mem in
+          d.(j + 1) <- Float.rem (s.(j) +. s.(j + 1) +. s.(j + 2) +. 1.) Wl_util.modulus
+        end)
       (Printf.sprintf "%s[j+1] = avg(%s[j..j+2])" dst src)
   in
   let residual =

@@ -23,16 +23,29 @@ let build_input input =
 
 let build_program outer =
   let node = E.ld "nodeidx" E.((o * c trip) + i) in
+  let handles =
+    Wl_util.memo (fun mem ->
+        (Ir.Memory.int_data mem "nodeidx", Ir.Memory.float_data mem "data"))
+  in
   let update =
     Ir.Stmt.make
       ~reads:[ Ir.Access.make "data" node ]
       ~writes:[ Ir.Access.make "data" node ]
       ~cost:(fun env -> Wl_util.jittered ~base:1500. ~spread:0.6 ~salt:5 env)
       ~exec:(fun env ->
-        let ni = E.eval env node in
-        let cur = Ir.Memory.get_float env.Ir.Env.mem "data" ni in
-        Ir.Memory.set_float env.Ir.Env.mem "data" ni
-          (Wl_util.mix cur (float_of_int (ni mod 127))))
+        let mem = env.Ir.Env.mem in
+        if Ir.Memory.observed mem then begin
+          (* Observable slow path: Validate watches every access. *)
+          let ni = E.eval env node in
+          let cur = Ir.Memory.get_float mem "data" ni in
+          Ir.Memory.set_float mem "data" ni
+            (Wl_util.mix cur (float_of_int (ni mod 127)))
+        end
+        else begin
+          let nodeidx, data = handles mem in
+          let ni = nodeidx.((env.Ir.Env.t_outer * trip) + env.Ir.Env.j_inner) in
+          data.(ni) <- Wl_util.mix data.(ni) (float_of_int (ni mod 127))
+        end)
       "node->val = work(node)"
   in
   Ir.Program.make ~name:"LLUBENCH" ~outer_trip:outer

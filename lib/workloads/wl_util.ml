@@ -32,3 +32,19 @@ let permutation rng n =
   let a = Array.init n (fun i -> i) in
   Xinv_util.Prng.shuffle rng a;
   a
+
+(* Single-slot memo keyed on the memory's physical identity.  Workload exec
+   closures resolve their backing arrays through this, so the Hashtbl name
+   lookup happens once per (closure, memory) pair instead of once per
+   access.  The slot is an Atomic because native workers share the closure
+   across domains: a racing fill recomputes the same handles (resolution is
+   pure), so last-write-wins is harmless. *)
+let memo f =
+  let slot = Atomic.make None in
+  fun mem ->
+    match Atomic.get slot with
+    | Some (m, v) when m == mem -> v
+    | _ ->
+        let v = f mem in
+        Atomic.set slot (Some (mem, v));
+        v

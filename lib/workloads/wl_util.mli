@@ -21,3 +21,10 @@ val permutation : Xinv_util.Prng.t -> int -> int array
 
 val modulus : float
 (** The modulus used by {!mix} (2^20). *)
+
+val memo : (Xinv_ir.Memory.t -> 'a) -> Xinv_ir.Memory.t -> 'a
+(** [memo resolve] caches [resolve mem] keyed on the {e physical identity}
+    of [mem] (one slot, refilled whenever a different memory shows up).
+    Workloads use it to resolve {!Xinv_ir.Memory.float_data} handles once
+    per run instead of once per access; [resolve] must be pure.  Thread-safe
+    — concurrent refills just recompute the same value. *)

@@ -22,13 +22,134 @@ let test_spsc_two_domains () =
   Alcotest.(check int) "FIFO order preserved across domains" 0 !bad;
   Alcotest.(check (option int)) "drained" None (Nat.Spsc.try_pop q)
 
-let test_spsc_capacity_rounding () =
-  let q = Nat.Spsc.create ~dummy:0 ~capacity:5 in
-  for i = 1 to 8 do
-    Alcotest.(check bool) "push fits rounded capacity" true (Nat.Spsc.try_push q i)
+let test_spsc_exact_capacity () =
+  (* Exact occupancy semantics: a capacity-[n] queue admits exactly [n]
+     items, even though the backing buffer rounds up to a power of two.
+     Boundary capacities: 1, 2, and 2^k +/- 1 around several k. *)
+  List.iter
+    (fun cap ->
+      let q = Nat.Spsc.create ~dummy:0 ~capacity:cap in
+      Alcotest.(check int)
+        (Printf.sprintf "capacity %d reported exactly" cap)
+        cap (Nat.Spsc.capacity q);
+      for i = 1 to cap do
+        Alcotest.(check bool)
+          (Printf.sprintf "cap %d: push %d fits" cap i)
+          true (Nat.Spsc.try_push q i)
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "cap %d: push %d rejected" cap (cap + 1))
+        false
+        (Nat.Spsc.try_push q (cap + 1));
+      Alcotest.(check int) "length = capacity when full" cap (Nat.Spsc.length q);
+      (* One pop must open exactly one slot (wrap math at exact capacity). *)
+      Alcotest.(check (option int)) "FIFO head" (Some 1) (Nat.Spsc.try_pop q);
+      Alcotest.(check bool) "slot reopens after pop" true
+        (Nat.Spsc.try_push q (cap + 1));
+      Alcotest.(check bool) "and only one slot" false (Nat.Spsc.try_push q 0))
+    [ 1; 2; 3; 5; 7; 8; 9; 15; 17; 31; 33 ]
+
+let test_spsc_batch_equivalence () =
+  (* Property: the stream a Batch producer publishes is word-for-word the
+     stream a plain push loop would have produced, for random word counts,
+     ring capacities, batch sizes, and consumer chunk sizes, with a consumer
+     that randomly mixes pop and pop_chunk. *)
+  let rng = Xinv_util.Prng.create ~seed:42 in
+  for trial = 1 to 30 do
+    let n = Xinv_util.Prng.int_in rng 1 400 in
+    let cap = Xinv_util.Prng.int_in rng 1 16 in
+    let bsize = Xinv_util.Prng.int_in rng 1 16 in
+    let crng = Xinv_util.Prng.split rng in
+    let input = Array.init n (fun i -> (trial * 1000) + i) in
+    let q = Nat.Spsc.create ~dummy:(-1) ~capacity:cap in
+    let out = Array.make n (-2) in
+    let consumer =
+      Domain.spawn (fun () ->
+          let buf = Array.make 8 (-1) in
+          let got = ref 0 in
+          while !got < n do
+            if Xinv_util.Prng.bool crng then begin
+              let want = Stdlib.min (Xinv_util.Prng.int_in crng 1 8) (n - !got) in
+              let k = Nat.Spsc.pop_chunk q buf ~pos:0 ~len:want in
+              Array.blit buf 0 out !got k;
+              got := !got + k;
+              if k = 0 then Domain.cpu_relax ()
+            end
+            else begin
+              out.(!got) <- Nat.Spsc.pop q;
+              incr got
+            end
+          done)
+    in
+    let b = Nat.Spsc.Batch.create ~size:bsize q in
+    Array.iter
+      (fun x ->
+        (* Randomly interleave non-blocking adds (with retry), blocking
+           pushes, and spontaneous flushes — all must preserve order. *)
+        (match Xinv_util.Prng.int rng 4 with
+        | 0 ->
+            while not (Nat.Spsc.Batch.add b x) do
+              Domain.cpu_relax ()
+            done
+        | 1 ->
+            Nat.Spsc.Batch.push b x;
+            ignore (Nat.Spsc.Batch.try_flush b)
+        | _ -> Nat.Spsc.Batch.push b x);
+        if Xinv_util.Prng.chance rng 0.1 then Nat.Spsc.Batch.flush b)
+      input;
+    Nat.Spsc.Batch.flush b;
+    Domain.join consumer;
+    Alcotest.(check (array int))
+      (Printf.sprintf "trial %d (n=%d cap=%d batch=%d): streams identical"
+         trial n cap bsize)
+      input out
+  done
+
+let test_spsc_batch_close_drain () =
+  (* Early close: already-published words drain in order, then Closed; a
+     producer buffer stranded behind a closed-and-full ring raises Closed
+     out of flush rather than spinning forever. *)
+  let q = Nat.Spsc.create ~dummy:0 ~capacity:8 in
+  let b = Nat.Spsc.Batch.create ~size:4 q in
+  for i = 1 to 6 do
+    Nat.Spsc.Batch.push b i
   done;
-  Alcotest.(check bool) "ninth blocks" false (Nat.Spsc.try_push q 9);
-  Alcotest.(check int) "length" 8 (Nat.Spsc.length q)
+  Nat.Spsc.Batch.flush b;
+  Alcotest.(check int) "flushed buffer is empty" 0 (Nat.Spsc.Batch.pending b);
+  Nat.Spsc.close q;
+  for i = 1 to 6 do
+    Alcotest.(check int) "drains in order after close" i (Nat.Spsc.pop q)
+  done;
+  Alcotest.check_raises "pop past the drained tail" Nat.Spsc.Closed (fun () ->
+      ignore (Nat.Spsc.pop q));
+  Alcotest.check_raises "push into closed queue" Nat.Spsc.Closed (fun () ->
+      Nat.Spsc.Batch.push b 7);
+  let qf = Nat.Spsc.create ~dummy:0 ~capacity:2 in
+  let bf = Nat.Spsc.Batch.create ~size:4 qf in
+  for i = 1 to 4 do
+    Alcotest.(check bool) "buffers while ring is filling" true
+      (Nat.Spsc.Batch.add bf i)
+  done;
+  Alcotest.(check int) "all four words buffered locally" 4
+    (Nat.Spsc.Batch.pending bf);
+  Nat.Spsc.close qf;
+  Alcotest.check_raises "flush of stranded words after close" Nat.Spsc.Closed
+    (fun () -> Nat.Spsc.Batch.flush bf)
+
+let test_pad_isolation () =
+  let a = Nat.Pad.atomic 7 in
+  Atomic.incr a;
+  Alcotest.(check int) "padded atomic behaves like Atomic" 8 (Atomic.get a);
+  let arr = Nat.Pad.atomic_array 3 1 in
+  Atomic.set arr.(1) 9;
+  Alcotest.(check (list int)) "padded array elements are independent"
+    [ 1; 9; 1 ]
+    (List.map Atomic.get (Array.to_list arr));
+  let c = Nat.Pad.cell 5 in
+  c.Nat.Pad.v <- 6;
+  Alcotest.(check int) "padded cell is mutable" 6 c.Nat.Pad.v;
+  Alcotest.(check bool) "pad spans at least a cache line" true
+    (Nat.Pad.pad_words >= Nat.Pad.words_per_cache_line)
 
 let test_nbar_rounds () =
   let parties = 4 in
@@ -222,6 +343,56 @@ let test_native_bloom_speccross () =
         "bloom-checked native SPECCROSS memory" []
         (Ir.Memory.diff seq.Ir.Env.mem env.Ir.Env.mem))
 
+let test_grain_memory_identical () =
+  (* Chunked dispatch is a scheduling change, not a semantics change: every
+     engine at a grain that divides nothing evenly (7) and a small batch (5)
+     must still produce sequential memory on every applicable workload. *)
+  let opts = { C.native_defaults with C.grain = 7; batch = 5 } in
+  List.iter
+    (fun (tech, tname) ->
+      List.iter
+        (fun (wl : Wl.Workload.t) ->
+          match C.applicable ~backend:`Native tech wl with
+          | Error _ -> ()
+          | Ok () ->
+              let n =
+                C.run ~backend:(`Native opts) ~input:Wl.Workload.Train
+                  ~technique:tech ~threads wl
+              in
+              check_verified
+                (wl.Wl.Workload.name ^ "/" ^ tname ^ "/grain7.batch5")
+                n)
+        (Wl.Registry.all ()))
+    [
+      (C.Barrier, "barrier");
+      (C.Domore, "domore");
+      (C.Domore_dup, "domore-dup");
+      (C.Speccross, "speccross");
+    ]
+
+let test_stall_report_structure () =
+  (* Every engine reports its blocked time under the shared cause
+     vocabulary, so bench rows and the Obs stall report can name the
+     bottleneck without string guessing. *)
+  let known = List.map Nat.Stallcat.name Nat.Stallcat.all in
+  let wl = Wl.Registry.find "SYMM" in
+  List.iter
+    (fun tech ->
+      let n =
+        C.run ~backend:(`Native C.native_defaults) ~input:Wl.Workload.Train
+          ~technique:tech ~threads wl
+      in
+      List.iter
+        (fun (cause, ns) ->
+          Alcotest.(check bool)
+            (C.technique_name tech ^ ": known stall cause " ^ cause)
+            true (List.mem cause known);
+          Alcotest.(check bool)
+            (C.technique_name tech ^ ": positive blocked time for " ^ cause)
+            true (ns > 0.))
+        (nrun n).Nat.Nrun.stalls)
+    [ C.Barrier; C.Domore; C.Speccross ]
+
 let test_native_obs_counters () =
   let wl = Wl.Registry.find "SYMM" in
   let obs = Xinv_obs.Recorder.create () in
@@ -238,7 +409,14 @@ let test_native_obs_counters () =
 let suite =
   [
     Alcotest.test_case "spsc: FIFO across two domains" `Quick test_spsc_two_domains;
-    Alcotest.test_case "spsc: capacity rounds up" `Quick test_spsc_capacity_rounding;
+    Alcotest.test_case "spsc: exact capacities incl. boundaries" `Quick
+      test_spsc_exact_capacity;
+    Alcotest.test_case "spsc: batched stream = unbatched stream" `Quick
+      test_spsc_batch_equivalence;
+    Alcotest.test_case "spsc: early close drains then raises" `Quick
+      test_spsc_batch_close_drain;
+    Alcotest.test_case "pad: cache-line isolation helpers" `Quick
+      test_pad_isolation;
     Alcotest.test_case "nbar: sense-reversing rounds" `Quick test_nbar_rounds;
     Alcotest.test_case "pool: reuse and error propagation" `Quick
       test_pool_reuse_and_errors;
@@ -255,6 +433,10 @@ let suite =
       test_native_inject_recovers;
     Alcotest.test_case "speccross: bloom signatures" `Quick
       test_native_bloom_speccross;
+    Alcotest.test_case "grain > 1: memory identical on every engine" `Quick
+      test_grain_memory_identical;
+    Alcotest.test_case "stalls: causes use the shared vocabulary" `Quick
+      test_stall_report_structure;
     Alcotest.test_case "obs: native runs feed metrics" `Quick
       test_native_obs_counters;
   ]

@@ -7,15 +7,22 @@
 
    Modes:
      bench_native                   print a table of wall ms per configuration
-     bench_native --smoke           one tiny run per engine (runtest alias)
+     bench_native --smoke           one tiny run per engine plus an analysis
+                                    cache round-trip (runtest alias)
+     bench_native --cache-bench     cold vs warm analysis cache: run each
+                                    workload x technique with --cache rw in a
+                                    scratch directory twice and report the
+                                    analysis-phase time of both runs; with
+                                    --json OUT writes schema xinv-cache/1
      bench_native --perf-smoke      CI gate: time SYMM seq vs barrier.d2 and
                                     assert the parallel run stays inside a
                                     sanity envelope of sequential; with --json
                                     it also writes the two rows as an artifact
      bench_native --grain N         dispatch grain for all parallel rows
-     bench_native --raw FILE        append "name wall_ns cause=ns,..." to FILE
+     bench_native --raw FILE        append "name wall_ns cause=ns,... analysis_ns"
+                                    to FILE
      bench_native --json OUT [--from-raw RAWFILE]
-                                    emit BENCH json (schema xinv-bench-native/2);
+                                    emit BENCH json (schema xinv-bench-native/3);
                                     with --from-raw, read the numbers from a raw
                                     file instead of re-timing.  Repeated lines
                                     per configuration merge by minimum wall
@@ -45,7 +52,12 @@ let ns_per_cycle = 1.0
 
 let repeats = 3
 
-type row = { name : string; wall_ns : float; stalls : (string * float) list }
+type row = {
+  name : string;
+  wall_ns : float;
+  analysis_ns : float;
+  stalls : (string * float) list;
+}
 
 let backend ~work ~grain = `Native { C.native_defaults with C.work; grain }
 
@@ -60,7 +72,7 @@ let stall_note stalls =
   | None -> "[no stalls]"
 
 let time_config ~work ~grain ~input (wl : Wl.Workload.t) technique domains =
-  let best = ref infinity and best_stalls = ref [] in
+  let best = ref infinity and best_stalls = ref [] and best_analysis = ref 0. in
   for i = 0 to repeats do
     let o =
       C.run ~backend:(backend ~work ~grain) ~input ~verify:(i = 0)
@@ -70,6 +82,7 @@ let time_config ~work ~grain ~input (wl : Wl.Workload.t) technique domains =
     let wall = C.cost_value o.C.cost in
     if i > 0 && wall < !best then begin
       best := wall;
+      best_analysis := o.C.analysis_ns;
       best_stalls :=
         (match o.C.nrun with Some n -> n.Nat.Nrun.stalls | None -> [])
     end;
@@ -79,7 +92,7 @@ let time_config ~work ~grain ~input (wl : Wl.Workload.t) technique domains =
       exit 1
     end
   done;
-  (!best, !best_stalls)
+  (!best, !best_analysis, !best_stalls)
 
 let measure ~grain =
   let work = Nat.Work.Spin ns_per_cycle in
@@ -87,19 +100,19 @@ let measure ~grain =
   List.concat_map
     (fun wname ->
       let wl = Wl.Registry.find wname in
-      let seq, seq_st = time_config ~work ~grain ~input wl C.Sequential 1 in
+      let seq, seq_an, seq_st = time_config ~work ~grain ~input wl C.Sequential 1 in
       Printf.printf "%-28s %10.2f ms              %s\n%!" (wname ^ ".seq")
         (seq /. 1e6) (stall_note seq_st);
-      { name = wname ^ ".seq"; wall_ns = seq; stalls = seq_st }
+      { name = wname ^ ".seq"; wall_ns = seq; analysis_ns = seq_an; stalls = seq_st }
       :: List.concat_map
            (fun (tname, tech) ->
              List.map
                (fun d ->
-                 let ns, st = time_config ~work ~grain ~input wl tech d in
+                 let ns, an, st = time_config ~work ~grain ~input wl tech d in
                  let name = Printf.sprintf "%s.%s.d%d" wname tname d in
                  Printf.printf "%-28s %10.2f ms  (%.2fx)    %s\n%!" name
                    (ns /. 1e6) (seq /. ns) (stall_note st);
-                 { name; wall_ns = ns; stalls = st })
+                 { name; wall_ns = ns; analysis_ns = an; stalls = st })
                domain_counts)
            techniques)
     workloads
@@ -126,24 +139,29 @@ let read_raw_ordered path =
   (try
      while true do
        let line = input_line ic in
-       let record name v st =
+       let record name v st an =
          match Hashtbl.find_opt tbl name with
          | None ->
              order := name :: !order;
-             Hashtbl.replace tbl name (v, st)
-         | Some (prev, _) -> if v < prev then Hashtbl.replace tbl name (v, st)
+             Hashtbl.replace tbl name (v, st, an)
+         | Some (prev, _, _) ->
+             if v < prev then Hashtbl.replace tbl name (v, st, an)
        in
        match String.split_on_char ' ' (String.trim line) with
-       | [ name; ns ] -> record name (float_of_string ns) []
-       | [ name; ns; st ] -> record name (float_of_string ns) (stalls_of_string st)
+       | [ name; ns ] -> record name (float_of_string ns) [] 0.
+       | [ name; ns; st ] ->
+           record name (float_of_string ns) (stalls_of_string st) 0.
+       | [ name; ns; st; an ] ->
+           record name (float_of_string ns) (stalls_of_string st)
+             (float_of_string an)
        | _ -> ()
      done
    with End_of_file -> ());
   close_in ic;
   List.rev_map
     (fun name ->
-      let wall_ns, stalls = Hashtbl.find tbl name in
-      { name; wall_ns; stalls })
+      let wall_ns, stalls, analysis_ns = Hashtbl.find tbl name in
+      { name; wall_ns; analysis_ns; stalls })
     !order
 
 (* ---------- JSON ---------- *)
@@ -167,7 +185,7 @@ let emit_json ~out ~grain rows =
   let oc = open_out out in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"xinv-bench-native/2\",\n";
+  Buffer.add_string b "  \"schema\": \"xinv-bench-native/3\",\n";
   Buffer.add_string b "  \"unit\": \"wall_ns\",\n";
   Buffer.add_string b (Printf.sprintf "  \"cores\": %d,\n" cores);
   Buffer.add_string b (Printf.sprintf "  \"grain\": %d,\n" grain);
@@ -181,8 +199,8 @@ let emit_json ~out ~grain rows =
     (fun i r ->
       Buffer.add_string b
         (Printf.sprintf
-           "    {\"name\": %S, \"wall_ns\": %.0f, \"cores\": %d, \"grain\": %d"
-           r.name r.wall_ns cores grain);
+           "    {\"name\": %S, \"wall_ns\": %.0f, \"analysis_ns\": %.0f, \"cores\": %d, \"grain\": %d"
+           r.name r.wall_ns r.analysis_ns cores grain);
       (match seq_of rows r.name with
       | Some seq when not (is_seq r.name) ->
           Buffer.add_string b
@@ -225,7 +243,126 @@ let smoke () =
         nrun.Nat.Nrun.tasks
         (nrun.Nat.Nrun.wall_ns /. 1e6))
     (("sequential", C.Sequential) :: techniques);
+  (* Analysis cache round-trip: second run with the same scratch directory
+     must be served entirely from the cache and still verify. *)
+  let cdir = Filename.temp_file "xinv-smoke-cache" "" in
+  Sys.remove cdir;
+  Unix.mkdir cdir 0o755;
+  let cached () =
+    C.run
+      ~backend:(backend ~work:Nat.Work.Off ~grain:C.native_defaults.C.grain)
+      ~input ~cache:`Rw ~cache_dir:cdir ~technique:C.Domore ~threads:2 wl
+  in
+  let cold = cached () in
+  let warm = cached () in
+  if
+    (not (cold.C.verified && warm.C.verified))
+    || cold.C.cache_misses = 0 || warm.C.cache_misses > 0
+    || warm.C.cache_hits = 0
+  then begin
+    Printf.eprintf
+      "smoke cache: round-trip broken (cold %d/%d, warm %d/%d hit/miss)\n"
+      cold.C.cache_hits cold.C.cache_misses warm.C.cache_hits
+      warm.C.cache_misses;
+    exit 1
+  end;
+  Array.iter (fun f -> Sys.remove (Filename.concat cdir f)) (Sys.readdir cdir);
+  Unix.rmdir cdir;
+  Printf.printf "smoke cache ok (cold %d miss, warm %d hit)\n"
+    cold.C.cache_misses warm.C.cache_hits;
   print_string "bench native smoke: all engines ran\n"
+
+(* ---------- cache bench ---------- *)
+
+(* Cold vs warm analysis: each workload x technique runs three times — cache
+   off (the baseline analysis cost), cold rw (first run populates a scratch
+   cache), warm rw (everything replayed from disk).  The warm row's
+   analysis_ns is the headline: fingerprint + artifact replay instead of
+   PDG/SCC/partition/profiling, so repeat-run analysis time collapses. *)
+let cache_bench ~json =
+  let input = Wl.Workload.Train in
+  let grain = C.native_defaults.C.grain in
+  let rows =
+    List.concat_map
+      (fun wname ->
+        let wl = Wl.Registry.find wname in
+        List.concat_map
+          (fun (tname, tech) ->
+            let cdir = Filename.temp_file "xinv-cache-bench" "" in
+            Sys.remove cdir;
+            Unix.mkdir cdir 0o755;
+            let go cache =
+              C.run
+                ~backend:(backend ~work:Nat.Work.Off ~grain)
+                ~input ?cache_dir:(if cache = `Off then None else Some cdir)
+                ~cache ~technique:tech ~threads:2 wl
+            in
+            let off = go `Off in
+            let cold = go `Rw in
+            let warm = go `Rw in
+            List.iter
+              (fun (o : C.outcome) ->
+                if not o.C.verified then begin
+                  Printf.eprintf "FATAL: %s.%s failed verification\n" wname tname;
+                  exit 1
+                end)
+              [ off; cold; warm ];
+            if warm.C.cache_misses > 0 || warm.C.cache_hits = 0 then begin
+              Printf.eprintf "FATAL: %s.%s warm run missed the cache (%d/%d)\n"
+                wname tname warm.C.cache_hits warm.C.cache_misses;
+              exit 1
+            end;
+            Array.iter
+              (fun f -> Sys.remove (Filename.concat cdir f))
+              (Sys.readdir cdir);
+            Unix.rmdir cdir;
+            List.iter
+              (fun (phase, (o : C.outcome)) ->
+                Printf.printf
+                  "%-24s %-5s analysis %10.3f ms   wall %10.2f ms   (%d hit, %d miss)\n%!"
+                  (wname ^ "." ^ tname) phase
+                  (o.C.analysis_ns /. 1e6)
+                  (C.cost_value o.C.cost /. 1e6)
+                  o.C.cache_hits o.C.cache_misses;
+                ignore phase)
+              [ ("off", off); ("cold", cold); ("warm", warm) ];
+            Printf.printf "%-24s warm analysis is %.1fx cheaper than cold\n%!"
+              (wname ^ "." ^ tname)
+              (cold.C.analysis_ns /. Float.max 1. warm.C.analysis_ns);
+            List.map
+              (fun (phase, (o : C.outcome)) ->
+                (wname, tname, phase, o.C.analysis_ns, C.cost_value o.C.cost,
+                 o.C.cache_hits, o.C.cache_misses))
+              [ ("off", off); ("cold", cold); ("warm", warm) ])
+          [ ("domore", C.Domore); ("speccross", C.Speccross) ])
+      workloads
+  in
+  match json with
+  | None -> ()
+  | Some out ->
+      let oc = open_out out in
+      let b = Buffer.create 2048 in
+      Buffer.add_string b "{\n";
+      Buffer.add_string b "  \"schema\": \"xinv-cache/1\",\n";
+      Buffer.add_string b "  \"unit\": \"analysis_ns\",\n";
+      Buffer.add_string b "  \"input\": \"train\",\n";
+      Buffer.add_string b
+        (Printf.sprintf "  \"cores\": %d,\n" (Domain.recommended_domain_count ()));
+      Buffer.add_string b "  \"results\": [\n";
+      let n = List.length rows in
+      List.iteri
+        (fun i (w, t, phase, an, wall, hits, misses) ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "    {\"name\": \"%s.%s.%s\", \"analysis_ns\": %.0f, \"wall_ns\": \
+                %.0f, \"cache_hits\": %d, \"cache_misses\": %d}%s\n"
+               w t phase an wall hits misses
+               (if i = n - 1 then "" else ",")))
+        rows;
+      Buffer.add_string b "  ]\n}\n";
+      output_string oc (Buffer.contents b);
+      close_out oc;
+      Printf.printf "wrote %s\n" out
 
 (* ---------- perf smoke (CI gate) ---------- *)
 
@@ -240,8 +377,8 @@ let perf_smoke ~grain ~json =
   let input = Wl.Workload.Train in
   let wl = Wl.Registry.find "SYMM" in
   let cores = Domain.recommended_domain_count () in
-  let seq, seq_st = time_config ~work ~grain ~input wl C.Sequential 1 in
-  let par, par_st = time_config ~work ~grain ~input wl C.Barrier 2 in
+  let seq, seq_an, seq_st = time_config ~work ~grain ~input wl C.Sequential 1 in
+  let par, par_an, par_st = time_config ~work ~grain ~input wl C.Barrier 2 in
   let envelope = if cores >= 2 then 4.0 else 12.0 in
   let ratio = par /. seq in
   Printf.printf "perf-smoke: cores=%d grain=%d\n" cores grain;
@@ -253,8 +390,13 @@ let perf_smoke ~grain ~json =
   | Some out ->
       emit_json ~out ~grain
         [
-          { name = "SYMM.seq"; wall_ns = seq; stalls = seq_st };
-          { name = "SYMM.barrier.d2"; wall_ns = par; stalls = par_st };
+          { name = "SYMM.seq"; wall_ns = seq; analysis_ns = seq_an; stalls = seq_st };
+          {
+            name = "SYMM.barrier.d2";
+            wall_ns = par;
+            analysis_ns = par_an;
+            stalls = par_st;
+          };
         ];
       Printf.printf "wrote %s\n" out
   | None -> ());
@@ -288,6 +430,7 @@ let () =
     | None -> C.native_defaults.C.grain
   in
   if has "--smoke" then smoke ()
+  else if has "--cache-bench" then cache_bench ~json:(opt "--json")
   else if has "--perf-smoke" then perf_smoke ~grain ~json:(opt "--json")
   else begin
     let rows =
@@ -300,8 +443,8 @@ let () =
         let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path in
         List.iter
           (fun r ->
-            Printf.fprintf oc "%s %.0f %s\n" r.name r.wall_ns
-              (stalls_to_string r.stalls))
+            Printf.fprintf oc "%s %.0f %s %.0f\n" r.name r.wall_ns
+              (stalls_to_string r.stalls) r.analysis_ns)
           rows;
         close_out oc
     | None -> ());

@@ -158,9 +158,28 @@ let batch_arg =
            the DOMORE scheduler (default 32); 1 publishes per word like the \
            unbatched protocol.")
 
+let cache_mode_arg =
+  Arg.(
+    value
+    & opt (enum [ ("off", `Off); ("ro", `Ro); ("rw", `Rw) ]) `Off
+    & info [ "cache" ] ~docv:"MODE"
+        ~doc:
+          "Incremental analysis cache: $(b,off) (default), $(b,ro) (reuse \
+           stored analyses, never write) or $(b,rw) (reuse and publish fresh \
+           analyses).")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Analysis-cache directory (default $(b,\\$XDG_CACHE_HOME/xinv) or \
+           $(b,~/.cache/xinv)).")
+
 let run_cmd =
   let run wl technique threads input backend domains verbose stats inject
-      deadline_ms no_degrade grain batch =
+      deadline_ms no_degrade grain batch cache cache_dir =
     (match (backend, domains) with
     | `Sim, Some _ ->
         prerr_endline
@@ -199,7 +218,10 @@ let run_cmd =
       exit 1
     end;
     let backend_name = match backend with `Sim -> "sim" | `Native -> "native" in
-    match Cx.applicable ~backend technique wl with
+    (* The applicability probe reads the cache but never warms it, so the
+       run's own hit/miss line reflects what was on disk beforehand. *)
+    let probe_cache = match cache with `Off -> `Off | `Ro | `Rw -> `Ro in
+    match Cx.applicable ~backend ~cache:probe_cache ?cache_dir technique wl with
     | Error reason ->
         Printf.eprintf "%s is inapplicable to %s on the %s backend: %s\n"
           (Cx.technique_name technique)
@@ -227,7 +249,10 @@ let run_cmd =
         let o =
           (* With --no-degrade (or an exhausted deadline) the native run
              surfaces its typed error; report it instead of a backtrace. *)
-          match Cx.run ~backend:b ~input ?obs ~technique ~threads wl with
+          match
+            Cx.run ~backend:b ~input ~cache ?cache_dir ?obs ~technique ~threads
+              wl
+          with
           | o -> o
           | exception Xinv_native.Fault.Injected { kind; domain; site } ->
               Printf.eprintf "fault injected: %s at domain %d, site %d\n"
@@ -250,6 +275,18 @@ let run_cmd =
         Printf.printf "  sequential cost  %s\n" (Cx.cost_to_string o.Cx.seq_cost);
         Printf.printf "  cost             %s\n" (Cx.cost_to_string o.Cx.cost);
         Printf.printf "  speedup          %.2fx\n" o.Cx.speedup;
+        (match cache with
+        | `Off ->
+            Printf.printf "  analysis         %.3f ms\n" (o.Cx.analysis_ns /. 1e6)
+        | `Ro | `Rw ->
+            let status =
+              if o.Cx.cache_hits > 0 && o.Cx.cache_misses = 0 then "cache hit"
+              else if o.Cx.cache_hits = 0 then "cache miss"
+              else "cache partial"
+            in
+            Printf.printf "  analysis         %.3f ms (%s: %d hit, %d miss)\n"
+              (o.Cx.analysis_ns /. 1e6)
+              status o.Cx.cache_hits o.Cx.cache_misses);
         Printf.printf "  verified         %b\n" o.Cx.verified;
         List.iter
           (fun (s : Cx.degrade_step) ->
@@ -300,7 +337,7 @@ let run_cmd =
     Term.(
       const run $ wl_arg $ tech_arg $ run_threads_arg $ input_arg $ backend_arg
       $ domains_arg $ verbose $ stats $ inject_arg $ deadline_arg
-      $ no_degrade_arg $ grain_arg $ batch_arg)
+      $ no_degrade_arg $ grain_arg $ batch_arg $ cache_mode_arg $ cache_dir_arg)
 
 (* ---- stats ---- *)
 
@@ -520,6 +557,83 @@ let trace_cmd =
           it as a Perfetto trace with --out.")
     Term.(const run $ wl_arg $ tech_arg $ threads_arg $ width $ out)
 
+(* ---- cache ---- *)
+
+let cache_cmd =
+  let module Store = Xinv_cache.Store in
+  let resolve dir = Option.value dir ~default:(Store.default_dir ()) in
+  let stats_c =
+    let run dir =
+      let dir = resolve dir in
+      let s = Store.stats ~dir in
+      Printf.printf "cache directory    %s\n" dir;
+      Printf.printf "entries            %d\n" s.Store.s_entries;
+      Printf.printf "bytes              %d\n" s.Store.s_bytes;
+      Printf.printf "quarantined        %d\n" s.Store.s_quarantined;
+      Printf.printf "stale tmp files    %d\n" s.Store.s_tmp
+    in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Entry count, total size and quarantine count.")
+      Term.(const run $ cache_dir_arg)
+  in
+  let ls_c =
+    let run dir =
+      let dir = resolve dir in
+      List.iter
+        (fun (e : Store.entry_info) ->
+          (* Components stored per entry: D = DOMORE plan (or negative
+             verdict), P = SPECCROSS profile. *)
+          let components =
+            match open_in_bin (Filename.concat dir (e.Store.e_fp ^ ".xc")) with
+            | exception Sys_error _ -> "?"
+            | ic -> (
+                let raw =
+                  try really_input_string ic (in_channel_length ic)
+                  with _ -> ""
+                in
+                close_in_noerr ic;
+                match Xinv_cache.Artifact.decode raw with
+                | Error reason -> "invalid:" ^ reason
+                | Ok a ->
+                    String.concat ""
+                      [
+                        (match a.Xinv_cache.Artifact.domore with
+                        | Some (Ok _) -> "D"
+                        | Some (Error _) -> "d"
+                        | None -> "-");
+                        (match a.Xinv_cache.Artifact.profile with
+                        | Some _ -> "P"
+                        | None -> "-");
+                      ])
+          in
+          Printf.printf "%s  %8d B  %s\n" e.Store.e_fp e.Store.e_bytes components)
+        (Store.ls ~dir)
+    in
+    Cmd.v
+      (Cmd.info "ls"
+         ~doc:
+           "List entries (oldest first) with size and stored components: D = \
+            DOMORE plan, d = cached inapplicability, P = SPECCROSS profile.")
+      Term.(const run $ cache_dir_arg)
+  in
+  let clear_c =
+    let run dir =
+      let dir = resolve dir in
+      let n = Store.clear ~dir in
+      Printf.printf "removed %d entries from %s\n" n dir
+    in
+    Cmd.v
+      (Cmd.info "clear"
+         ~doc:"Remove all entries, quarantined files and stale tmp files.")
+      Term.(const run $ cache_dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect or clear the incremental analysis cache (see $(b,run \
+          --cache)).")
+    [ stats_c; ls_c; clear_c ]
+
 let main =
   Cmd.group
     (Cmd.info "crossinv" ~version:"1.0.0"
@@ -527,6 +641,6 @@ let main =
          "Cross-invocation parallelism using runtime information: DOMORE and \
           SPECCROSS on a simulated multicore.")
     [ list_cmd; run_cmd; stats_cmd; experiment_cmd; all_cmd; profile_cmd; plan_cmd;
-      trace_cmd ]
+      trace_cmd; cache_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,191 @@
+module Ir = Xinv_ir
+module Obs = Xinv_obs
+
+type mode = [ `Ro | `Rw ]
+
+type t = {
+  store : Store.t;
+  mode : mode;
+  obs : Obs.Recorder.t option;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let make ?obs ?max_bytes ?dir ~mode () =
+  let dir = match dir with Some d -> d | None -> Store.default_dir () in
+  { store = Store.open_ ?obs ?max_bytes ~dir (); mode; obs; hits = 0; misses = 0 }
+
+let store t = t.store
+let mode t = t.mode
+let hits t = t.hits
+let misses t = t.misses
+
+let bump t name =
+  match t.obs with
+  | None -> ()
+  | Some r -> Obs.Metrics.add (Obs.Metrics.counter (Obs.Recorder.metrics r) name) 1
+
+let record t ev =
+  match t.obs with
+  | None -> ()
+  | Some r -> Obs.Recorder.record r ~at:(Unix.gettimeofday ()) ~tid:0 ev
+
+let hit t fp =
+  t.hits <- t.hits + 1;
+  bump t "cache.hit";
+  record t (Obs.Event.Fingerprint_hit { fp = Fingerprint.to_hex fp })
+
+let miss t fp reason =
+  t.misses <- t.misses + 1;
+  bump t "cache.miss";
+  record t (Obs.Event.Fingerprint_miss { fp = Fingerprint.to_hex fp; reason })
+
+(* A usable artifact: valid on disk and written for these names (two
+   programs that are renamings of each other share a fingerprint; replaying
+   across the alias would wire the plan to the wrong arrays). *)
+let lookup t fp names =
+  match Store.load t.store fp with
+  | Ok a when a.Artifact.names = names -> Ok a
+  | Ok _ -> Error "alias"
+  | Error reason -> Error reason
+
+let merge_save t fp names update =
+  if t.mode = `Rw then begin
+    let base =
+      match lookup t fp names with Ok a -> a | Error _ -> Artifact.empty ~names
+    in
+    Store.save t.store fp (update base)
+  end
+
+(* Statement ids are process-local; artifacts reference statements by
+   canonical position in the {!Ir.Pdg.stmt_table} order.  [to_graph] numbers
+   dense nodes in that same order, so SCC output needs no remapping. *)
+
+let positions_of_plan (plan : Ir.Mtcg.plan) =
+  let pos = Hashtbl.create 32 in
+  List.iteri
+    (fun i ((s : Ir.Stmt.t), _) -> Hashtbl.replace pos s.Ir.Stmt.sid i)
+    plan.Ir.Mtcg.pdg.Ir.Pdg.stmts;
+  Hashtbl.find pos
+
+let domore_of_verdict = function
+  | Ir.Mtcg.Inapplicable reason -> (Error reason, None, None)
+  | Ir.Mtcg.Plan plan ->
+      let pos_of = positions_of_plan plan in
+      let edges =
+        List.map
+          (fun (e : Ir.Pdg.edge) ->
+            ( pos_of e.Ir.Pdg.src,
+              pos_of e.Ir.Pdg.dst,
+              e.Ir.Pdg.kind,
+              e.Ir.Pdg.carried_outer ))
+          plan.Ir.Mtcg.pdg.Ir.Pdg.edges
+      in
+      let scc =
+        let g, _sids = Ir.Pdg.to_graph plan.Ir.Mtcg.pdg in
+        Ir.Scc.topological g
+      in
+      let d =
+        {
+          Artifact.d_assign =
+            List.map
+              (fun (sid, side) -> (pos_of sid, side))
+              plan.Ir.Mtcg.partition.Ir.Partition.assign;
+          d_moved = List.map pos_of plan.Ir.Mtcg.partition.Ir.Partition.moved;
+          d_guard_ratio = plan.Ir.Mtcg.guard_ratio;
+          d_slice = plan.Ir.Mtcg.slice;
+          d_slices = List.map snd plan.Ir.Mtcg.slices;
+        }
+      in
+      (Ok d, Some edges, Some scc)
+
+(* Rebuild a full [Mtcg.plan] for the live program from the stored bundle.
+   Any inconsistency (position out of range, inner-loop count drift) raises
+   and is treated as a miss by the caller. *)
+let replay_plan (p : Ir.Program.t) (a : Artifact.t) =
+  match a.Artifact.domore with
+  | None -> None
+  | Some (Error reason) -> Some (Ir.Mtcg.Inapplicable reason)
+  | Some (Ok d) ->
+      let table = Array.of_list (Ir.Pdg.stmt_table p) in
+      let sid_of pos = (fst table.(pos)).Ir.Stmt.sid in
+      let edges =
+        match a.Artifact.pdg_edges with
+        | None -> raise Not_found
+        | Some es ->
+            List.map
+              (fun (src, dst, kind, carried_outer) ->
+                { Ir.Pdg.src = sid_of src; dst = sid_of dst; kind; carried_outer })
+              es
+      in
+      let pdg = { Ir.Pdg.stmts = Array.to_list table; edges } in
+      let partition =
+        {
+          Ir.Partition.assign =
+            List.map (fun (pos, side) -> (sid_of pos, side)) d.Artifact.d_assign;
+          moved = List.map sid_of d.Artifact.d_moved;
+        }
+      in
+      let scheduler_extra =
+        List.filter
+          (fun (s : Ir.Stmt.t) ->
+            List.mem s.Ir.Stmt.sid partition.Ir.Partition.moved)
+          (Ir.Program.body_stmts p)
+      in
+      let slices =
+        List.map2
+          (fun (il : Ir.Program.inner) sl -> (il.Ir.Program.ilabel, sl))
+          p.Ir.Program.inners d.Artifact.d_slices
+      in
+      Some
+        (Ir.Mtcg.Plan
+           {
+             Ir.Mtcg.program = p;
+             partition;
+             pdg;
+             slice = d.Artifact.d_slice;
+             slices;
+             scheduler_extra;
+             guard_ratio = d.Artifact.d_guard_ratio;
+           })
+
+let fresh_plan t fp names why p env =
+  miss t fp why;
+  let verdict = Ir.Mtcg.generate p env in
+  let domore, pdg_edges, scc_order = domore_of_verdict verdict in
+  merge_save t fp names (fun a ->
+      {
+        a with
+        Artifact.domore = Some domore;
+        pdg_edges =
+          (if pdg_edges = None then a.Artifact.pdg_edges else pdg_edges);
+        scc_order =
+          (if scc_order = None then a.Artifact.scc_order else scc_order);
+      });
+  verdict
+
+let plan t p env =
+  let fp, names = Fingerprint.keyed p env in
+  match lookup t fp names with
+  | Ok a -> (
+      match (try replay_plan p a with _ -> None) with
+      | Some v ->
+          hit t fp;
+          v
+      | None -> fresh_plan t fp names "partial" p env)
+  | Error why -> fresh_plan t fp names why p env
+
+let profile t p env =
+  let fp, names = Fingerprint.keyed p env in
+  let fresh why =
+    miss t fp why;
+    let pr = Xinv_speccross.Profiler.profile p env in
+    merge_save t fp names (fun a -> { a with Artifact.profile = Some pr });
+    pr
+  in
+  match lookup t fp names with
+  | Ok { Artifact.profile = Some pr; _ } ->
+      hit t fp;
+      pr
+  | Ok _ -> fresh "partial"
+  | Error why -> fresh why

@@ -1,0 +1,46 @@
+(** Cached front door to the analysis pipeline.
+
+    {!plan} and {!profile} are drop-in replacements for
+    [Xinv_ir.Mtcg.generate] and [Xinv_speccross.Profiler.profile]: same
+    signatures (modulo the handle), same results — proven bit-identical by
+    the differential suite in [test/test_cache.ml] — but on a cache hit the
+    expensive work (PDG construction, partitioning, slicing, or the full
+    sequential profiling run) is skipped entirely and the result is
+    reconstructed from the stored artifact.
+
+    Hit discipline: a stored artifact is replayed only when the fingerprint
+    matches, the name vector matches (alias defense), the artifact holds the
+    component being asked for, and reconstruction against the live program
+    succeeds; anything else — including a corrupt or wrong-version entry —
+    degrades to fresh analysis.  In [`Rw] mode fresh results are merged into
+    the entry (a fingerprint accumulates its DOMORE plan and its SPECCROSS
+    profile independently) and published atomically. *)
+
+type mode = [ `Ro | `Rw ]
+
+type t
+
+val make :
+  ?obs:Xinv_obs.Recorder.t -> ?max_bytes:int -> ?dir:string -> mode:mode -> unit -> t
+(** [dir] defaults to {!Store.default_dir}. *)
+
+val store : t -> Store.t
+
+val mode : t -> mode
+
+val hits : t -> int
+(** Usable hits served (plan + profile). *)
+
+val misses : t -> int
+
+val plan : t -> Xinv_ir.Program.t -> Xinv_ir.Env.t -> Xinv_ir.Mtcg.verdict
+(** Cached [Mtcg.generate].  Caches negative verdicts too: a workload DOMORE
+    rejects is rejected from the cache with the same reason, without
+    rebuilding the PDG. *)
+
+val profile :
+  t -> Xinv_ir.Program.t -> Xinv_ir.Env.t -> Xinv_speccross.Profiler.t
+(** Cached [Profiler.profile].  On a miss the underlying profiling run
+    mutates [env] (it executes the program) exactly as the uncached path
+    does; on a hit [env] is left untouched — observably equivalent because
+    callers profile on a scratch training environment. *)

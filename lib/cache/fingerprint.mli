@@ -1,0 +1,53 @@
+(** Canonical structural fingerprint of a workload (program + initial
+    environment) — the content-hash key of the incremental analysis cache.
+
+    The fingerprint is built from one deterministic traversal that streams
+    integer tokens into a pair of FNV-1a accumulators.  It is:
+
+    - {e insensitive to name choices}: array, parameter and loop names are
+      replaced by first-occurrence ordinals, so consistently renaming
+      everything yields the same fingerprint;
+    - {e insensitive to physical sharing and statement identity}: the
+      traversal is purely structural — [Stmt.sid] (a process-local counter)
+      and pointer sharing never enter the hash, so the fingerprint is stable
+      across process restarts;
+    - {e insensitive to value data}: the contents of floating-point arrays
+      cannot influence addresses, trip counts or dependence analysis in this
+      IR, so they are excluded — re-running on different float data hits the
+      cache;
+    - {e sensitive to anything that changes analysis results}: program
+      structure (access footprints, commutativity, side effects), problem
+      size (memory layout: every array's kind and extent), runtime
+      parameters, the full contents of integer arrays (the access patterns
+      runtime analysis exists to observe — e.g. a [Synth] profile seed), and
+      probed samples of the trip-count and cost closures.
+
+    Invalidation rule for workload authors: trip counts and addresses must
+    be derived from parameters and integer arrays only (true of every
+    registry workload); a workload whose {e float} contents steer control
+    flow must not be cached. *)
+
+type t
+
+val key : Xinv_ir.Program.t -> Xinv_ir.Env.t -> t
+(** Fingerprint of the program paired with the environment it will run in.
+    Reads the environment (trip/cost probes, integer-array contents) but
+    never mutates it and never calls any [exec]. *)
+
+val name_vector : Xinv_ir.Program.t -> Xinv_ir.Env.t -> string list
+(** The actual names, in first-occurrence order of the same traversal
+    {!key} performs.  Stored inside cache artifacts: two workloads that are
+    renamings of each other share a fingerprint, and the name vector is how
+    a hit detects the alias and falls back to fresh analysis. *)
+
+val keyed : Xinv_ir.Program.t -> Xinv_ir.Env.t -> t * string list
+(** {!key} and {!name_vector} from a single traversal. *)
+
+val to_hex : t -> string
+(** 32 lowercase hex characters (two 64-bit lanes). *)
+
+val of_hex : string -> t option
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

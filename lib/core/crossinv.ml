@@ -3,6 +3,7 @@ module Sim = Xinv_sim
 module Par = Xinv_parallel
 module Wl = Xinv_workloads
 module Nat = Xinv_native
+module Cache = Xinv_cache
 
 type technique =
   | Sequential
@@ -87,7 +88,54 @@ type outcome = {
   run : Par.Run.t option;
   nrun : Nat.Nrun.t option;
   degraded : degrade_step list;
+  analysis_ns : float;
+  cache_hits : int;
+  cache_misses : int;
 }
+
+(* ---- analysis front door ----
+
+   Every compile-time/profiling step of a run — [Mtcg.generate] and
+   [Profiler.profile] — goes through this context, which (a) accumulates the
+   wall time spent in analysis regardless of caching, and (b) consults the
+   incremental analysis cache when one is attached. *)
+
+type analysis_ctx = {
+  a_cache : Cache.Analysis.t option;
+  mutable a_ns : float;
+}
+
+let analysis_ctx ?obs cache cache_dir =
+  let a_cache =
+    match cache with
+    | `Off -> None
+    | (`Ro | `Rw) as mode ->
+        Some (Cache.Analysis.make ?obs ?dir:cache_dir ~mode ())
+  in
+  { a_cache; a_ns = 0. }
+
+let timed actx f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  actx.a_ns <- actx.a_ns +. ((Unix.gettimeofday () -. t0) *. 1e9);
+  r
+
+let mtcg_verdict actx program env =
+  timed actx (fun () ->
+      match actx.a_cache with
+      | None -> Ir.Mtcg.generate program env
+      | Some c -> Cache.Analysis.plan c program env)
+
+let profiler_profile actx program env =
+  timed actx (fun () ->
+      match actx.a_cache with
+      | None -> Xinv_speccross.Profiler.profile program env
+      | Some c -> Cache.Analysis.profile c program env)
+
+let cache_stats actx =
+  match actx.a_cache with
+  | None -> (0, 0)
+  | Some c -> (Cache.Analysis.hits c, Cache.Analysis.misses c)
 
 let spec_mode_of_plan (wl : Wl.Workload.t) label =
   match Wl.Workload.technique_of wl label with
@@ -110,13 +158,17 @@ let supported ~backend =
   | `Sim -> all
   | `Native -> List.filter native_supported all
 
-let applicable ?(backend = `Sim) technique (wl : Wl.Workload.t) =
+let applicable ?(backend = `Sim) ?(cache = `Off) ?cache_dir technique
+    (wl : Wl.Workload.t) =
   let shared () =
     match technique with
     | Sequential | Barrier | Doacross | Dswp -> Ok ()
-    | Inspector | Tls | Domore | Domore_dup ->
+    | Inspector | Tls | Domore | Domore_dup -> (
+        let actx = analysis_ctx cache cache_dir in
         let env = wl.Wl.Workload.fresh_env Wl.Workload.Ref in
-        Par.Plan.domore_applicable (wl.Wl.Workload.program Wl.Workload.Ref) env
+        match mtcg_verdict actx (wl.Wl.Workload.program Wl.Workload.Ref) env with
+        | Ir.Mtcg.Plan _ -> Ok ()
+        | Ir.Mtcg.Inapplicable reason -> Error reason)
     | Speccross | Speccross_inject _ ->
         if
           List.exists
@@ -141,14 +193,14 @@ let sequential_cost (wl : Wl.Workload.t) input =
 
 (* SPECCROSS profiles the train input matching the run input's speculative
    flavour, as the paper's toolchain does. *)
-let spec_profile (wl : Wl.Workload.t) input =
+let spec_profile ~actx (wl : Wl.Workload.t) input =
   let train_input =
     match input with
     | Wl.Workload.Ref_spec -> Wl.Workload.Train_spec
     | _ -> Wl.Workload.Train
   in
   let train_env = wl.Wl.Workload.fresh_env train_input in
-  Xinv_speccross.Profiler.profile (wl.Wl.Workload.program train_input) train_env
+  profiler_profile actx (wl.Wl.Workload.program train_input) train_env
 
 let spec_distance_of prof ~workers =
   match prof.Xinv_speccross.Profiler.min_task_distance with
@@ -162,7 +214,7 @@ let spec_distance_of prof ~workers =
 
 (* ---- simulated backend ---- *)
 
-let run_sim ~machine ~input ~checkpoint_every ?obs ~technique ~threads
+let run_sim ~actx ~machine ~input ~checkpoint_every ?obs ~technique ~threads
     (wl : Wl.Workload.t) =
   let program = wl.Wl.Workload.program input in
   let env = wl.Wl.Workload.fresh_env input in
@@ -175,7 +227,7 @@ let run_sim ~machine ~input ~checkpoint_every ?obs ~technique ~threads
     | Doacross -> (Some (Par.Doacross.run ~machine ?obs ~threads program env), None)
     | Dswp -> (Some (Par.Dswp.run ~machine ?obs ~threads program env), None)
     | Inspector -> (
-        match Ir.Mtcg.generate program env with
+        match mtcg_verdict actx program env with
         | Ir.Mtcg.Inapplicable reason ->
             failwith
               (Printf.sprintf "inspector-executor inapplicable to %s: %s"
@@ -183,14 +235,14 @@ let run_sim ~machine ~input ~checkpoint_every ?obs ~technique ~threads
         | Ir.Mtcg.Plan mplan ->
             (Some (Par.Inspector.run ~machine ~threads ~plan:mplan program env), None))
     | Tls -> (
-        match Ir.Mtcg.generate program env with
+        match mtcg_verdict actx program env with
         | Ir.Mtcg.Inapplicable reason ->
             failwith
               (Printf.sprintf "TLS inapplicable to %s: %s" wl.Wl.Workload.name reason)
         | Ir.Mtcg.Plan mplan ->
             (Some (Par.Tls.run ~machine ~threads ~plan:mplan program env), None))
     | Domore -> (
-        match Ir.Mtcg.generate program env with
+        match mtcg_verdict actx program env with
         | Ir.Mtcg.Inapplicable reason ->
             failwith
               (Printf.sprintf "DOMORE inapplicable to %s: %s" wl.Wl.Workload.name
@@ -208,7 +260,7 @@ let run_sim ~machine ~input ~checkpoint_every ?obs ~technique ~threads
             in
             (Some (Xinv_domore.Domore.run ~config ?obs ~plan:mplan program env), None))
     | Domore_dup -> (
-        match Ir.Mtcg.generate program env with
+        match mtcg_verdict actx program env with
         | Ir.Mtcg.Inapplicable reason ->
             failwith
               (Printf.sprintf "DOMORE inapplicable to %s: %s" wl.Wl.Workload.name
@@ -225,7 +277,7 @@ let run_sim ~machine ~input ~checkpoint_every ?obs ~technique ~threads
             in
             (Some (Xinv_domore.Duplicated.run ~config ?obs ~plan:mplan program env), None))
     | Speccross | Speccross_inject _ ->
-        let prof = spec_profile wl input in
+        let prof = spec_profile ~actx wl input in
         let workers = Stdlib.max 1 (threads - 1) in
         if not (Xinv_speccross.Profiler.profitable prof ~workers) then
           (* §4.4: a minimum dependence distance below the worker count
@@ -256,8 +308,8 @@ let run_sim ~machine ~input ~checkpoint_every ?obs ~technique ~threads
 
 (* ---- native backend ---- *)
 
-let native_mtcg_plan program env name =
-  match Ir.Mtcg.generate program env with
+let native_mtcg_plan ~actx program env name =
+  match mtcg_verdict actx program env with
   | Ir.Mtcg.Inapplicable reason ->
       failwith (Printf.sprintf "DOMORE inapplicable to %s: %s" name reason)
   | Ir.Mtcg.Plan mplan -> mplan
@@ -270,7 +322,7 @@ let native_pool_size ~technique ~threads =
   | Doacross | Dswp | Inspector | Tls -> 0
 
 (* One native attempt of one technique; raises on failure. *)
-let run_native_once ~opts ~wd ~fault ~input ~checkpoint_every ~technique
+let run_native_once ~actx ~opts ~wd ~fault ~input ~checkpoint_every ~technique
     ~threads (wl : Wl.Workload.t) env =
   let program = wl.Wl.Workload.program input in
   let plan = Wl.Workload.plan_fn wl in
@@ -296,7 +348,7 @@ let run_native_once ~opts ~wd ~fault ~input ~checkpoint_every ~technique
               ~plan program env),
         None )
   | Domore ->
-      let mplan = native_mtcg_plan program env wl.Wl.Workload.name in
+      let mplan = native_mtcg_plan ~actx program env wl.Wl.Workload.name in
       let workers = Stdlib.max 1 (threads - 1) in
       let config =
         { (Nat.Ndomore.default_config ~workers) with
@@ -306,7 +358,7 @@ let run_native_once ~opts ~wd ~fault ~input ~checkpoint_every ~technique
             Nat.Ndomore.run ~pool ~wd ?fault ~config ~plan:mplan program env),
         None )
   | Domore_dup ->
-      let mplan = native_mtcg_plan program env wl.Wl.Workload.name in
+      let mplan = native_mtcg_plan ~actx program env wl.Wl.Workload.name in
       let config =
         { (Nat.Ndomore.default_config ~workers:threads) with
           Nat.Ndomore.policy; work; grain = opts.grain; batch = opts.batch }
@@ -316,7 +368,7 @@ let run_native_once ~opts ~wd ~fault ~input ~checkpoint_every ~technique
               program env),
         None )
   | Speccross | Speccross_inject _ ->
-      let prof = spec_profile wl input in
+      let prof = spec_profile ~actx wl input in
       let workers = Stdlib.max 1 (threads - 1) in
       if not (Xinv_speccross.Profiler.profitable prof ~workers) then
         (* Same §4.4 decision as the simulated path: a short minimum
@@ -382,7 +434,7 @@ let bump_counter obs name v =
         let m = Xinv_obs.Recorder.metrics r in
         Xinv_obs.Metrics.add (Xinv_obs.Metrics.counter m name) v
 
-let run_native ~opts ~input ~checkpoint_every ?obs ~technique ~threads
+let run_native ~actx ~opts ~input ~checkpoint_every ?obs ~technique ~threads
     (wl : Wl.Workload.t) =
   let program = wl.Wl.Workload.program input in
   (* Wall-clock baseline and bit-exact reference memory in one pass. *)
@@ -437,7 +489,7 @@ let run_native ~opts ~input ~checkpoint_every ?obs ~technique ~threads
           (tech, nrun, profile, env)
         in
         match
-          run_native_once ~opts ~wd ~fault ~input ~checkpoint_every
+          run_native_once ~actx ~opts ~wd ~fault ~input ~checkpoint_every
             ~technique:tech ~threads wl env
         with
         | result -> finish result
@@ -497,15 +549,17 @@ let run_native ~opts ~input ~checkpoint_every ?obs ~technique ~threads
 (* ---- unified entry point ---- *)
 
 let run ?(backend = `Sim None) ?(input = Wl.Workload.Ref)
-    ?(checkpoint_every = 1000) ?(verify = true) ?obs ~technique ~threads
-    (wl : Wl.Workload.t) =
+    ?(checkpoint_every = 1000) ?(verify = true) ?(cache = `Off) ?cache_dir ?obs
+    ~technique ~threads (wl : Wl.Workload.t) =
   assert (threads > 0);
+  let actx = analysis_ctx ?obs cache cache_dir in
   match backend with
   | `Sim machine ->
       let machine = Option.value machine ~default:Sim.Machine.default in
       let seq_cost, seq_env = sequential_cost wl input in
       let run, profile, env =
-        run_sim ~machine ~input ~checkpoint_every ?obs ~technique ~threads wl
+        run_sim ~actx ~machine ~input ~checkpoint_every ?obs ~technique
+          ~threads wl
       in
       let mismatches =
         if verify && technique <> Sequential then
@@ -531,10 +585,14 @@ let run ?(backend = `Sim None) ?(input = Wl.Workload.Ref)
         run;
         nrun = None;
         degraded = [];
+        analysis_ns = actx.a_ns;
+        cache_hits = fst (cache_stats actx);
+        cache_misses = snd (cache_stats actx);
       }
   | `Native opts ->
       let nrun, seq_run, profile, env, seq_env, executed, degraded =
-        run_native ~opts ~input ~checkpoint_every ?obs ~technique ~threads wl
+        run_native ~actx ~opts ~input ~checkpoint_every ?obs ~technique
+          ~threads wl
       in
       let requested_sequential = technique = Sequential && degraded = [] in
       let mismatches =
@@ -554,6 +612,9 @@ let run ?(backend = `Sim None) ?(input = Wl.Workload.Ref)
         run = None;
         nrun = Some nrun;
         degraded;
+        analysis_ns = actx.a_ns;
+        cache_hits = fst (cache_stats actx);
+        cache_misses = snd (cache_stats actx);
       }
 
 (* ---- deprecated wrappers ---- *)

@@ -85,17 +85,25 @@ type outcome = {
   run : Xinv_parallel.Run.t option;  (** simulated backend's run record *)
   nrun : Xinv_native.Nrun.t option;  (** native backend's run record *)
   degraded : degrade_step list;  (** degradation steps taken, in order *)
+  analysis_ns : float;
+      (** wall time spent in compile-time analysis and profiling
+          ([Mtcg.generate], [Profiler.profile]) — cached or fresh *)
+  cache_hits : int;  (** analysis-cache hits served during this run *)
+  cache_misses : int;  (** analysis-cache misses (0/0 when the cache is off) *)
 }
 
 val applicable :
   ?backend:[ `Sim | `Native ] ->
+  ?cache:[ `Off | `Ro | `Rw ] ->
+  ?cache_dir:string ->
   technique ->
   Xinv_workloads.Workload.t ->
   (unit, string) result
 (** Compile-time applicability of the technique to the workload on the
     given backend (default [`Sim]).  Native inapplicability (Doacross,
     DSWP, Inspector, TLS have no native engines) is an [Error], not an
-    exception. *)
+    exception.  [cache]/[cache_dir] as in {!run}: the DOMORE applicability
+    check is itself a full [Mtcg.generate] and benefits the same way. *)
 
 val supported : backend:[ `Sim | `Native ] -> technique list
 (** Techniques with an engine on the backend. *)
@@ -105,6 +113,8 @@ val run :
   ?input:Xinv_workloads.Workload.input ->
   ?checkpoint_every:int ->
   ?verify:bool ->
+  ?cache:[ `Off | `Ro | `Rw ] ->
+  ?cache_dir:string ->
   ?obs:Xinv_obs.Recorder.t ->
   technique:technique ->
   threads:int ->
@@ -115,6 +125,13 @@ val run :
     1 checker) on the chosen backend (default: simulated, default
     machine).  SPECCROSS profiles the train input first and falls back to
     barriers when unprofitable (§4.4), on both backends.
+
+    With [cache] (default [`Off]), the run consults the incremental
+    analysis cache in [cache_dir] (default [~/.cache/xinv]): on a
+    fingerprint hit the DOMORE plan and the SPECCROSS profile are
+    reconstructed from disk instead of re-derived — identical results,
+    near-zero [analysis_ns].  [`Ro] never writes; [`Rw] publishes fresh
+    results atomically.
 
     With [?obs], the run is instrumented: the simulated backend streams
     typed events and metrics into the recorder; the native backend bumps

@@ -17,6 +17,11 @@ let may_conflict a b =
   | Some fa, Some fb -> Affine.overlaps_some_iteration fa fb
   | _ -> true
 
+let feed fi fs a =
+  fi 7;
+  fs a.base;
+  Expr.feed fi fs a.index
+
 let same_iteration_only a b =
   String.equal a.base b.base
   &&

@@ -22,3 +22,7 @@ val may_conflict : t -> t -> bool
 val same_iteration_only : t -> t -> bool
 (** Precise static guarantee that two same-invocation accesses can only
     touch the same cell within one iteration (DOALL-legality test). *)
+
+val feed : (int -> unit) -> (string -> unit) -> t -> unit
+(** Canonical token stream of the access (see {!Expr.feed}): a tag to [fi],
+    the base array to [fs], then the index expression. *)

@@ -82,6 +82,34 @@ let c k = Const k
 
 let ld a ix = Load (a, ix)
 
+let op_tag = function
+  | Add -> 0
+  | Sub -> 1
+  | Mul -> 2
+  | Div -> 3
+  | Mod -> 4
+  | Min -> 5
+  | Max -> 6
+
+let rec feed fi fs = function
+  | Const k ->
+      fi 1;
+      fi k
+  | Ivar -> fi 2
+  | Ovar -> fi 3
+  | Param p ->
+      fi 4;
+      fs p
+  | Load (a, ix) ->
+      fi 5;
+      fs a;
+      feed fi fs ix
+  | Bin (op, x, y) ->
+      fi 6;
+      fi (op_tag op);
+      feed fi fs x;
+      feed fi fs y
+
 let rec size = function
   | Const _ | Ivar | Ovar | Param _ -> 1
   | Load (_, ix) -> Stdlib.( + ) 1 (size ix)

@@ -57,3 +57,10 @@ val ld : string -> t -> t
 
 val size : t -> int
 (** Number of nodes (address-computation cost proxy for slicing). *)
+
+val feed : (int -> unit) -> (string -> unit) -> t -> unit
+(** [feed fi fs e] streams a canonical, unambiguous token sequence for the
+    expression structure: constructor tags and integers to [fi], array and
+    parameter names to [fs].  The traversal is deterministic and
+    sharing-insensitive, so two structurally equal expressions produce the
+    same stream — the hashing hook {!Xinv_cache.Fingerprint} is built on. *)

@@ -76,6 +76,8 @@ let set_float m name i v =
 
 let observed m = m.observer <> None
 
+let is_int m name = match (entry m name).data with I _ -> true | F _ -> false
+
 let int_data m name =
   match (entry m name).data with
   | I a -> a

@@ -30,6 +30,11 @@ val get_float : t -> string -> int -> float
 
 val set_float : t -> string -> int -> float -> unit
 
+val is_int : t -> string -> bool
+(** Whether the array holds integers (index/pattern data) rather than
+    floats (value data) — the distinction {!Xinv_cache.Fingerprint} uses to
+    decide which contents can influence analysis results. *)
+
 val snapshot : t -> t
 (** Deep copy (checkpointing). *)
 

@@ -71,16 +71,17 @@ let self_edges (s, (l : loc)) =
     [ { src = s.Stmt.sid; dst = s.Stmt.sid; kind = Cross_invoc; carried_outer = true } ]
   else []
 
+let stmt_table (p : Program.t) =
+  List.concat
+    (List.mapi
+       (fun ii (il : Program.inner) ->
+         List.map (fun s -> (s, ii, false)) il.Program.pre
+         @ List.map (fun s -> (s, ii, true)) il.Program.body)
+       p.Program.inners)
+  |> List.mapi (fun ord (s, ii, in_body) -> (s, { inner_idx = ii; in_body; ord }))
+
 let build (p : Program.t) =
-  let stmts =
-    List.concat
-      (List.mapi
-         (fun ii (il : Program.inner) ->
-           List.map (fun s -> (s, ii, false)) il.Program.pre
-           @ List.map (fun s -> (s, ii, true)) il.Program.body)
-         p.Program.inners)
-    |> List.mapi (fun ord (s, ii, in_body) -> (s, { inner_idx = ii; in_body; ord }))
-  in
+  let stmts = stmt_table p in
   let edges = ref [] in
   List.iter (fun sl -> edges := self_edges sl @ !edges) stmts;
   let rec pairs = function

@@ -40,6 +40,22 @@ let total_iterations p env =
   done;
   !n
 
+let feed_structure fi fs p =
+  fi 9;
+  fi p.outer_trip;
+  fi (List.length p.inners);
+  List.iter
+    (fun il ->
+      (* Inner labels are deliberately not fed: renaming a loop changes no
+         analysis result, and cached artifacts key per-inner data by position,
+         not label. *)
+      fi 10;
+      fi (List.length il.pre);
+      List.iter (Stmt.feed_structure fi fs) il.pre;
+      fi (List.length il.body);
+      List.iter (Stmt.feed_structure fi fs) il.body)
+    p.inners
+
 let pp ppf p =
   Format.fprintf ppf "@[<v>program %s (outer trip %d)@," p.pname p.outer_trip;
   List.iter

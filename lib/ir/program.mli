@@ -44,4 +44,12 @@ val total_iterations : t -> Env.t -> int
 (** Dynamic count of inner iterations over the whole region; evaluates trip
     counts against the (unmodified) environment for each outer index. *)
 
+val feed_structure : (int -> unit) -> (string -> unit) -> t -> unit
+(** Canonical token stream of the whole region's static structure: outer
+    trip count, per-inner pre/body statement structures in program order
+    (see {!Stmt.feed_structure}).  Excludes [pname] and inner labels —
+    fingerprints are insensitive to name choices.  Trip-count and cost
+    closures are excluded here and covered by probe evaluation in
+    {!Xinv_cache.Fingerprint}. *)
+
 val pp : Format.formatter -> t -> unit

@@ -30,6 +30,15 @@ let touched_arrays s =
   let direct = List.map (fun (a : Access.t) -> a.Access.base) (accesses s) in
   List.sort_uniq String.compare (direct @ index_arrays s)
 
+let feed_structure fi fs s =
+  fi 8;
+  fi (if s.commutes then 1 else 0);
+  fi (if s.side_effect then 1 else 0);
+  fi (List.length s.reads);
+  List.iter (Access.feed fi fs) s.reads;
+  fi (List.length s.writes);
+  List.iter (Access.feed fi fs) s.writes
+
 let pp ppf s =
   let pp_list ppf l =
     Format.pp_print_list

@@ -39,4 +39,12 @@ val touched_arrays : t -> string list
 val index_arrays : t -> string list
 (** Arrays read inside index expressions (what [computeAddr] must load). *)
 
+val feed_structure : (int -> unit) -> (string -> unit) -> t -> unit
+(** Canonical token stream of the statement's analysis-relevant structure:
+    footprints (reads, then writes), commutativity and side-effect flags.
+    Deliberately excludes [sid] (a process-local counter), [name] (fingerprints
+    are insensitive to name choices) and the [cost]/[exec] closures — closures
+    are unhashable; cost models are covered by the probe points
+    {!Xinv_cache.Fingerprint} samples instead. *)
+
 val pp : Format.formatter -> t -> unit

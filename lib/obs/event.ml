@@ -43,6 +43,8 @@ type t =
   | Fault_injected of { kind : string; domain : int; site : int }
   | Run_stalled of { role : string; waiting_for : string; waited_ns : float }
   | Degraded of { from_ : string; to_ : string; reason : string }
+  | Fingerprint_hit of { fp : string }
+  | Fingerprint_miss of { fp : string; reason : string }
 
 let name = function
   | Sync_forwarded _ -> "sync_forwarded"
@@ -58,6 +60,8 @@ let name = function
   | Fault_injected _ -> "fault_injected"
   | Run_stalled _ -> "run_stalled"
   | Degraded _ -> "degraded"
+  | Fingerprint_hit _ -> "fingerprint_hit"
+  | Fingerprint_miss _ -> "fingerprint_miss"
 
 type arg = I of int | F of float | B of bool | S of string
 
@@ -82,3 +86,5 @@ let args = function
       [ ("role", S role); ("waiting_for", S waiting_for); ("waited_ns", F waited_ns) ]
   | Degraded { from_; to_; reason } ->
       [ ("from", S from_); ("to", S to_); ("reason", S reason) ]
+  | Fingerprint_hit { fp } -> [ ("fp", S fp) ]
+  | Fingerprint_miss { fp; reason } -> [ ("fp", S fp); ("reason", S reason) ]

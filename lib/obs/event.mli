@@ -47,6 +47,11 @@ type t =
       (** a watchdog-bounded wait exceeded its budget and raised [Stalled] *)
   | Degraded of { from_ : string; to_ : string; reason : string }
       (** the facade retried a failed native run under a weaker technique *)
+  | Fingerprint_hit of { fp : string }
+      (** the analysis cache served this workload fingerprint from disk *)
+  | Fingerprint_miss of { fp : string; reason : string }
+      (** the analysis cache could not serve the fingerprint ([reason]:
+          absent, partial, alias, corrupt, version, …) and fresh analysis ran *)
 
 val name : t -> string
 (** Short stable identifier, used as the Perfetto event name. *)

@@ -121,7 +121,9 @@ let build ~engine ?recorder () =
           (* Robustness events surface through the fault.injected /
              watchdog.stall / degrade.level counters below. *)
           | Event.Fault_injected _ | Event.Run_stalled _ | Event.Degraded _ ->
-              ())
+              ()
+          (* Cache events surface through the cache.* counters. *)
+          | Event.Fingerprint_hit _ | Event.Fingerprint_miss _ -> ())
         r);
   let stall_events =
     List.filter_map

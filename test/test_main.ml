@@ -12,5 +12,6 @@ let () =
       ("native", Test_native.suite);
       ("robust", Test_robust.suite);
       ("workloads", Test_workloads.suite);
+      ("cache", Test_cache.suite);
       ("experiments", Test_experiments.suite);
     ]

@@ -177,9 +177,29 @@ let cache_dir_arg =
           "Analysis-cache directory (default $(b,\\$XDG_CACHE_HOME/xinv) or \
            $(b,~/.cache/xinv)).")
 
+let flight_arg =
+  Arg.(
+    value & flag
+    & info [ "flight" ]
+        ~doc:
+          "Attach the native flight recorder: per-domain ring buffers of \
+           dispatch/sync/barrier/commit/stall events with bounded overhead.  \
+           Implied by $(b,--postmortem-dir).")
+
+let postmortem_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "postmortem-dir" ] ~docv:"DIR"
+        ~doc:
+          "Dump a text postmortem plus a Perfetto trace of the flight \
+           recording into $(i,DIR) for every failed native attempt (injected \
+           fault, watchdog stall, worker exception), whether it degrades or \
+           escapes.")
+
 let run_cmd =
   let run wl technique threads input backend domains verbose stats inject
-      deadline_ms no_degrade grain batch cache cache_dir =
+      deadline_ms no_degrade grain batch cache cache_dir flight postmortem_dir =
     (match (backend, domains) with
     | `Sim, Some _ ->
         prerr_endline
@@ -198,6 +218,12 @@ let run_cmd =
       prerr_endline
         "--grain and --batch only apply to the native backend (add --backend \
          native)";
+      exit 1
+    end;
+    if backend = `Sim && (flight || postmortem_dir <> None) then begin
+      prerr_endline
+        "--flight and --postmortem-dir only apply to the native backend (add \
+         --backend native)";
       exit 1
     end;
     (match (grain, batch) with
@@ -244,6 +270,8 @@ let run_cmd =
                   degrade = not no_degrade;
                   grain = Option.value grain ~default:Cx.native_defaults.Cx.grain;
                   batch = Option.value batch ~default:Cx.native_defaults.Cx.batch;
+                  flight;
+                  postmortem_dir;
                 }
         in
         let o =
@@ -258,11 +286,17 @@ let run_cmd =
               Printf.eprintf "fault injected: %s at domain %d, site %d\n"
                 (Xinv_native.Fault.kind_name kind)
                 domain site;
+              Option.iter
+                (Printf.eprintf "postmortem written under %s\n")
+                postmortem_dir;
               exit 3
           | exception Xinv_native.Watchdog.Stalled { role; waiting_for; waited_ns }
             ->
               Printf.eprintf "stalled: %s waited %.1f ms for %s\n" role
                 (waited_ns /. 1e6) waiting_for;
+              Option.iter
+                (Printf.eprintf "postmortem written under %s\n")
+                postmortem_dir;
               exit 3
         in
         Printf.printf "%s under %s, %d %s (%s backend, input %s):\n"
@@ -298,6 +332,23 @@ let run_cmd =
         if o.Cx.degraded <> [] then
           Printf.printf "  executed as      %s\n"
             (Cx.technique_name o.Cx.technique);
+        List.iter
+          (fun p -> Printf.printf "  postmortem       %s\n" p)
+          o.Cx.postmortems;
+        (match o.Cx.flight with
+        | Some fl ->
+            Printf.printf "  flight           %d events recorded, %d dropped\n"
+              (Xinv_obs.Flight.total_length fl)
+              (Xinv_obs.Flight.total_drops fl);
+            if verbose then
+              Format.printf "  %a@." Xinv_obs.Critpath.pp
+                (Xinv_obs.Critpath.analyze
+                   ?wall_ns:
+                     (Option.map (fun nr -> nr.Xinv_native.Nrun.wall_ns) o.Cx.nrun)
+                   ?stalls:
+                     (Option.map (fun nr -> nr.Xinv_native.Nrun.stalls) o.Cx.nrun)
+                   fl)
+        | None -> ());
         (match o.Cx.run with
         | Some r when verbose -> Format.printf "  %a@." Xinv_parallel.Run.pp r
         | _ -> ());
@@ -337,45 +388,403 @@ let run_cmd =
     Term.(
       const run $ wl_arg $ tech_arg $ run_threads_arg $ input_arg $ backend_arg
       $ domains_arg $ verbose $ stats $ inject_arg $ deadline_arg
-      $ no_degrade_arg $ grain_arg $ batch_arg $ cache_mode_arg $ cache_dir_arg)
+      $ no_degrade_arg $ grain_arg $ batch_arg $ cache_mode_arg $ cache_dir_arg
+      $ flight_arg $ postmortem_dir_arg)
 
 (* ---- stats ---- *)
 
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* The native stats document: wall-clock fields and flight-derived
+   attribution, where the sim report would show virtual time. *)
+let native_stats_json ~(wl : Wl.Workload.t) ~technique ~threads ~(o : Cx.outcome)
+    ~(nr : Xinv_native.Nrun.t) ~verdict ~counters =
+  let b = Buffer.create 4096 in
+  let fnum f = if Float.is_nan f then "null" else Printf.sprintf "%.3f" f in
+  let obj kvs =
+    "{"
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" (json_escape k) v) kvs)
+    ^ "}"
+  in
+  Buffer.add_string b "{\n  \"schema\": \"xinv-stats/2\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"workload\": \"%s\",\n" (json_escape wl.Wl.Workload.name));
+  Buffer.add_string b
+    (Printf.sprintf "  \"technique\": \"%s\",\n"
+       (json_escape (Cx.technique_name o.Cx.technique)));
+  Buffer.add_string b
+    (Printf.sprintf "  \"requested\": \"%s\",\n"
+       (json_escape (Cx.technique_name technique)));
+  Buffer.add_string b "  \"backend\": \"native\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"domains\": %d,\n" threads);
+  Buffer.add_string b (Printf.sprintf "  \"wall_ns\": %s,\n" (fnum nr.Xinv_native.Nrun.wall_ns));
+  Buffer.add_string b
+    (Printf.sprintf "  \"seq_wall_ns\": %s,\n" (fnum (Cx.cost_value o.Cx.seq_cost)));
+  Buffer.add_string b (Printf.sprintf "  \"speedup\": %s,\n" (fnum o.Cx.speedup));
+  Buffer.add_string b (Printf.sprintf "  \"verified\": %b,\n" o.Cx.verified);
+  Buffer.add_string b
+    (Printf.sprintf "  \"degraded\": %d,\n" (List.length o.Cx.degraded));
+  Buffer.add_string b
+    (Printf.sprintf "  \"tasks\": %d,\n" nr.Xinv_native.Nrun.tasks);
+  Buffer.add_string b
+    (Printf.sprintf "  \"invocations\": %d,\n" nr.Xinv_native.Nrun.invocations);
+  Buffer.add_string b
+    (Printf.sprintf "  \"sync_forwarded\": %d,\n" nr.Xinv_native.Nrun.conds);
+  Buffer.add_string b
+    (Printf.sprintf "  \"signature_checks\": %d,\n" nr.Xinv_native.Nrun.checks);
+  Buffer.add_string b
+    (Printf.sprintf "  \"misspeculations\": %d,\n" nr.Xinv_native.Nrun.misspecs);
+  Buffer.add_string b
+    (Printf.sprintf "  \"barrier_episodes\": %d,\n"
+       nr.Xinv_native.Nrun.barrier_episodes);
+  Buffer.add_string b
+    (Printf.sprintf "  \"stall_by_cause\": %s,\n"
+       (obj (List.map (fun (k, v) -> (k, fnum v)) nr.Xinv_native.Nrun.stalls)));
+  Buffer.add_string b
+    (Printf.sprintf "  \"dominant_stall\": %s,\n"
+       (match Xinv_native.Nrun.dominant_stall nr with
+       | Some c -> Printf.sprintf "\"%s\"" (json_escape c)
+       | None -> "null"));
+  Buffer.add_string b
+    (Printf.sprintf "  \"flight\": %s,\n"
+       (match o.Cx.flight with
+       | None -> "null"
+       | Some fl ->
+           obj
+             [
+               ("events", string_of_int (Xinv_obs.Flight.total_length fl));
+               ("drops", string_of_int (Xinv_obs.Flight.total_drops fl));
+               ("capacity", string_of_int (Xinv_obs.Flight.capacity fl));
+               ("rings", string_of_int (Xinv_obs.Flight.domains fl));
+             ]));
+  Buffer.add_string b
+    (Printf.sprintf "  \"critpath\": %s,\n"
+       (match verdict with
+       | None -> "null"
+       | Some v -> Xinv_obs.Critpath.to_json v));
+  Buffer.add_string b
+    (Printf.sprintf "  \"counters\": %s\n"
+       (obj (List.map (fun (k, v) -> (k, string_of_int v)) counters)));
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let native_stats_text ~(wl : Wl.Workload.t) ~threads ~(o : Cx.outcome)
+    ~(nr : Xinv_native.Nrun.t) ~verdict ~counters =
+  Printf.printf "%s under %s, %d domains (native backend):\n"
+    wl.Wl.Workload.name
+    (Cx.technique_name o.Cx.technique)
+    threads;
+  Printf.printf "  wall             %.3f ms\n" (nr.Xinv_native.Nrun.wall_ns /. 1e6);
+  Printf.printf "  sequential       %.3f ms\n" (Cx.cost_value o.Cx.seq_cost /. 1e6);
+  Printf.printf "  speedup          %.2fx\n" o.Cx.speedup;
+  Printf.printf "  verified         %b\n" o.Cx.verified;
+  Printf.printf "  tasks            %d (%d invocations)\n"
+    nr.Xinv_native.Nrun.tasks nr.Xinv_native.Nrun.invocations;
+  if nr.Xinv_native.Nrun.conds > 0 then
+    Printf.printf "  sync forwarded   %d\n" nr.Xinv_native.Nrun.conds;
+  if nr.Xinv_native.Nrun.checks > 0 then
+    Printf.printf "  sig checks       %d (%d misspeculations)\n"
+      nr.Xinv_native.Nrun.checks nr.Xinv_native.Nrun.misspecs;
+  if nr.Xinv_native.Nrun.barrier_episodes > 0 then
+    Printf.printf "  barrier episodes %d\n" nr.Xinv_native.Nrun.barrier_episodes;
+  let wall = Stdlib.max nr.Xinv_native.Nrun.wall_ns 1. in
+  let capacity = wall *. float_of_int threads in
+  if nr.Xinv_native.Nrun.stalls <> [] then begin
+    Printf.printf "  blocked wall time by cause (%% of %d-domain capacity):\n"
+      threads;
+    List.iter
+      (fun (cause, ns) ->
+        Printf.printf "    %-14s %10.3f ms  %5.1f%%\n" cause (ns /. 1e6)
+          (100. *. ns /. capacity))
+      (List.sort (fun (_, a) (_, b) -> compare b a) nr.Xinv_native.Nrun.stalls)
+  end;
+  (match o.Cx.flight with
+  | Some fl ->
+      Printf.printf "  flight           %d events recorded, %d dropped\n"
+        (Xinv_obs.Flight.total_length fl)
+        (Xinv_obs.Flight.total_drops fl)
+  | None -> ());
+  (match verdict with
+  | Some v -> Format.printf "  %a@." Xinv_obs.Critpath.pp v
+  | None -> ());
+  if counters <> [] then begin
+    print_endline "  counters:";
+    List.iter (fun (k, v) -> Printf.printf "    %-32s %d\n" k v) counters
+  end
+
 let stats_cmd =
-  let run wl technique threads input json csv =
-    match Cx.applicable technique wl with
+  let run wl technique threads input backend domains json csv =
+    (match (backend, domains) with
+    | `Sim, Some _ ->
+        prerr_endline
+          "--domains only applies to the native backend (add --backend native)";
+        exit 1
+    | _ -> ());
+    match Cx.applicable ~backend technique wl with
     | Error reason ->
         Printf.eprintf "%s is inapplicable to %s: %s\n" (Cx.technique_name technique)
           wl.Wl.Workload.name reason;
         exit 1
-    | Ok () ->
-        let obs = Xinv_obs.Recorder.create () in
-        let o = Cx.run ~input ~obs ~technique ~threads wl in
-        let r =
-          match o.Cx.run with
-          | Some r -> r
-          | None ->
-              Printf.eprintf "sequential execution has no stats\n";
-              exit 1
-        in
-        let report = Xinv_parallel.Run.report r in
-        if json then print_string (Xinv_obs.Report.to_json report)
-        else if csv then print_string (Xinv_obs.Report.to_csv report)
-        else Format.printf "%a@." Xinv_obs.Report.pp report
+    | Ok () -> (
+        match backend with
+        | `Sim ->
+            let obs = Xinv_obs.Recorder.create () in
+            let o = Cx.run ~input ~obs ~technique ~threads wl in
+            let r =
+              match o.Cx.run with
+              | Some r -> r
+              | None ->
+                  Printf.eprintf "sequential execution has no stats\n";
+                  exit 1
+            in
+            let report = Xinv_parallel.Run.report r in
+            if json then print_string (Xinv_obs.Report.to_json report)
+            else if csv then print_string (Xinv_obs.Report.to_csv report)
+            else Format.printf "%a@." Xinv_obs.Report.pp report
+        | `Native ->
+            let threads = Option.value domains ~default:4 in
+            let obs = Xinv_obs.Recorder.create () in
+            let o =
+              Cx.run
+                ~backend:(`Native { Cx.native_defaults with Cx.flight = true })
+                ~input ~obs ~technique ~threads wl
+            in
+            let nr =
+              match o.Cx.nrun with
+              | Some nr -> nr
+              | None -> assert false (* native backend always fills nrun *)
+            in
+            let verdict =
+              Option.map
+                (Xinv_obs.Critpath.analyze ~wall_ns:nr.Xinv_native.Nrun.wall_ns
+                   ~stalls:nr.Xinv_native.Nrun.stalls)
+                o.Cx.flight
+            in
+            let counters =
+              Xinv_obs.Metrics.counters (Xinv_obs.Recorder.metrics obs)
+            in
+            if json then
+              print_string
+                (native_stats_json ~wl ~technique ~threads ~o ~nr ~verdict
+                   ~counters)
+            else if csv then begin
+              Printf.printf "wall_ns,%.0f\n" nr.Xinv_native.Nrun.wall_ns;
+              Printf.printf "seq_wall_ns,%.0f\n" (Cx.cost_value o.Cx.seq_cost);
+              Printf.printf "speedup,%.3f\n" o.Cx.speedup;
+              Printf.printf "verified,%b\n" o.Cx.verified;
+              List.iter
+                (fun (c, ns) -> Printf.printf "stall.%s,%.0f\n" c ns)
+                nr.Xinv_native.Nrun.stalls;
+              (match o.Cx.flight with
+              | Some fl ->
+                  Printf.printf "flight.events,%d\n"
+                    (Xinv_obs.Flight.total_length fl);
+                  Printf.printf "flight.drops,%d\n"
+                    (Xinv_obs.Flight.total_drops fl)
+              | None -> ());
+              List.iter (fun (k, v) -> Printf.printf "%s,%d\n" k v) counters
+            end
+            else native_stats_text ~wl ~threads ~o ~nr ~verdict ~counters)
   in
   let wl_arg =
     Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
   in
   let json =
-    Arg.(value & flag & info [ "json" ] ~doc:"Emit the xinv-stats/1 JSON document.")
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the JSON document: $(b,xinv-stats/1) for the sim backend, \
+             $(b,xinv-stats/2) (wall-clock fields, flight and critical-path \
+             attribution) for the native backend.")
   in
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit key,value CSV.") in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Run one workload instrumented and print the stall/utilization report \
-          (text, --json or --csv).")
-    Term.(const run $ wl_arg $ tech_arg $ threads_arg $ input_arg $ json $ csv)
+          (text, --json or --csv), on either backend (--backend native adds \
+          flight-recorder and critical-path attribution).")
+    Term.(
+      const run $ wl_arg $ tech_arg $ threads_arg $ input_arg $ backend_arg
+      $ domains_arg $ json $ csv)
+
+(* ---- top ---- *)
+
+(* One live frame against a flight recorder that is still being written:
+   per-domain event counts, utilization, dominant stall, last sampled queue
+   depth and commit rate.  Reads are racy by design — Flight.read skips
+   torn slots. *)
+let render_frame ~(wl : Wl.Workload.t) ~technique ~frame fl =
+  let module Fl = Xinv_obs.Flight in
+  let elapsed = float_of_int (Fl.elapsed_ns fl) in
+  Printf.printf
+    "xinv top — %s under %s  |  frame %d  |  %.2f s  |  %d events (%d dropped)\n"
+    wl.Wl.Workload.name
+    (Cx.technique_name technique)
+    frame (elapsed /. 1e9) (Fl.total_length fl) (Fl.total_drops fl);
+  Printf.printf "  %-6s %10s %7s  %-14s %6s %10s\n" "domain" "events" "util%"
+    "dominant stall" "queue" "commits/s";
+  for d = 0 to Fl.domains fl - 1 do
+    let entries = Fl.read fl ~domain:d in
+    let stall = Array.make Fl.ncauses 0 in
+    let queue = ref (-1) in
+    let commits = ref 0 in
+    let lo = ref max_int and hi = ref 0 in
+    List.iter
+      (fun (e : Fl.entry) ->
+        if e.Fl.f_at < !lo then lo := e.Fl.f_at;
+        if e.Fl.f_at > !hi then hi := e.Fl.f_at;
+        match e.Fl.f_kind with
+        | Fl.Stall_end ->
+            if e.Fl.f_a >= 0 && e.Fl.f_a < Fl.ncauses then
+              stall.(e.Fl.f_a) <- stall.(e.Fl.f_a) + e.Fl.f_b
+        | Fl.Queue_sample -> queue := e.Fl.f_b
+        | Fl.Epoch_commit -> incr commits
+        | _ -> ())
+      entries;
+    (* Utilization over the ring's own retained window, so a drop-oldest
+       ring still reports the recent past rather than the whole run. *)
+    let window =
+      if !hi > !lo then float_of_int (!hi - !lo) else Stdlib.max elapsed 1.
+    in
+    let total_stall = float_of_int (Array.fold_left ( + ) 0 stall) in
+    let util = Float.max 0. (Float.min 100. (100. *. (1. -. (total_stall /. window)))) in
+    let dominant = ref "-" and best = ref 0 in
+    Array.iteri
+      (fun i v ->
+        if v > !best then begin
+          best := v;
+          dominant := Fl.cause_name i
+        end)
+      stall;
+    Printf.printf "  %-6d %10d %6.1f%%  %-14s %6s %10.1f\n" d
+      (Fl.recorded fl ~domain:d)
+      util !dominant
+      (if !queue < 0 then "-" else string_of_int !queue)
+      (float_of_int !commits /. (window /. 1e9))
+  done
+
+let top_cmd =
+  let run wl technique domains interval_ms runs frames openmetrics =
+    (match Cx.applicable ~backend:`Native technique wl with
+    | Error reason ->
+        Printf.eprintf "%s is inapplicable to %s on the native backend: %s\n"
+          (Cx.technique_name technique)
+          wl.Wl.Workload.name reason;
+        exit 1
+    | Ok () -> ());
+    if domains < 1 || interval_ms < 1 || runs < 1 || frames < 0 then begin
+      prerr_endline "--domains, --interval-ms and --runs must be >= 1";
+      exit 1
+    end;
+    let cur = Atomic.make None in
+    let finished = Atomic.make false in
+    let failure = Atomic.make None in
+    let obs = Xinv_obs.Recorder.create () in
+    let opts =
+      {
+        Cx.native_defaults with
+        Cx.flight = true;
+        on_flight = Some (fun f -> Atomic.set cur (Some f));
+      }
+    in
+    let runner =
+      Domain.spawn (fun () ->
+        (try
+           for _ = 1 to runs do
+             ignore
+               (Cx.run ~backend:(`Native opts) ~obs ~technique ~threads:domains
+                  wl)
+           done
+         with e -> Atomic.set failure (Some (Printexc.to_string e)));
+        Atomic.set finished true)
+    in
+    let tty = Unix.isatty Unix.stdout in
+    let interval = float_of_int interval_ms /. 1e3 in
+    let frame_no = ref 0 in
+    let show fl =
+      incr frame_no;
+      if tty then print_string "\027[H\027[2J";
+      if openmetrics then
+        print_string
+          (Xinv_obs.Snapshot.to_openmetrics
+             (Xinv_obs.Snapshot.take (Xinv_obs.Recorder.metrics obs)))
+      else render_frame ~wl ~technique ~frame:!frame_no fl;
+      flush stdout
+    in
+    while
+      (not (Atomic.get finished)) && (frames = 0 || !frame_no < frames)
+    do
+      Unix.sleepf interval;
+      match Atomic.get cur with None -> () | Some fl -> show fl
+    done;
+    Domain.join runner;
+    (* Always end on a complete frame: short runs may finish between
+       refresh ticks, and the last recording is quiesced and consistent. *)
+    (match Atomic.get cur with None -> () | Some fl -> show fl);
+    match Atomic.get failure with
+    | Some msg ->
+        Printf.eprintf "runner failed: %s\n" msg;
+        exit 3
+    | None -> ()
+  in
+  let wl_arg =
+    Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
+  in
+  let domains =
+    Arg.(
+      value & opt int 4
+      & info [ "domains" ] ~docv:"N" ~doc:"Real domains for the observed runs.")
+  in
+  let interval =
+    Arg.(
+      value & opt int 200
+      & info [ "interval-ms" ] ~docv:"MS" ~doc:"Refresh interval (default 200).")
+  in
+  let runs =
+    Arg.(
+      value & opt int 10
+      & info [ "runs" ] ~docv:"R"
+          ~doc:"Back-to-back runs to observe before exiting (default 10).")
+  in
+  let frames =
+    Arg.(
+      value & opt int 0
+      & info [ "frames" ] ~docv:"K"
+          ~doc:
+            "Stop after $(i,K) refresh frames (0, the default, refreshes \
+             until the runs finish).  A final quiesced frame is always \
+             printed.")
+  in
+  let openmetrics =
+    Arg.(
+      value & flag
+      & info [ "openmetrics" ]
+          ~doc:
+            "Print an OpenMetrics exposition of the run's metric registry \
+             each frame instead of the per-domain table.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Observe a live native run: periodic per-domain utilization, \
+          dominant stall, queue depth and commit rate from the flight \
+          recorder (or --openmetrics text exposition).")
+    Term.(
+      const run $ wl_arg $ tech_arg $ domains $ interval $ runs $ frames
+      $ openmetrics)
 
 (* ---- experiment ---- *)
 
@@ -640,7 +1049,7 @@ let main =
        ~doc:
          "Cross-invocation parallelism using runtime information: DOMORE and \
           SPECCROSS on a simulated multicore.")
-    [ list_cmd; run_cmd; stats_cmd; experiment_cmd; all_cmd; profile_cmd; plan_cmd;
-      trace_cmd; cache_cmd ]
+    [ list_cmd; run_cmd; stats_cmd; top_cmd; experiment_cmd; all_cmd; profile_cmd;
+      plan_cmd; trace_cmd; cache_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -7,23 +7,33 @@ type t = {
   store : Store.t;
   mode : mode;
   obs : Obs.Recorder.t option;
+  (* Registered in the store's registry — the recorder's when one is
+     attached — so cache.hit/cache.miss sit next to the store's own
+     counters in every exposition. *)
+  c_hit : Obs.Metrics.counter;
+  c_miss : Obs.Metrics.counter;
   mutable hits : int;
   mutable misses : int;
 }
 
 let make ?obs ?max_bytes ?dir ~mode () =
   let dir = match dir with Some d -> d | None -> Store.default_dir () in
-  { store = Store.open_ ?obs ?max_bytes ~dir (); mode; obs; hits = 0; misses = 0 }
+  let store = Store.open_ ?obs ?max_bytes ~dir () in
+  let m = Store.metrics store in
+  {
+    store;
+    mode;
+    obs;
+    c_hit = Obs.Metrics.counter m "cache.hit";
+    c_miss = Obs.Metrics.counter m "cache.miss";
+    hits = 0;
+    misses = 0;
+  }
 
 let store t = t.store
 let mode t = t.mode
 let hits t = t.hits
 let misses t = t.misses
-
-let bump t name =
-  match t.obs with
-  | None -> ()
-  | Some r -> Obs.Metrics.add (Obs.Metrics.counter (Obs.Recorder.metrics r) name) 1
 
 let record t ev =
   match t.obs with
@@ -32,12 +42,12 @@ let record t ev =
 
 let hit t fp =
   t.hits <- t.hits + 1;
-  bump t "cache.hit";
+  Obs.Metrics.incr t.c_hit;
   record t (Obs.Event.Fingerprint_hit { fp = Fingerprint.to_hex fp })
 
 let miss t fp reason =
   t.misses <- t.misses + 1;
-  bump t "cache.miss";
+  Obs.Metrics.incr t.c_miss;
   record t (Obs.Event.Fingerprint_miss { fp = Fingerprint.to_hex fp; reason })
 
 (* A usable artifact: valid on disk and written for these names (two

@@ -2,15 +2,19 @@ module Obs = Xinv_obs
 
 type fault = Crash_before_rename | Torn_write
 
+(* Counters live in a {!Obs.Metrics} registry — the attached recorder's
+   when there is one (so `xinv stats` and OpenMetrics expositions see them
+   for free), a private registry otherwise.  Handles are pre-registered
+   here; the operational paths do O(1) bumps. *)
 type t = {
   dir : string;
   max_bytes : int;
-  obs : Obs.Recorder.t option;
+  metrics : Obs.Metrics.t;
+  c_evict : Obs.Metrics.counter;
+  c_quarantine : Obs.Metrics.counter;
+  c_store : Obs.Metrics.counter;
+  c_io_error : Obs.Metrics.counter;
   mutable injected : fault option;
-  mutable evictions : int;
-  mutable invalidated : int;
-  mutable stores : int;
-  mutable io_errors : int;
   mutable tmp_seq : int;
 }
 
@@ -27,11 +31,6 @@ let rec mkdir_p dir =
     mkdir_p (Filename.dirname dir);
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
-
-let bump t name =
-  match t.obs with
-  | None -> ()
-  | Some r -> Obs.Metrics.add (Obs.Metrics.counter (Obs.Recorder.metrics r) name) 1
 
 let is_entry f = Filename.check_suffix f ".xc"
 let is_quarantined f = Filename.check_suffix f ".quarantined"
@@ -57,23 +56,29 @@ let open_ ?obs ?(max_bytes = 256 * 1024 * 1024) ~dir () =
   Array.iter
     (fun f -> if is_tmp f then try Sys.remove (Filename.concat dir f) with _ -> ())
     (listing dir);
+  let metrics =
+    match obs with
+    | Some r -> Obs.Recorder.metrics r
+    | None -> Obs.Metrics.create ()
+  in
   {
     dir;
     max_bytes;
-    obs;
+    metrics;
+    c_evict = Obs.Metrics.counter metrics "cache.evict";
+    c_quarantine = Obs.Metrics.counter metrics "cache.quarantine";
+    c_store = Obs.Metrics.counter metrics "cache.store";
+    c_io_error = Obs.Metrics.counter metrics "cache.io_error";
     injected = None;
-    evictions = 0;
-    invalidated = 0;
-    stores = 0;
-    io_errors = 0;
     tmp_seq = 0;
   }
 
 let dir t = t.dir
-let evictions t = t.evictions
-let invalidated t = t.invalidated
-let stores t = t.stores
-let io_errors t = t.io_errors
+let metrics t = t.metrics
+let evictions t = t.c_evict.Obs.Metrics.c_value
+let invalidated t = t.c_quarantine.Obs.Metrics.c_value
+let stores t = t.c_store.Obs.Metrics.c_value
+let io_errors t = t.c_io_error.Obs.Metrics.c_value
 let inject t f = t.injected <- f
 
 let entry_path t fp = Filename.concat t.dir (Fingerprint.to_hex fp ^ ".xc")
@@ -92,11 +97,10 @@ let read_file path =
       r
 
 let quarantine t path =
-  t.invalidated <- t.invalidated + 1;
-  bump t "cache.invalidate";
+  Obs.Metrics.incr t.c_quarantine;
   (try Sys.rename path (path ^ ".quarantined")
    with _ -> ( (* last resort: a bad entry must not keep shadowing the slot *)
-     try Sys.remove path with _ -> t.io_errors <- t.io_errors + 1))
+     try Sys.remove path with _ -> Obs.Metrics.incr t.c_io_error))
 
 let load t fp =
   let path = entry_path t fp in
@@ -134,8 +138,7 @@ let enforce_cap t =
           match Sys.remove p with
           | () ->
               excess := !excess - sz;
-              t.evictions <- t.evictions + 1;
-              bump t "cache.evict"
+              Obs.Metrics.incr t.c_evict
           | exception _ -> ())
       oldest_first
   end
@@ -148,7 +151,7 @@ let save t fp art =
   let fault = t.injected in
   if fault <> None then t.injected <- None;
   match open_out_bin tmp with
-  | exception Sys_error _ -> t.io_errors <- t.io_errors + 1
+  | exception Sys_error _ -> Obs.Metrics.incr t.c_io_error
   | oc -> (
       match fault with
       | Some Torn_write ->
@@ -171,17 +174,16 @@ let save t fp art =
               false
           in
           if not ok then begin
-            t.io_errors <- t.io_errors + 1;
+            Obs.Metrics.incr t.c_io_error;
             try Sys.remove tmp with _ -> ()
           end
           else
             match Sys.rename tmp path with
             | () ->
-                t.stores <- t.stores + 1;
-                bump t "cache.store";
+                Obs.Metrics.incr t.c_store;
                 enforce_cap t
             | exception _ ->
-                t.io_errors <- t.io_errors + 1;
+                Obs.Metrics.incr t.c_io_error;
                 (try Sys.remove tmp with _ -> ())))
 
 (* Directory-level maintenance for the CLI. *)

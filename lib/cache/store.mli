@@ -18,9 +18,12 @@
       with concurrent evictions) make individual operations miss or no-op,
       never crash the run.
 
-    Counters ([cache.evict], [cache.invalidate], [cache.store]) are wired
-    into the recorder's {!Xinv_obs.Metrics} when one is attached; usable-hit
-    accounting lives in {!Analysis}. *)
+    Counters ([cache.evict], [cache.quarantine], [cache.store],
+    [cache.io_error]) live in a {!Xinv_obs.Metrics} registry — the attached
+    recorder's when one is given to {!open_} (so stats reports and
+    OpenMetrics expositions pick them up for free), a private registry
+    otherwise; see {!metrics}.  Usable-hit accounting ([cache.hit],
+    [cache.miss]) lives in {!Analysis} and lands in the same registry. *)
 
 type t
 
@@ -41,16 +44,27 @@ val save : t -> Fingerprint.t -> Artifact.t -> unit
 (** Atomic tmp+rename publication, then LRU enforcement.  Best-effort:
     errors are counted, not raised. *)
 
-(** {2 Counters (this store handle)} *)
+(** {2 Counters}
+
+    Readers of the underlying registry counters.  When several stores share
+    one recorder, the counters aggregate across them. *)
+
+val metrics : t -> Xinv_obs.Metrics.t
+(** The registry holding this store's counters: the recorder's when [obs]
+    was passed to {!open_}, a store-private one otherwise. *)
 
 val evictions : t -> int
+(** The [cache.evict] counter. *)
 
 val invalidated : t -> int
-(** Entries quarantined after failing {!Artifact.decode}. *)
+(** The [cache.quarantine] counter: entries quarantined after failing
+    {!Artifact.decode}. *)
 
 val stores : t -> int
+(** The [cache.store] counter. *)
 
 val io_errors : t -> int
+(** The [cache.io_error] counter. *)
 
 (** {2 Fault injection}
 

@@ -59,6 +59,10 @@ type native_opts = {
   degrade : bool;
   grain : int;
   batch : int;
+  flight : bool;
+  flight_capacity : int;
+  postmortem_dir : string option;
+  on_flight : (Xinv_obs.Flight.t -> unit) option;
 }
 
 let native_defaults =
@@ -71,6 +75,10 @@ let native_defaults =
     degrade = true;
     grain = 1;
     batch = 32;
+    flight = false;
+    flight_capacity = Xinv_obs.Flight.default_capacity;
+    postmortem_dir = None;
+    on_flight = None;
   }
 
 type backend = [ `Sim of Sim.Machine.t option | `Native of native_opts ]
@@ -91,6 +99,8 @@ type outcome = {
   analysis_ns : float;
   cache_hits : int;
   cache_misses : int;
+  flight : Xinv_obs.Flight.t option;
+  postmortems : string list;
 }
 
 (* ---- analysis front door ----
@@ -322,8 +332,8 @@ let native_pool_size ~technique ~threads =
   | Doacross | Dswp | Inspector | Tls -> 0
 
 (* One native attempt of one technique; raises on failure. *)
-let run_native_once ~actx ~opts ~wd ~fault ~input ~checkpoint_every ~technique
-    ~threads (wl : Wl.Workload.t) env =
+let run_native_once ~actx ~opts ~wd ~fault ?fr ~input ~checkpoint_every
+    ~technique ~threads (wl : Wl.Workload.t) env =
   let program = wl.Wl.Workload.program input in
   let plan = Wl.Workload.plan_fn wl in
   let work = opts.work in
@@ -344,8 +354,8 @@ let run_native_once ~actx ~opts ~wd ~fault ~input ~checkpoint_every ~technique
            (technique_name technique))
   | Barrier ->
       ( with_pool (fun pool ->
-            Nat.Nbarrier.run ~pool ~wd ?fault ~work ~grain:opts.grain ~threads
-              ~plan program env),
+            Nat.Nbarrier.run ~pool ~wd ?fault ?fr ~work ~grain:opts.grain
+              ~threads ~plan program env),
         None )
   | Domore ->
       let mplan = native_mtcg_plan ~actx program env wl.Wl.Workload.name in
@@ -355,7 +365,7 @@ let run_native_once ~actx ~opts ~wd ~fault ~input ~checkpoint_every ~technique
           Nat.Ndomore.policy; work; grain = opts.grain; batch = opts.batch }
       in
       ( with_pool (fun pool ->
-            Nat.Ndomore.run ~pool ~wd ?fault ~config ~plan:mplan program env),
+            Nat.Ndomore.run ~pool ~wd ?fault ?fr ~config ~plan:mplan program env),
         None )
   | Domore_dup ->
       let mplan = native_mtcg_plan ~actx program env wl.Wl.Workload.name in
@@ -364,7 +374,7 @@ let run_native_once ~actx ~opts ~wd ~fault ~input ~checkpoint_every ~technique
           Nat.Ndomore.policy; work; grain = opts.grain; batch = opts.batch }
       in
       ( with_pool (fun pool ->
-            Nat.Ndomore.run_duplicated ~pool ~wd ?fault ~config ~plan:mplan
+            Nat.Ndomore.run_duplicated ~pool ~wd ?fault ?fr ~config ~plan:mplan
               program env),
         None )
   | Speccross | Speccross_inject _ ->
@@ -374,7 +384,8 @@ let run_native_once ~actx ~opts ~wd ~fault ~input ~checkpoint_every ~technique
         (* Same §4.4 decision as the simulated path: a short minimum
            dependence distance recommends real barriers instead. *)
         ( with_pool (fun pool ->
-              Nat.Nbarrier.run ~pool ~wd ?fault ~work ~threads ~plan program env),
+              Nat.Nbarrier.run ~pool ~wd ?fault ?fr ~work ~threads ~plan
+                program env),
           Some prof )
       else
         let inject =
@@ -393,7 +404,8 @@ let run_native_once ~actx ~opts ~wd ~fault ~input ~checkpoint_every ~technique
             grain = opts.grain;
           }
         in
-        ( with_pool (fun pool -> Nat.Nspec.run ~pool ~wd ?fault ~config program env),
+        ( with_pool (fun pool ->
+              Nat.Nspec.run ~pool ~wd ?fault ?fr ~config program env),
           Some prof )
 
 (* Runtime failures trigger degradation; environment-level errors and
@@ -420,6 +432,17 @@ let failure_reason = function
         waiting_for
   | Nat.Watchdog.Cancelled role -> Printf.sprintf "%s cancelled" role
   | e -> Printexc.to_string e
+
+(* Machine-readable one-liner for postmortem [event:] headers. *)
+let event_line = function
+  | Nat.Fault.Injected { kind; domain; site } ->
+      Printf.sprintf "fault_injected kind=%s domain=%d site=%d"
+        (Nat.Fault.kind_name kind) domain site
+  | Nat.Watchdog.Stalled { role; waiting_for; waited_ns } ->
+      Printf.sprintf "run_stalled role=%S waiting_for=%S waited_ns=%.0f" role
+        waiting_for waited_ns
+  | Nat.Watchdog.Cancelled role -> Printf.sprintf "run_cancelled role=%S" role
+  | e -> Printf.sprintf "exception %S" (Printexc.to_string e)
 
 let record_event obs ev =
   match obs with
@@ -465,6 +488,39 @@ let run_native ~actx ~opts ~input ~checkpoint_every ?obs ~technique ~threads
   in
   let stalls_total = ref 0 in
   let degraded = ref [] in
+  (* Flight recording: one fresh set of rings per attempt, so a postmortem
+     never mixes events across degradation levels; the last attempt's
+     recording is surfaced in the outcome. *)
+  let want_flight = opts.flight || opts.postmortem_dir <> None in
+  let flight_domains = Stdlib.max 2 threads in
+  let last_flight = ref None in
+  let postmortems = ref [] in
+  let attempt_no = ref 0 in
+  let write_postmortem ~tech ~next e fr =
+    match opts.postmortem_dir with
+    | None -> ()
+    | Some dir -> (
+        let base =
+          Printf.sprintf "%s-%s-attempt%d" wl.Wl.Workload.name
+            (technique_name tech) !attempt_no
+        in
+        let counters =
+          Option.map
+            (fun r -> Xinv_obs.Metrics.counters (Xinv_obs.Recorder.metrics r))
+            obs
+        in
+        match
+          Xinv_obs.Postmortem.write ~dir ~base ~workload:wl.Wl.Workload.name
+            ~technique:(technique_name tech) ~attempt:!attempt_no
+            ~reason:(failure_reason e) ~event:(event_line e)
+            ?degraded_to:(Option.map technique_name next)
+            ?counters ?flight:fr ()
+        with
+        | txt, _ -> postmortems := !postmortems @ [ txt ]
+        | exception _ ->
+            (* Best-effort: an unwritable dump must never mask the failure. *)
+            ())
+  in
   let rec attempt = function
     | [] -> assert false
     | tech :: rest -> (
@@ -484,12 +540,24 @@ let run_native ~actx ~opts ~input ~checkpoint_every ?obs ~technique ~threads
           Nat.Watchdog.create ?deadline_ms:remaining_ms ?wait_timeout_ms ()
         in
         let env = wl.Wl.Workload.fresh_env input in
+        incr attempt_no;
+        let fr =
+          if not want_flight then None
+          else
+            Some
+              (Xinv_obs.Flight.create ~capacity:opts.flight_capacity
+                 ~domains:flight_domains ())
+        in
+        last_flight := fr;
+        (match (opts.on_flight, fr) with
+        | Some f, Some flight -> f flight
+        | _ -> ());
         let finish (nrun, profile) =
           stalls_total := !stalls_total + Nat.Watchdog.stalls wd;
           (tech, nrun, profile, env)
         in
         match
-          run_native_once ~actx ~opts ~wd ~fault ~input ~checkpoint_every
+          run_native_once ~actx ~opts ~wd ~fault ?fr ~input ~checkpoint_every
             ~technique:tech ~threads wl env
         with
         | result -> finish result
@@ -501,6 +569,7 @@ let run_native ~actx ~opts ~input ~checkpoint_every ?obs ~technique ~threads
                   (Xinv_obs.Event.Run_stalled { role; waiting_for; waited_ns })
             | _ -> ());
             let next = List.hd rest in
+            write_postmortem ~tech ~next:(Some next) e fr;
             let reason = failure_reason e in
             degraded :=
               !degraded @ [ { d_from = tech; d_to = next; d_reason = reason } ];
@@ -510,6 +579,7 @@ let run_native ~actx ~opts ~input ~checkpoint_every ?obs ~technique ~threads
             attempt rest
         | exception e ->
             stalls_total := !stalls_total + Nat.Watchdog.stalls wd;
+            write_postmortem ~tech ~next:None e fr;
             raise e)
   in
   let executed, nrun, nprofile, env = attempt (degrade_chain technique) in
@@ -544,7 +614,8 @@ let run_native ~actx ~opts ~input ~checkpoint_every ?obs ~technique ~threads
           record_event obs (Xinv_obs.Event.Worker_stalled { cause; dur = ns })
       | None -> ())
     nrun.Nat.Nrun.stalls;
-  (nrun, seq_run, nprofile, env, seq_env, executed, !degraded)
+  ( nrun, seq_run, nprofile, env, seq_env, executed, !degraded, !last_flight,
+    !postmortems )
 
 (* ---- unified entry point ---- *)
 
@@ -588,9 +659,12 @@ let run ?(backend = `Sim None) ?(input = Wl.Workload.Ref)
         analysis_ns = actx.a_ns;
         cache_hits = fst (cache_stats actx);
         cache_misses = snd (cache_stats actx);
+        flight = None;
+        postmortems = [];
       }
   | `Native opts ->
-      let nrun, seq_run, profile, env, seq_env, executed, degraded =
+      let ( nrun, seq_run, profile, env, seq_env, executed, degraded, flight,
+            postmortems ) =
         run_native ~actx ~opts ~input ~checkpoint_every ?obs ~technique
           ~threads wl
       in
@@ -615,6 +689,8 @@ let run ?(backend = `Sim None) ?(input = Wl.Workload.Ref)
         analysis_ns = actx.a_ns;
         cache_hits = fst (cache_stats actx);
         cache_misses = snd (cache_stats actx);
+        flight;
+        postmortems;
       }
 
 (* ---- deprecated wrappers ---- *)

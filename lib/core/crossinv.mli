@@ -65,6 +65,22 @@ type native_opts = {
           publish in the DOMORE scheduler, owned iterations per
           completion-cell publish in the duplicated variant.  Default 32;
           1 publishes per word/iteration like the pre-batching protocol. *)
+  flight : bool;
+      (** attach a {!Xinv_obs.Flight} recorder to every attempt (default
+          off).  Implied by [postmortem_dir]. *)
+  flight_capacity : int;
+      (** per-domain ring capacity (default
+          {!Xinv_obs.Flight.default_capacity}) *)
+  postmortem_dir : string option;
+      (** when set, every failed attempt (injected fault, watchdog stall or
+          cancellation, worker exception — whether it degrades or escapes)
+          dumps a text postmortem plus a Perfetto trace of its flight
+          recording into this directory; paths are surfaced in
+          {!outcome.postmortems} *)
+  on_flight : (Xinv_obs.Flight.t -> unit) option;
+      (** called with each attempt's fresh flight recorder before the
+          attempt starts executing — the hook [xinv top] uses to observe a
+          live run.  The rings are still being written when this fires. *)
 }
 
 val native_defaults : native_opts
@@ -90,6 +106,12 @@ type outcome = {
           ([Mtcg.generate], [Profiler.profile]) — cached or fresh *)
   cache_hits : int;  (** analysis-cache hits served during this run *)
   cache_misses : int;  (** analysis-cache misses (0/0 when the cache is off) *)
+  flight : Xinv_obs.Flight.t option;
+      (** the last attempt's flight recording (native backend with
+          [flight] or [postmortem_dir] set; [None] otherwise) *)
+  postmortems : string list;
+      (** text postmortem paths written during this run, in degradation
+          order (each sits next to a [.trace.json] Perfetto dump) *)
 }
 
 val applicable :

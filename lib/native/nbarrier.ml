@@ -1,5 +1,6 @@
 module Ir = Xinv_ir
 module Par = Xinv_parallel
+module Obs = Xinv_obs
 
 let run_seq ?(work = Work.Off) (p : Ir.Program.t) env =
   let tasks = ref 0 in
@@ -38,9 +39,13 @@ let owner_of env ~threads (a : Ir.Access.t) =
   let size = Ir.Memory.size mem a.Ir.Access.base in
   idx * threads / size
 
-let run ~pool ?wd ?fault ?(work = Work.Off) ?(grain = 1) ~threads ~plan
+let run ~pool ?wd ?fault ?fr ?(work = Work.Off) ?(grain = 1) ~threads ~plan
     (p : Ir.Program.t) env =
   assert (threads > 0);
+  (* Flight ring mapping: thread tid -> ring tid. *)
+  let ev k ~domain ~a ~b =
+    match fr with Some f -> Obs.Flight.record f ~domain k ~a ~b | None -> ()
+  in
   if grain <= 0 then invalid_arg "Nbarrier.run: grain must be positive";
   if threads - 1 > Pool.workers pool then
     invalid_arg "Nbarrier.run: pool too small for the requested thread count";
@@ -94,9 +99,13 @@ let run ~pool ?wd ?fault ?(work = Work.Off) ?(grain = 1) ~threads ~plan
   let ninners = List.length p.Ir.Program.inners in
   let worker tid () =
     let role = Printf.sprintf "worker %d" tid in
+    let episode = ref 0 in
     let bwait () =
-      Stallcat.timed stat Stallcat.Barrier_wait (fun () ->
-          Nbar.wait ~wd ~role bar)
+      ev Obs.Flight.Barrier_arrive ~domain:tid ~a:!episode ~b:0;
+      Stallcat.timed ?fr ~domain:tid stat Stallcat.Barrier_wait (fun () ->
+          Nbar.wait ~wd ~role bar);
+      ev Obs.Flight.Barrier_release ~domain:tid ~a:!episode ~b:0;
+      incr episode
     in
     for t = 0 to p.Ir.Program.outer_trip - 1 do
       let env_t = Ir.Env.with_outer env t in
@@ -119,7 +128,8 @@ let run ~pool ?wd ?fault ?(work = Work.Off) ?(grain = 1) ~threads ~plan
           let trip = il.Ir.Program.trip env_t in
           if tid = 0 then begin
             incr invocations;
-            tasks := !tasks + trip
+            tasks := !tasks + trip;
+            ev Obs.Flight.Dispatch ~domain:0 ~a:site ~b:trip
           end;
           if Par.Intra.visits_all_iterations tech then
             for j = 0 to trip - 1 do
@@ -139,7 +149,8 @@ let run ~pool ?wd ?fault ?(work = Work.Off) ?(grain = 1) ~threads ~plan
               base := !base + (threads * grain)
             done
           end;
-          bwait ())
+          bwait ();
+          if tid = 0 then ev Obs.Flight.Epoch_commit ~domain:0 ~a:site ~b:0)
         p.Ir.Program.inners
     done
   in

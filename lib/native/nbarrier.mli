@@ -9,6 +9,7 @@ val run :
   pool:Pool.t ->
   ?wd:Watchdog.t ->
   ?fault:Fault.t ->
+  ?fr:Xinv_obs.Flight.t ->
   ?work:Work.t ->
   ?grain:int ->
   threads:int ->
@@ -29,4 +30,8 @@ val run :
     barrier and cancels the cohort; the first failure is re-raised after
     the run unwinds.  [fault] injection sites are global invocation
     ordinals; the barrier engine honours [Worker_raise] and
-    [Poison_cond]. *)
+    [Poison_cond].
+
+    With a flight recorder [fr] attached ([threads] rings, thread [tid] on
+    ring [tid]) every barrier episode records arrive/release events plus a
+    timed barrier stall, and thread 0 marks invocation dispatch/commit. *)

@@ -1,5 +1,6 @@
 module Ir = Xinv_ir
 module Rt = Xinv_runtime
+module Obs = Xinv_obs
 
 type config = {
   policy : Xinv_domore.Policy.t;
@@ -23,21 +24,30 @@ let default_config ~workers =
 let do_header inner = 3 lor (inner lsl 3)
 let do_chunk_header inner = 7 lor (inner lsl 3)
 
-let wait_cell ~wd ~role ~stat cells dep_tid dep_iter =
+(* [domain] is this waiter's flight ring, [src] the ring of the worker the
+   condition points at; the recv lands in the waiter's ring once satisfied. *)
+let wait_cell ~wd ~role ~stat ?fr ~domain ~src cells dep_tid dep_iter =
   if Atomic.get cells.(dep_tid) < dep_iter then
-    Stallcat.timed stat Stallcat.Sync_cond (fun () ->
+    Stallcat.timed ?fr ~domain stat Stallcat.Sync_cond (fun () ->
         Watchdog.wait wd ~role
           ~for_:(Printf.sprintf "iteration %d of worker %d" dep_iter dep_tid)
-          (fun () -> Atomic.get cells.(dep_tid) >= dep_iter))
+          (fun () -> Atomic.get cells.(dep_tid) >= dep_iter));
+  match fr with
+  | Some f -> Obs.Flight.record f ~domain Obs.Flight.Sync_recv ~a:dep_iter ~b:src
+  | None -> ()
 
 let reraise_root wd e =
   match Watchdog.root_cause wd with
   | Some root when root != e -> raise root
   | _ -> raise e
 
-let run ~pool ?wd ?fault ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
+let run ~pool ?wd ?fault ?fr ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
   let config = match config with Some c -> c | None -> default_config ~workers:3 in
   let { policy; workers; queue_capacity; work; grain; batch } = config in
+  (* Flight ring mapping: scheduler -> 0, worker w -> w+1. *)
+  let ev k ~domain ~a ~b =
+    match fr with Some f -> Obs.Flight.record f ~domain k ~a ~b | None -> ()
+  in
   assert (workers > 0);
   if grain <= 0 then invalid_arg "Ndomore.run: grain must be positive";
   if workers > Pool.workers pool then invalid_arg "Ndomore.run: pool too small";
@@ -76,7 +86,7 @@ let run ~pool ?wd ?fault ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
     in
     let push_word tid word =
       if not (Spsc.Batch.add bufs.(tid) word) then
-        Stallcat.timed stat Stallcat.Queue_full (fun () ->
+        Stallcat.timed ?fr ~domain:0 stat Stallcat.Queue_full (fun () ->
             Watchdog.wait wd ~role
               ~for_:(Printf.sprintf "space on worker %d's queue" tid)
               (fun () ->
@@ -85,7 +95,7 @@ let run ~pool ?wd ?fault ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
     in
     let flush_all () =
       if not (drain_all ()) then
-        Stallcat.timed stat Stallcat.Queue_full (fun () ->
+        Stallcat.timed ?fr ~domain:0 stat Stallcat.Queue_full (fun () ->
             Watchdog.wait wd ~role ~for_:"worker queue space (flush)" drain_all)
     in
     (* The one open chunk: a run of consecutive iterations bound for the
@@ -94,6 +104,7 @@ let run ~pool ?wd ?fault ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
        be ordered before the next iteration. *)
     let c_tid = ref (-1) and c_inner = ref 0 and c_t = ref 0 in
     let c_j = ref 0 and c_iter = ref 0 and c_len = ref 0 in
+    let nsealed = ref 0 in
     let seal () =
       if !c_len > 0 then begin
         let tid = !c_tid in
@@ -110,6 +121,11 @@ let run ~pool ?wd ?fault ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
           push_word tid !c_len;
           push_word tid !c_iter
         end;
+        ev Obs.Flight.Dispatch ~domain:0 ~a:!c_iter ~b:(tid + 1);
+        incr nsealed;
+        if !nsealed land 63 = 0 then
+          ev Obs.Flight.Queue_sample ~domain:0 ~a:tid
+            ~b:(Spsc.length queues.(tid));
         c_len := 0;
         c_tid := -1
       end
@@ -151,7 +167,9 @@ let run ~pool ?wd ?fault ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
                 push_word tid
                   (Rt.Sync_cond.to_int
                      (Rt.Sync_cond.Wait
-                        { dep_tid = tid; dep_iter = Rt.Sync_cond.max_iter }))
+                        { dep_tid = tid; dep_iter = Rt.Sync_cond.max_iter }));
+                ev Obs.Flight.Sync_send ~domain:0 ~a:Rt.Sync_cond.max_iter
+                  ~b:(tid + 1)
               end;
               Rt.Shadow.Deps.clear deps;
               Ir.Slice.iter_read_addresses slice env_j (fun addr ->
@@ -169,7 +187,8 @@ let run ~pool ?wd ?fault ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
                     incr conds;
                     push_word tid
                       (Rt.Sync_cond.to_int
-                         (Rt.Sync_cond.Wait { dep_tid = dt; dep_iter = di })))
+                         (Rt.Sync_cond.Wait { dep_tid = dt; dep_iter = di }));
+                    ev Obs.Flight.Sync_send ~domain:0 ~a:di ~b:(tid + 1))
                   deps
               end;
               if
@@ -225,8 +244,8 @@ let run ~pool ?wd ?fault ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
           rbuf.(0)
         end
         else
-          Stallcat.timed stat Stallcat.Queue_empty (fun () ->
-              Spsc.pop ~wd ~role q)
+          Stallcat.timed ?fr ~domain:(w + 1) stat Stallcat.Queue_empty
+            (fun () -> Spsc.pop ~wd ~role q)
       end
     in
     let exec_one env_t inner j iter =
@@ -266,7 +285,8 @@ let run ~pool ?wd ?fault ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
         | Rt.Sync_cond.End_token -> continue_ := false
         | Rt.Sync_cond.No_sync _ -> ()
         | Rt.Sync_cond.Wait { dep_tid; dep_iter } ->
-            wait_cell ~wd ~role ~stat cells dep_tid dep_iter
+            wait_cell ~wd ~role ~stat ?fr ~domain:(w + 1) ~src:(dep_tid + 1)
+              cells dep_tid dep_iter
     done
   in
   let cancel_cohort e =
@@ -295,10 +315,14 @@ let run ~pool ?wd ?fault ?config ~(plan : Ir.Mtcg.plan) (p : Ir.Program.t) env =
     ~tasks:!iternum ~invocations:(Ir.Program.invocations p) ~conds:!conds
     ~checks:!conds ~stalls:(Stallcat.to_list stat) ()
 
-let run_duplicated ~pool ?wd ?fault ?config ~(plan : Ir.Mtcg.plan)
+let run_duplicated ~pool ?wd ?fault ?fr ?config ~(plan : Ir.Mtcg.plan)
     (p : Ir.Program.t) env =
   let config = match config with Some c -> c | None -> default_config ~workers:4 in
   let { policy; workers; work; batch; _ } = config in
+  (* Flight ring mapping: worker tid -> ring tid (no scheduler domain). *)
+  let ev k ~domain ~a ~b =
+    match fr with Some f -> Obs.Flight.record f ~domain k ~a ~b | None -> ()
+  in
   assert (workers > 0);
   if workers - 1 > Pool.workers pool then
     invalid_arg "Ndomore.run_duplicated: pool too small";
@@ -324,7 +348,8 @@ let run_duplicated ~pool ?wd ?fault ?config ~(plan : Ir.Mtcg.plan)
     let publish () =
       if !unpublished > 0 then begin
         Atomic.set cells.(tid) !last_done;
-        unpublished := 0
+        unpublished := 0;
+        ev Obs.Flight.Epoch_commit ~domain:tid ~a:!last_done ~b:0
       end
     in
     for t = 0 to p.Ir.Program.outer_trip - 1 do
@@ -365,7 +390,8 @@ let run_duplicated ~pool ?wd ?fault ?config ~(plan : Ir.Mtcg.plan)
                 (fun ~tid:dt ~iter:di ->
                   if Atomic.get cells.(dt) < di then begin
                     publish ();
-                    wait_cell ~wd ~role ~stat cells dt di
+                    wait_cell ~wd ~role ~stat ?fr ~domain:tid ~src:dt cells dt
+                      di
                   end)
                 deps;
               List.iter

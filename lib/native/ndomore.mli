@@ -37,6 +37,7 @@ val run :
   pool:Pool.t ->
   ?wd:Watchdog.t ->
   ?fault:Fault.t ->
+  ?fr:Xinv_obs.Flight.t ->
   ?config:config ->
   plan:Xinv_ir.Mtcg.plan ->
   Xinv_ir.Program.t ->
@@ -54,12 +55,18 @@ val run :
     iteration numbers: [Scheduler_die] raises in the scheduler,
     [Worker_raise] in the dispatched worker, [Queue_stall] wedges the
     scheduler before feeding the matched worker, and [Poison_cond] sends
-    that worker an unsatisfiable [Wait]. *)
+    that worker an unsatisfiable [Wait].
+
+    With a flight recorder [fr] attached (needs [workers + 1] rings:
+    scheduler on ring 0, worker [w] on ring [w+1]) the run records
+    dispatches, sync-cond sends/recvs, queue samples and stall episodes
+    with no effect on the executed schedule. *)
 
 val run_duplicated :
   pool:Pool.t ->
   ?wd:Watchdog.t ->
   ?fault:Fault.t ->
+  ?fr:Xinv_obs.Flight.t ->
   ?config:config ->
   plan:Xinv_ir.Mtcg.plan ->
   Xinv_ir.Program.t ->
@@ -68,4 +75,5 @@ val run_duplicated :
 (** §3.4 duplicated-scheduler variant: every one of [workers] domains runs
     the full scheduling computation against a private shadow memory and
     executes only the iterations it owns — no scheduler domain, no queues,
-    synchronization purely through the completion cells. *)
+    synchronization purely through the completion cells.  Flight ring
+    mapping: worker [tid] on ring [tid]. *)

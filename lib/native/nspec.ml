@@ -1,6 +1,7 @@
 module Ir = Xinv_ir
 module Rt = Xinv_runtime
 module Sx = Xinv_speccross
+module Obs = Xinv_obs
 
 type config = {
   workers : int;
@@ -54,10 +55,14 @@ let containable = function
       false
   | _ -> true
 
-let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
+let run ~pool ?wd ?fault ?fr ?config (p : Ir.Program.t) env =
   let cfg = match config with Some c -> c | None -> default_config ~workers:3 in
   let workers = cfg.workers in
   assert (workers > 0);
+  (* Flight ring mapping: worker w -> ring w, checker -> ring [workers]. *)
+  let ev k ~domain ~a ~b =
+    match fr with Some f -> Obs.Flight.record f ~domain k ~a ~b | None -> ()
+  in
   if cfg.grain <= 0 then invalid_arg "Nspec.run: grain must be positive";
   (* A block is checked as one unit at its last task's position, so its
      whole extent counts against the speculative range: clamp the grain so
@@ -145,14 +150,19 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
   (* worker 0 runs on the calling domain *)
   let aborted () = Atomic.get abort in
   let role_of w = Printf.sprintf "worker %d" w in
-  let wait_or_abort ?(cause = Stallcat.Rally) ~role ~for_ pred =
+  let wait_or_abort ?(cause = Stallcat.Rally) ~w ~for_ pred =
     if not (pred () || aborted ()) then
-      Stallcat.timed stat cause (fun () ->
-          Watchdog.wait wd ~role ~for_ (fun () -> pred () || aborted ()))
+      Stallcat.timed ?fr ~domain:w stat cause (fun () ->
+          Watchdog.wait wd ~role:(role_of w) ~for_ (fun () ->
+              pred () || aborted ()))
   in
-  let bar_wait ~role =
-    Stallcat.timed stat Stallcat.Barrier_wait (fun () ->
-        Nbar.wait ~wd ~role bar)
+  let episodes = Array.make workers 0 in
+  let bar_wait ~w =
+    ev Obs.Flight.Barrier_arrive ~domain:w ~a:episodes.(w) ~b:0;
+    Stallcat.timed ?fr ~domain:w stat Stallcat.Barrier_wait (fun () ->
+        Nbar.wait ~wd ~role:(role_of w) bar);
+    ev Obs.Flight.Barrier_release ~domain:w ~a:episodes.(w) ~b:0;
+    episodes.(w) <- episodes.(w) + 1
   in
   (* A queue-stalled worker keeps executing but stops submitting
      signatures, starving the checker — the failure the watchdog's
@@ -236,6 +246,7 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
         incr cur_gen;
         Atomic.set checker_gen !cur_gen;
         Atomic.incr misspec_ctr;
+        ev Obs.Flight.Misspec ~domain:workers ~a:r.r_epoch ~b:r.r_worker;
         Atomic.set abort true;
         (* abort is published before processed so a worker that observes the
            full drain also observes the abort *)
@@ -316,8 +327,9 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
     (* Fast path: the checker normally keeps the ring drained.  Only a
        genuinely full queue pays the blocking (and stall-accounted) push. *)
     if not (Spsc.try_push qs.(w) req) then
-      Stallcat.timed stat Stallcat.Queue_full (fun () ->
-          Spsc.push ~wd ~role:(role_of w) qs.(w) req)
+      Stallcat.timed ?fr ~domain:w stat Stallcat.Queue_full (fun () ->
+          Spsc.push ~wd ~role:(role_of w) qs.(w) req);
+    ev Obs.Flight.Queue_sample ~domain:w ~a:w ~b:(Spsc.length qs.(w))
   in
   let throttle ~w g =
     (* Publish first, then wait for every trailing worker to come within the
@@ -330,7 +342,7 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
     if floor_ > 0 then
       for w' = 0 to workers - 1 do
         if w' <> w && Atomic.get tpos.(w') < floor_ then begin
-          wait_or_abort ~cause:Stallcat.Throttle ~role:(role_of w)
+          wait_or_abort ~cause:Stallcat.Throttle ~w
             ~for_:(Printf.sprintf "spec-range throttle behind worker %d" w')
             (fun () -> Atomic.get tpos.(w') >= floor_);
           if aborted () then raise Abort_now
@@ -341,6 +353,7 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
      touched (footprints evaluated iteration by iteration, each just before
      its body runs, exactly as the unchunked protocol did). *)
   let run_task ~w ~gen ~epoch ~g task =
+    ev Obs.Flight.Dispatch ~domain:w ~a:g ~b:epoch;
     if q_stalled.(w) then
       (* Stalled signature stream: execute the task but never submit it,
          and freeze the frontier — downstream waits must time out. *)
@@ -454,7 +467,7 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
   let exec_epoch_nonspec w e =
     let il, env_t = env_of_epoch e in
     if w = 0 then exec_pre env_t il;
-    bar_wait ~role:(role_of w);
+    bar_wait ~w;
     let trip = il.Ir.Program.trip env_t in
     (match cfg.mode_of il.Ir.Program.ilabel with
     | Sx.Runtime.M_domore _ -> assert false
@@ -491,10 +504,10 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
   (* ---- recovery ---- *)
   let recover w gen =
     let role = role_of w in
-    bar_wait ~role;
+    bar_wait ~w;
     (* All workers rallied: nothing new is being pushed or executed. *)
     if w = 0 then begin
-      Stallcat.timed stat Stallcat.Checker_lag (fun () ->
+      Stallcat.timed ?fr ~domain:w stat Stallcat.Checker_lag (fun () ->
           Watchdog.wait wd ~role ~for_:"checker generation bump" (fun () ->
               Atomic.get checker_gen > !gen));
       let ck = Rt.Checkpoint.restore ckpts ~into:mem in
@@ -514,13 +527,13 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
          barrier), so the flag can drop before they resume. *)
       Atomic.set abort false
     end;
-    bar_wait ~role;
+    bar_wait ~w;
     gen := Atomic.get checker_gen;
     (* Re-execute the misspeculated epochs with real non-speculative
        barriers, then checkpoint the resume point. *)
     for e' = Atomic.get redo_from to Atomic.get redo_to do
       exec_epoch_nonspec w e';
-      bar_wait ~role
+      bar_wait ~w
     done;
     if w = 0 then begin
       let rf = Atomic.get resume_from in
@@ -528,7 +541,7 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
       Atomic.set ckpt_done rf;
       Atomic.set prune_floor (epoch_base.(rf) - 1)
     end;
-    bar_wait ~role;
+    bar_wait ~w;
     Atomic.get resume_from
   in
 
@@ -546,9 +559,9 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
           Atomic.set tpos.(w) epoch_base.(nepochs);
           Atomic.set dpos.(w) epoch_base.(nepochs)
         end;
-        wait_or_abort ~role ~for_:"peers to finish" (fun () ->
+        wait_or_abort ~w ~for_:"peers to finish" (fun () ->
             all_progress_ge nepochs);
-        wait_or_abort ~cause:Stallcat.Checker_lag ~role ~for_:"checker drain" drained;
+        wait_or_abort ~cause:Stallcat.Checker_lag ~w ~for_:"checker drain" drained;
         if aborted () then e := recover w gen
         else begin
           if w = 0 then Atomic.set finished true;
@@ -580,9 +593,9 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
           && Atomic.get ckpt_done < !e
         then begin
           if w = 0 then begin
-            wait_or_abort ~role ~for_:"checkpoint rally" (fun () ->
+            wait_or_abort ~w ~for_:"checkpoint rally" (fun () ->
                 all_progress_ge !e);
-            wait_or_abort ~cause:Stallcat.Checker_lag ~role ~for_:"checker drain" drained;
+            wait_or_abort ~cause:Stallcat.Checker_lag ~w ~for_:"checker drain" drained;
             if not (aborted ()) then begin
               Rt.Checkpoint.save ckpts ~epoch:!e mem;
               Atomic.set prune_floor (epoch_base.(!e) - 1);
@@ -590,7 +603,7 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
             end
           end
           else
-            wait_or_abort ~role ~for_:"checkpoint" (fun () ->
+            wait_or_abort ~w ~for_:"checkpoint" (fun () ->
                 Atomic.get ckpt_done >= !e)
         end;
         if aborted () then e := recover w gen
@@ -598,9 +611,9 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
           (* Rally, drain, one worker executes the epoch exactly once,
              checkpoint, resume (§4.2.2). *)
           if w = 0 then begin
-            wait_or_abort ~role ~for_:"irreversible-epoch rally" (fun () ->
+            wait_or_abort ~w ~for_:"irreversible-epoch rally" (fun () ->
                 all_progress_ge !e);
-            wait_or_abort ~cause:Stallcat.Checker_lag ~role ~for_:"checker drain" drained;
+            wait_or_abort ~cause:Stallcat.Checker_lag ~w ~for_:"checker drain" drained;
             if not (aborted ()) then begin
               let il, env_t = env_of_epoch !e in
               List.iter
@@ -624,12 +637,13 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
             end
           end
           else
-            wait_or_abort ~role ~for_:"irreversible epoch" (fun () ->
+            wait_or_abort ~w ~for_:"irreversible epoch" (fun () ->
                 Atomic.get io_done >= !e);
           if aborted () then e := recover w gen
           else begin
             Atomic.set tpos.(w) (epoch_base.(!e + 1) - 1);
             Atomic.set dpos.(w) (epoch_base.(!e + 1) - 1);
+            ev Obs.Flight.Epoch_commit ~domain:w ~a:!e ~b:0;
             incr e
           end
         end
@@ -638,7 +652,10 @@ let run ~pool ?wd ?fault ?config (p : Ir.Program.t) env =
           Atomic.set dpos.(w) (epoch_base.(!e) - 1);
           (try
              exec_epoch_spec ~w ~gen:!gen !e;
-             if not (aborted ()) then incr e
+             if not (aborted ()) then begin
+               ev Obs.Flight.Epoch_commit ~domain:w ~a:!e ~b:0;
+               incr e
+             end
            with Abort_now -> ())
         end
       end

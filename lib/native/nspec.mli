@@ -46,6 +46,7 @@ val run :
   pool:Pool.t ->
   ?wd:Watchdog.t ->
   ?fault:Fault.t ->
+  ?fr:Xinv_obs.Flight.t ->
   ?config:config ->
   Xinv_ir.Program.t ->
   Xinv_ir.Env.t ->
@@ -64,4 +65,9 @@ val run :
     [Scheduler_die] in worker 0, [Checker_die] in the checker,
     [Queue_stall] freezes the matched worker's signature stream, and
     [Poison_cond] wedges the matched worker.
+
+    With a flight recorder [fr] attached (needs [workers + 1] rings:
+    worker [w] on ring [w], checker on ring [workers]) the run records
+    block dispatches, epoch commits, misspeculations, barrier episodes,
+    queue samples and stall episodes with no effect on speculation.
     @raise Invalid_argument if any inner's mode is [M_domore]. *)

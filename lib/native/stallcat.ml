@@ -51,10 +51,26 @@ let now_ns () = int_of_float (1e9 *. Unix.gettimeofday ())
 
 (* Times [f] and charges the elapsed wall time to [cause].  Use only around
    code that is (or is about to be) blocked: the two clock reads cost ~50ns,
-   noise against a backoff episode but not against a ring operation. *)
-let timed t cause f =
+   noise against a backoff episode but not against a ring operation.  With a
+   flight recorder attached the episode also lands in [domain]'s ring as a
+   Stall_begin/Stall_end pair (the end entry carries the duration). *)
+let timed ?fr ?(domain = 0) t cause f =
+  (match fr with
+  | Some fr ->
+      Xinv_obs.Flight.record fr ~domain Xinv_obs.Flight.Stall_begin
+        ~a:(index cause) ~b:0
+  | None -> ());
   let t0 = now_ns () in
-  Fun.protect ~finally:(fun () -> add_ns t cause (now_ns () - t0)) f
+  Fun.protect
+    ~finally:(fun () ->
+      let d = now_ns () - t0 in
+      add_ns t cause d;
+      match fr with
+      | Some fr ->
+          Xinv_obs.Flight.record fr ~domain Xinv_obs.Flight.Stall_end
+            ~a:(index cause) ~b:d
+      | None -> ())
+    f
 
 let ns t cause = Atomic.get t.(index cause)
 

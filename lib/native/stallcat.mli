@@ -26,10 +26,13 @@ val create : unit -> t
 val add_ns : t -> cause -> int -> unit
 (** Thread-safe; the buckets are padded atomics. *)
 
-val timed : t -> cause -> (unit -> 'a) -> 'a
+val timed :
+  ?fr:Xinv_obs.Flight.t -> ?domain:int -> t -> cause -> (unit -> 'a) -> 'a
 (** Charge [f]'s wall time to [cause] (exception-safe).  Wrap only blocking
     episodes — the two clock reads are noise against a backoff wait, not
-    against a ring operation. *)
+    against a ring operation.  When a flight recorder [fr] is attached the
+    episode is also recorded into ring [domain] as a Stall_begin/Stall_end
+    pair. *)
 
 val ns : t -> cause -> int
 

@@ -1,0 +1,189 @@
+type verdict = {
+  v_wall_ns : float;
+  v_events : int;
+  v_drops : int;
+  v_chain : int;
+  v_chain_ns : float;
+  v_stalls : (string * float) list;
+  v_stall_domains : (int * (string * float) list) list;
+  v_dominant : string option;
+  v_bottleneck : string;
+}
+
+(* Longest-chain DP over the merged, timestamp-ordered stream.  Edges worth
+   one chain step: a dispatch consumed by the target domain's next event, a
+   sync-recv back to the source domain's frontier, and an epoch commit
+   extending its own domain's chain.  Plain same-domain succession
+   propagates chain length without adding an edge. *)
+let longest_chain ndomains (es : Flight.entry array) =
+  let n = Array.length es in
+  let chainlen = Array.make (max n 1) 0 in
+  let chainstart = Array.make (max n 1) 0 in
+  let last = Array.make ndomains (-1) in
+  let pend = Array.make ndomains (-1) in
+  let best = ref 0 and best_ns = ref 0. in
+  for i = 0 to n - 1 do
+    let e = es.(i) in
+    let d = e.Flight.f_domain in
+    let len = ref 0 and start = ref e.Flight.f_at in
+    let consider p w =
+      if p >= 0 then begin
+        let cl = chainlen.(p) + w in
+        if cl > !len || (cl = !len && chainstart.(p) < !start) then begin
+          len := cl;
+          start := chainstart.(p)
+        end
+      end
+    in
+    consider last.(d) (match e.Flight.f_kind with Flight.Epoch_commit -> 1 | _ -> 0);
+    (match e.Flight.f_kind with
+    | Flight.Sync_recv ->
+        let src = e.Flight.f_b in
+        if src >= 0 && src < ndomains then consider last.(src) 1
+    | _ -> ());
+    if pend.(d) >= 0 then begin
+      consider pend.(d) 1;
+      pend.(d) <- -1
+    end;
+    chainlen.(i) <- !len;
+    chainstart.(i) <- !start;
+    (match e.Flight.f_kind with
+    | Flight.Dispatch ->
+        let tgt = e.Flight.f_b in
+        if tgt >= 0 && tgt < ndomains then pend.(tgt) <- i
+    | _ -> ());
+    last.(d) <- i;
+    if !len > !best then begin
+      best := !len;
+      best_ns := float_of_int (e.Flight.f_at - !start)
+    end
+  done;
+  (!best, !best_ns)
+
+let analyze ?wall_ns ?stalls flight =
+  let entries = Array.of_list (Flight.entries flight) in
+  let ndomains = Flight.domains flight in
+  (* Per-domain per-cause ns from Stall_end events. *)
+  let by_domain = Array.make_matrix ndomains Flight.ncauses 0. in
+  Array.iter
+    (fun (e : Flight.entry) ->
+      match e.Flight.f_kind with
+      | Flight.Stall_end ->
+          let c = e.Flight.f_a in
+          if c >= 0 && c < Flight.ncauses then
+            by_domain.(e.Flight.f_domain).(c) <-
+              by_domain.(e.Flight.f_domain).(c) +. float_of_int e.Flight.f_b
+      | _ -> ())
+    entries;
+  let derived =
+    Array.to_list
+      (Array.mapi
+         (fun c name ->
+           let total = ref 0. in
+           for d = 0 to ndomains - 1 do
+             total := !total +. by_domain.(d).(c)
+           done;
+           (name, !total))
+         Flight.cause_names)
+  in
+  let totals =
+    match stalls with
+    | Some s ->
+        (* Authoritative totals (Stallcat), padded so every cause appears. *)
+        List.map
+          (fun (name, _) ->
+            (name, match List.assoc_opt name s with Some v -> v | None -> 0.))
+          derived
+    | None -> derived
+  in
+  let stalls_sorted =
+    List.stable_sort (fun (_, a) (_, b) -> compare b a) totals
+  in
+  let dominant =
+    match stalls_sorted with
+    | (name, ns) :: _ when ns > 0. -> Some name
+    | _ -> None
+  in
+  let chain, chain_ns = longest_chain ndomains entries in
+  let wall =
+    match wall_ns with
+    | Some w -> w
+    | None -> float_of_int (Flight.elapsed_ns flight)
+  in
+  let cap = wall *. float_of_int ndomains in
+  let pct x = if cap > 0. then 100. *. x /. cap else 0. in
+  let bottleneck =
+    match dominant with
+    | Some name when pct (List.assoc name totals) >= 5. ->
+        Printf.sprintf "%s (%.1f%% of %d-domain wall capacity blocked)" name
+          (pct (List.assoc name totals))
+          ndomains
+    | Some name ->
+        Printf.sprintf "compute (dominant stall %s at only %.1f%% of capacity)"
+          name (pct (List.assoc name totals))
+    | None -> "compute (no stalls recorded)"
+  in
+  let stall_domains =
+    List.filter_map
+      (fun d ->
+        let nz = ref [] in
+        for c = Flight.ncauses - 1 downto 0 do
+          if by_domain.(d).(c) > 0. then
+            nz := (Flight.cause_names.(c), by_domain.(d).(c)) :: !nz
+        done;
+        if !nz = [] then None else Some (d, !nz))
+      (List.init ndomains Fun.id)
+  in
+  {
+    v_wall_ns = wall;
+    v_events = Array.length entries;
+    v_drops = Flight.total_drops flight;
+    v_chain = chain;
+    v_chain_ns = chain_ns;
+    v_stalls = stalls_sorted;
+    v_stall_domains = stall_domains;
+    v_dominant = dominant;
+    v_bottleneck = bottleneck;
+  }
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json v =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"bottleneck\":\"%s\",\"dominant\":%s,\"chain\":%d,\"chain_ns\":%.0f,\"events\":%d,\"drops\":%d,\"stall_ns\":{"
+       (escape v.v_bottleneck)
+       (match v.v_dominant with
+       | Some d -> Printf.sprintf "\"%s\"" (escape d)
+       | None -> "null")
+       v.v_chain v.v_chain_ns v.v_events v.v_drops);
+  List.iteri
+    (fun i (name, ns) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%.0f" (escape name) ns))
+    v.v_stalls;
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+let pp ppf v =
+  Format.fprintf ppf "bottleneck: %s@." v.v_bottleneck;
+  Format.fprintf ppf "chain: %d edges spanning %.3f ms@." v.v_chain
+    (v.v_chain_ns /. 1e6);
+  Format.fprintf ppf "flight: %d events, %d dropped@." v.v_events v.v_drops;
+  List.iter
+    (fun (name, ns) ->
+      if ns > 0. then Format.fprintf ppf "stall %-12s %.3f ms@." name (ns /. 1e6))
+    v.v_stalls

@@ -1,0 +1,36 @@
+(** Critical-path analysis over a {!Flight} recording.
+
+    Replays the merged event stream into a per-run verdict: the longest
+    chain of dispatch → sync → commit edges (an approximation of the run's
+    dependence critical path, counting cross-domain edges and epoch
+    commits), wall time attributed per stall cause per domain, and a
+    one-line "bottleneck: X" explanation. *)
+
+type verdict = {
+  v_wall_ns : float;  (** wall clock attributed to the run *)
+  v_events : int;  (** flight entries retained *)
+  v_drops : int;  (** flight entries lost to ring overwrite *)
+  v_chain : int;  (** edges on the longest dispatch→sync→commit chain *)
+  v_chain_ns : float;  (** wall span of that chain *)
+  v_stalls : (string * float) list;
+      (** ns blocked per stall cause, descending, all causes listed *)
+  v_stall_domains : (int * (string * float) list) list;
+      (** per-domain nonzero stall attribution, from the flight events *)
+  v_dominant : string option;  (** cause with the largest attribution *)
+  v_bottleneck : string;  (** one-line explanation *)
+}
+
+val analyze :
+  ?wall_ns:float -> ?stalls:(string * float) list -> Flight.t -> verdict
+(** [analyze flight] derives stall attribution from the recording's
+    [Stall_end] events.  Pass [?stalls] (e.g. [Nrun.stalls] from the
+    timed run) to substitute authoritative totals — flight-derived numbers
+    can undercount after drop-oldest overwrite — guaranteeing the verdict's
+    [v_dominant] matches the run's [dominant_stall].  [?wall_ns] defaults
+    to the recording's elapsed time. *)
+
+val to_json : verdict -> string
+(** Compact JSON object (no trailing newline) for embedding in bench rows
+    and [stats --json] output. *)
+
+val pp : Format.formatter -> verdict -> unit

@@ -91,3 +91,61 @@ let to_json ?(process_name = "crossinv-sim") ~engine ?recorder () =
         r);
   Buffer.add_string b "\n  ],\n  \"displayTimeUnit\": \"ms\"\n}\n";
   Buffer.contents b
+
+let flight_to_json ?(process_name = "crossinv-native") flight =
+  let b = Buffer.create 65536 in
+  let first = ref true in
+  let event emit =
+    if !first then first := false else Buffer.add_string b ",\n";
+    Buffer.add_string b "    {";
+    emit ();
+    Buffer.add_char b '}'
+  in
+  let us ns = float_of_int ns /. 1e3 in
+  Buffer.add_string b "{\n  \"traceEvents\": [\n";
+  event (fun () ->
+      Buffer.add_string b
+        "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"ts\":0,";
+      add_args b [ ("name", Event.S process_name) ]);
+  for d = 0 to Flight.domains flight - 1 do
+    event (fun () ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"ts\":0," d);
+        add_args b [ ("name", Event.S (Printf.sprintf "domain %d" d)) ])
+  done;
+  List.iter
+    (fun (e : Flight.entry) ->
+      match e.Flight.f_kind with
+      | Flight.Stall_end ->
+          (* Place the duration event where the stall began. *)
+          event (fun () ->
+              Buffer.add_string b
+                (Printf.sprintf
+                   "\"name\":\"stall:%s\",\"cat\":\"stall\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":0,\"tid\":%d"
+                   (escape (Flight.cause_name e.Flight.f_a))
+                   (num (us (e.Flight.f_at - e.Flight.f_b)))
+                   (num (us e.Flight.f_b))
+                   e.Flight.f_domain))
+      | Flight.Stall_begin -> ()
+      | Flight.Queue_sample ->
+          event (fun () ->
+              Buffer.add_string b
+                (Printf.sprintf
+                   "\"name\":\"queue%d\",\"ph\":\"C\",\"ts\":%s,\"pid\":0,\"tid\":%d,"
+                   e.Flight.f_a
+                   (num (us e.Flight.f_at))
+                   e.Flight.f_domain);
+              add_args b [ ("len", Event.I e.Flight.f_b) ])
+      | k ->
+          event (fun () ->
+              Buffer.add_string b
+                (Printf.sprintf
+                   "\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":0,\"tid\":%d,"
+                   (escape (Flight.kind_name k))
+                   (num (us e.Flight.f_at))
+                   e.Flight.f_domain);
+              add_args b [ ("a", Event.I e.Flight.f_a); ("b", Event.I e.Flight.f_b) ]))
+    (Flight.entries flight);
+  Buffer.add_string b "\n  ],\n  \"displayTimeUnit\": \"ms\"\n}\n";
+  Buffer.contents b

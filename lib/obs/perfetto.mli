@@ -17,3 +17,10 @@ val to_json :
 (** The engine provides thread names and (when created with [~trace:true])
     the duration segments; the recorder, when given, provides instant and
     counter events. *)
+
+val flight_to_json : ?process_name:string -> Flight.t -> string
+(** Wall-clock export of a native {!Flight} recording: one track per
+    domain, [Stall_end] entries become duration events (placed at
+    [ts - dur] and labelled by stall cause), [Queue_sample] entries become
+    counter tracks, everything else renders as instant events.
+    Nanosecond flight timestamps are exported as microseconds. *)

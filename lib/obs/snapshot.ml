@@ -1,0 +1,90 @@
+type hist = {
+  s_name : string;
+  s_bounds : float array;
+  s_counts : int array;
+  s_count : int;
+  s_sum : float;
+}
+
+type t = {
+  s_at : float;
+  s_counters : (string * int) list;
+  s_gauges : (string * float) list;
+  s_hists : hist list;
+}
+
+let take m =
+  {
+    s_at = Unix.gettimeofday ();
+    s_counters = Metrics.counters m;
+    s_gauges = Metrics.gauges m;
+    s_hists =
+      List.map
+        (fun (h : Metrics.histogram) ->
+          {
+            s_name = h.Metrics.h_name;
+            s_bounds = Array.copy h.Metrics.bounds;
+            s_counts = Array.copy h.Metrics.counts;
+            s_count = h.Metrics.h_count;
+            s_sum = h.Metrics.h_sum;
+          })
+        (Metrics.histograms m);
+  }
+
+let counter t name = List.assoc_opt name t.s_counters
+
+let gauge t name = List.assoc_opt name t.s_gauges
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let fnum f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let to_openmetrics ?(prefix = "xinv") t =
+  let b = Buffer.create 1024 in
+  let name n = prefix ^ "_" ^ sanitize n in
+  List.iter
+    (fun (n, v) ->
+      let n = name n in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" n);
+      Buffer.add_string b (Printf.sprintf "%s_total %d\n" n v))
+    t.s_counters;
+  List.iter
+    (fun (n, v) ->
+      let n = name n in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" n);
+      Buffer.add_string b (Printf.sprintf "%s %s\n" n (fnum v)))
+    t.s_gauges;
+  List.iter
+    (fun h ->
+      let n = name h.s_name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+      let cum = ref 0 in
+      Array.iteri
+        (fun i c ->
+          cum := !cum + c;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n (fnum h.s_bounds.(i)) !cum))
+        (Array.sub h.s_counts 0 (Array.length h.s_bounds));
+      cum := !cum + h.s_counts.(Array.length h.s_bounds);
+      Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n !cum);
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" n h.s_count);
+      Buffer.add_string b (Printf.sprintf "%s_sum %s\n" n (fnum h.s_sum)))
+    t.s_hists;
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+let pp ppf t =
+  List.iter (fun (n, v) -> Format.fprintf ppf "%-28s %d@." n v) t.s_counters;
+  List.iter (fun (n, v) -> Format.fprintf ppf "%-28s %s@." n (fnum v)) t.s_gauges;
+  List.iter
+    (fun h ->
+      Format.fprintf ppf "%-28s count=%d sum=%s@." h.s_name h.s_count (fnum h.s_sum))
+    t.s_hists

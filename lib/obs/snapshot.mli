@@ -1,0 +1,38 @@
+(** Consistent point-in-time view of a {!Metrics} registry plus an
+    OpenMetrics text exposition.
+
+    [take] copies every counter, gauge and histogram value in one pass, so
+    later mutation of the registry does not disturb the snapshot — this is
+    the stats surface a future [xinv serve] daemon mounts on a socket, and
+    what [xinv top --openmetrics] prints today. *)
+
+type hist = {
+  s_name : string;
+  s_bounds : float array;
+  s_counts : int array;  (** length [Array.length s_bounds + 1] *)
+  s_count : int;
+  s_sum : float;
+}
+
+type t = {
+  s_at : float;  (** Unix time the snapshot was taken *)
+  s_counters : (string * int) list;  (** registration order *)
+  s_gauges : (string * float) list;
+  s_hists : hist list;
+}
+
+val take : Metrics.t -> t
+
+val counter : t -> string -> int option
+
+val gauge : t -> string -> float option
+
+val to_openmetrics : ?prefix:string -> t -> string
+(** OpenMetrics 1.0 text exposition.  Metric names are prefixed with
+    [prefix] (default ["xinv"]) and sanitized (dots and dashes become
+    underscores).  Counters render as [# TYPE name counter] +
+    [name_total v]; gauges as gauges; histograms with cumulative
+    [_bucket{le=...}] series plus [_count]/[_sum].  Ends with [# EOF]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-oriented one-line-per-metric rendering. *)

@@ -347,6 +347,206 @@ let test_obs_off_bit_identical () =
         (Obs.Recorder.length obs > 0))
     fixed_runs
 
+(* ---- flight recorder: ring wraparound and drop accounting ---- *)
+
+let test_flight_wraparound () =
+  (* Capacities 1, 2 and 2^k +/- 1 around the events count: the index
+     arithmetic must survive non-power-of-two rings and single-slot rings. *)
+  let nevents = 13 in
+  List.iter
+    (fun cap ->
+      let fl = Obs.Flight.create ~capacity:cap ~domains:1 () in
+      for i = 0 to nevents - 1 do
+        Obs.Flight.record fl ~domain:0 Obs.Flight.Mark ~a:i ~b:(i * 10)
+      done;
+      let tag f = Printf.sprintf "cap %d: %s" cap f in
+      let kept = min cap nevents in
+      Alcotest.(check int) (tag "recorded") nevents
+        (Obs.Flight.recorded fl ~domain:0);
+      Alcotest.(check int) (tag "length") kept (Obs.Flight.length fl ~domain:0);
+      Alcotest.(check int) (tag "drops") (nevents - kept)
+        (Obs.Flight.drops fl ~domain:0);
+      let entries = Obs.Flight.read fl ~domain:0 in
+      Alcotest.(check int) (tag "read length") kept (List.length entries);
+      (* Drop-oldest: the retained payloads are exactly the newest [kept]
+         values, oldest first. *)
+      Alcotest.(check (list int)) (tag "retained payloads")
+        (List.init kept (fun k -> nevents - kept + k))
+        (List.map (fun (e : Obs.Flight.entry) -> e.Obs.Flight.f_a) entries);
+      List.iter
+        (fun (e : Obs.Flight.entry) ->
+          Alcotest.(check int) (tag "b rides along") (e.Obs.Flight.f_a * 10)
+            e.Obs.Flight.f_b;
+          Alcotest.(check string) (tag "kind survives") "mark"
+            (Obs.Flight.kind_name e.Obs.Flight.f_kind))
+        entries)
+    [ 1; 2; 3; 4; 5; 7; 8; 9 ];
+  (* Multi-ring accounting stays per-domain. *)
+  let fl = Obs.Flight.create ~capacity:2 ~domains:3 () in
+  Obs.Flight.record fl ~domain:2 Obs.Flight.Mark ~a:1 ~b:0;
+  Alcotest.(check int) "untouched ring empty" 0 (Obs.Flight.length fl ~domain:0);
+  Alcotest.(check int) "total length" 1 (Obs.Flight.total_length fl);
+  Alcotest.(check int) "total drops" 0 (Obs.Flight.total_drops fl)
+
+(* ---- stall-cause table parity with the native engines ---- *)
+
+let test_flight_cause_parity () =
+  let module Stallcat = Xinv_native.Stallcat in
+  Alcotest.(check int) "cause count" (List.length Stallcat.all)
+    Obs.Flight.ncauses;
+  List.iteri
+    (fun i cause ->
+      Alcotest.(check string)
+        (Printf.sprintf "cause %d" i)
+        (Stallcat.name cause) (Obs.Flight.cause_name i))
+    Stallcat.all;
+  Alcotest.(check string) "out of range decodes benignly" "unknown"
+    (Obs.Flight.cause_name 99)
+
+(* ---- snapshot and OpenMetrics exposition ---- *)
+
+let test_snapshot_openmetrics () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m "cache.hit" in
+  Obs.Metrics.add c 7;
+  let g = Obs.Metrics.gauge m "spec-lead" in
+  Obs.Metrics.set g 2.5;
+  let h = Obs.Metrics.histogram m ~bounds:[| 1.; 10. |] "queue.depth" in
+  List.iter (fun v -> Obs.Metrics.observe h v) [ 0.5; 5.; 50. ];
+  let snap = Obs.Snapshot.take m in
+  Alcotest.(check (option int)) "counter lookup" (Some 7)
+    (Obs.Snapshot.counter snap "cache.hit");
+  Alcotest.(check (option (float 1e-9))) "gauge lookup" (Some 2.5)
+    (Obs.Snapshot.gauge snap "spec-lead");
+  (* A snapshot is a copy: later mutation must not leak in. *)
+  Obs.Metrics.add c 100;
+  Obs.Metrics.observe h 5.;
+  Alcotest.(check (option int)) "snapshot is frozen" (Some 7)
+    (Obs.Snapshot.counter snap "cache.hit");
+  let om = Obs.Snapshot.to_openmetrics snap in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) (Printf.sprintf "exposition has %S" affix) true
+        (contains ~affix om))
+    [
+      "# TYPE xinv_cache_hit counter";
+      "xinv_cache_hit_total 7";
+      "# TYPE xinv_spec_lead gauge";
+      "xinv_spec_lead 2.5";
+      "# TYPE xinv_queue_depth histogram";
+      "xinv_queue_depth_bucket{le=\"+Inf\"} 3";
+      "xinv_queue_depth_count 3";
+      "# EOF";
+    ];
+  (* Cumulative buckets: le="1" counts 1 observation, le="10" counts 2. *)
+  Alcotest.(check bool) "buckets are cumulative" true
+    (contains ~affix:"_bucket{le=\"1\"} 1" om
+    && contains ~affix:"_bucket{le=\"10\"} 2" om)
+
+(* ---- critical-path analysis over a synthetic recording ---- *)
+
+let test_critpath_synthetic () =
+  let fl = Obs.Flight.create ~capacity:64 ~domains:2 () in
+  (* Domain 0 dispatches to domain 1; domain 1 receives, stalls on the
+     sync-cond, and commits: dispatch -> first-event and commit edges give
+     a chain of length >= 2. *)
+  Obs.Flight.record fl ~domain:0 Obs.Flight.Dispatch ~a:0 ~b:1;
+  Obs.Flight.record fl ~domain:1 Obs.Flight.Sync_recv ~a:0 ~b:0;
+  Obs.Flight.record fl ~domain:1 Obs.Flight.Stall_end ~a:2 ~b:5000;
+  Obs.Flight.record fl ~domain:1 Obs.Flight.Epoch_commit ~a:0 ~b:0;
+  let v = Obs.Critpath.analyze ~wall_ns:10000. fl in
+  Alcotest.(check int) "events" 4 v.Obs.Critpath.v_events;
+  Alcotest.(check int) "drops" 0 v.Obs.Critpath.v_drops;
+  Alcotest.(check bool) "chain crosses the dispatch and the commit" true
+    (v.Obs.Critpath.v_chain >= 2);
+  Alcotest.(check (option string)) "dominant cause" (Some "sync-cond")
+    v.Obs.Critpath.v_dominant;
+  Alcotest.(check (float 1e-9)) "sync-cond attribution" 5000.
+    (List.assoc "sync-cond" v.Obs.Critpath.v_stalls);
+  Alcotest.(check int) "all causes listed" Obs.Flight.ncauses
+    (List.length v.Obs.Critpath.v_stalls);
+  (* 5000 ns blocked of 2 x 10000 ns capacity = 25% >= the 5% threshold. *)
+  Alcotest.(check bool) "bottleneck names the cause" true
+    (String.length v.Obs.Critpath.v_bottleneck > 9
+    && String.sub v.Obs.Critpath.v_bottleneck 0 9 = "sync-cond");
+  (* Authoritative stall totals override flight-derived ones. *)
+  let v' =
+    Obs.Critpath.analyze ~wall_ns:10000. ~stalls:[ ("barrier", 9000.) ] fl
+  in
+  Alcotest.(check (option string)) "?stalls overrides dominance"
+    (Some "barrier") v'.Obs.Critpath.v_dominant;
+  (* Valid JSON with the fields bench rows embed. *)
+  let doc = parse_json (Obs.Critpath.to_json v) in
+  Alcotest.(check string) "json dominant" "sync-cond"
+    (str_of (member "dominant" doc));
+  Alcotest.(check (float 1e-9)) "json stall_ns" 5000.
+    (num_of (member "sync-cond" (member "stall_ns" doc)));
+  (* An idle recording blames compute, not a stall. *)
+  let empty = Obs.Flight.create ~capacity:8 ~domains:1 () in
+  let ve = Obs.Critpath.analyze ~wall_ns:1000. empty in
+  Alcotest.(check (option string)) "no stalls -> no dominant" None
+    ve.Obs.Critpath.v_dominant;
+  Alcotest.(check bool) "no stalls -> compute-bound verdict" true
+    (String.length ve.Obs.Critpath.v_bottleneck >= 7
+    && String.sub ve.Obs.Critpath.v_bottleneck 0 7 = "compute")
+
+(* ---- flight-recorder perturbation: recorded native runs bit-identical ---- *)
+
+(* Every registry workload, every natively-supported technique: the run
+   with the flight recorder attached must verify against sequential memory
+   exactly like the bare run (both compare bit-for-bit against the same
+   sequential execution), with identical work accounting.  The sim backend
+   must ignore the recorder entirely. *)
+let test_flight_off_bit_identical () =
+  let native_techniques = [ Cx.Barrier; Cx.Domore; Cx.Speccross ] in
+  List.iter
+    (fun (wl : Wl.Workload.t) ->
+      List.iter
+        (fun technique ->
+          match Cx.applicable ~backend:`Native technique wl with
+          | Error _ -> ()
+          | Ok () ->
+              let go flight =
+                Cx.run
+                  ~backend:(`Native { Cx.native_defaults with Cx.flight })
+                  ~input:Wl.Workload.Train ~technique ~threads:2 wl
+              in
+              let off = go false and on = go true in
+              let tag f =
+                Printf.sprintf "%s/%s: %s" wl.Wl.Workload.name
+                  (Cx.technique_name technique) f
+              in
+              let nget o f =
+                match o.Cx.nrun with
+                | Some n -> f n
+                | None -> Alcotest.fail (tag "no nrun")
+              in
+              Alcotest.(check bool) (tag "off verified") true off.Cx.verified;
+              Alcotest.(check bool) (tag "on verified") true on.Cx.verified;
+              Alcotest.(check int) (tag "tasks")
+                (nget off (fun n -> n.Xinv_native.Nrun.tasks))
+                (nget on (fun n -> n.Xinv_native.Nrun.tasks));
+              Alcotest.(check int) (tag "invocations")
+                (nget off (fun n -> n.Xinv_native.Nrun.invocations))
+                (nget on (fun n -> n.Xinv_native.Nrun.invocations));
+              Alcotest.(check bool) (tag "bare run records nothing") true
+                (off.Cx.flight = None);
+              Alcotest.(check bool) (tag "recorded run surfaces the flight")
+                true
+                (match on.Cx.flight with
+                | Some fl -> Obs.Flight.total_length fl > 0
+                | None -> false))
+        native_techniques;
+      (* The sim backend has no flight recorder to attach. *)
+      let sim =
+        Cx.run ~input:Wl.Workload.Train ~technique:Cx.Barrier ~threads:2 wl
+      in
+      Alcotest.(check bool)
+        (wl.Wl.Workload.name ^ ": sim outcome has no flight")
+        true
+        (sim.Cx.flight = None && sim.Cx.postmortems = []))
+    (Wl.Registry.all ())
+
 let suite =
   [
     Alcotest.test_case "metrics counter" `Quick test_metrics_counter;
@@ -357,4 +557,10 @@ let suite =
     Alcotest.test_case "report contents" `Quick test_report_contents;
     Alcotest.test_case "misspeculation report" `Quick test_misspec_report;
     Alcotest.test_case "obs off/on bit-identical" `Slow test_obs_off_bit_identical;
+    Alcotest.test_case "flight ring wraparound" `Quick test_flight_wraparound;
+    Alcotest.test_case "flight cause-table parity" `Quick test_flight_cause_parity;
+    Alcotest.test_case "snapshot and openmetrics" `Quick test_snapshot_openmetrics;
+    Alcotest.test_case "critical path synthetic" `Quick test_critpath_synthetic;
+    Alcotest.test_case "flight off/on bit-identical" `Slow
+      test_flight_off_bit_identical;
   ]

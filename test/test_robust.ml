@@ -150,16 +150,64 @@ let native_opts ?(degrade = true) spec_str =
     degrade;
   }
 
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Every failed attempt must leave a parseable postmortem next to a Perfetto
+   trace: the triggering event, a full stall attribution and a bottleneck
+   verdict.  This is the acceptance criterion for the whole fault matrix. *)
+let check_postmortem path =
+  Alcotest.(check bool) (path ^ " exists") true (Sys.file_exists path);
+  let body = read_file path in
+  Alcotest.(check bool) "postmortem header" true
+    (contains body "# xinv-postmortem/1");
+  Alcotest.(check bool) "postmortem has reason:" true (contains body "\nreason: ");
+  let has_event =
+    List.exists
+      (fun k -> contains body ("\nevent: " ^ k))
+      [ "fault_injected"; "run_stalled"; "run_cancelled"; "exception" ]
+  in
+  Alcotest.(check bool) "postmortem names the triggering event" true has_event;
+  Alcotest.(check bool) "postmortem has stall-attribution:" true
+    (contains body "\nstall-attribution:\n  ");
+  Alcotest.(check bool) "postmortem has bottleneck:" true
+    (contains body "\nbottleneck: ");
+  let trace = Filename.remove_extension path ^ ".trace.json" in
+  Alcotest.(check bool) (trace ^ " exists") true (Sys.file_exists trace)
+
+let fresh_pm_dir () =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xinv-pm-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  d
+
 (* One engine, one fault kind: the run must not hang, must unwind cleanly,
    must degrade to a weaker technique and still produce a verified result,
    and the counters must reconcile with the outcome. *)
 let check_degrades technique spec_str () =
   let obs = Xinv_obs.Recorder.create () in
+  let pm_dir = fresh_pm_dir () in
+  let opts = { (native_opts spec_str) with C.postmortem_dir = Some pm_dir } in
   let o =
     C.run
-      ~backend:(`Native (native_opts spec_str))
-      ~input:Wl.Workload.Train ~obs ~technique ~threads:4 (wl ())
+      ~backend:(`Native opts) ~input:Wl.Workload.Train ~obs ~technique
+      ~threads:4 (wl ())
   in
+  Alcotest.(check int)
+    "one postmortem per degradation step"
+    (List.length o.C.degraded)
+    (List.length o.C.postmortems);
+  List.iter check_postmortem o.C.postmortems;
   Alcotest.(check bool) "degraded at least one level" true (o.C.degraded <> []);
   Alcotest.(check bool) "executed a weaker technique" true
     (o.C.technique <> technique);

@@ -479,6 +479,201 @@ let perf_smoke ~grain ~json =
   end;
   Printf.printf "perf-smoke ok: %.2fx within %.1fx envelope\n" ratio envelope
 
+(* ---------- tuned bench (PR 9) ---------- *)
+
+(* Autotuned policy vs the best fixed grid configuration vs sequential.
+
+   Per workload: (1) the fixed grid — sequential plus every technique x
+   domain count at the default grain — timed with the min-of-repeats
+   protocol; (2) one [Tune.tune] search into a scratch rw cache, a second
+   warm tune that must be served from the cache with zero trials, and the
+   winning policy re-timed under the same protocol; (3) an adaptive stream
+   of runs against the same cache, which must end either committed to the
+   candidate or switched to sequential.  Assertions exit 1; --json writes
+   schema xinv-tune-bench/1. *)
+let tuned_bench ~json =
+  let module Tune = Xinv_tune.Tune in
+  let module Policy = Xinv_cache.Policy in
+  let work = Nat.Work.Spin ns_per_cycle in
+  let input = Wl.Workload.Train in
+  let cores = Domain.recommended_domain_count () in
+  let time_policy (p : Policy.t) wl =
+    let native = { C.native_defaults with C.work } in
+    let best = ref infinity in
+    for i = 0 to repeats do
+      let o = C.run_policy ~input ~native p wl in
+      if not o.C.verified then begin
+        Printf.eprintf "FATAL: tuned policy %s failed verification\n"
+          (Policy.key p);
+        exit 1
+      end;
+      let wall = C.cost_value o.C.cost in
+      if i > 0 && wall < !best then best := wall
+    done;
+    !best
+  in
+  let any_tuned_ok = ref false in
+  let results =
+    List.map
+      (fun wname ->
+        let wl = Wl.Registry.find wname in
+        let seq, _, _, _ = time_config ~work ~grain:1 ~input wl C.Sequential 1 in
+        Printf.printf "%-28s %10.2f ms\n%!" (wname ^ ".seq") (seq /. 1e6);
+        let fixed =
+          List.concat_map
+            (fun (tname, tech) ->
+              List.map
+                (fun d ->
+                  let ns, _, _, _ = time_config ~work ~grain:1 ~input wl tech d in
+                  let name = Printf.sprintf "%s.d%d" tname d in
+                  Printf.printf "%-28s %10.2f ms  (%.2fx)\n%!"
+                    (wname ^ "." ^ name) (ns /. 1e6) (seq /. ns);
+                  (name, ns))
+                domain_counts)
+            techniques
+        in
+        let best_fixed_name, best_fixed =
+          List.fold_left
+            (fun (bn, b) (n, v) -> if v < b then (n, v) else (bn, b))
+            ("seq", seq) fixed
+        in
+        let cdir = Filename.temp_file "xinv-tune-bench" "" in
+        Sys.remove cdir;
+        Unix.mkdir cdir 0o755;
+        let r =
+          Tune.tune ~cache:`Rw ~cache_dir:cdir ~input ~budget:24 ~seed:42 ~work
+            wl
+        in
+        let warm =
+          Tune.tune ~cache:`Rw ~cache_dir:cdir ~input ~budget:24 ~seed:42 ~work
+            wl
+        in
+        if warm.Tune.source <> `Cached || warm.Tune.trials <> [] then begin
+          Printf.eprintf
+            "FATAL: %s warm tune re-searched (%d trials, source %s)\n" wname
+            (List.length warm.Tune.trials)
+            (Tune.source_name warm.Tune.source);
+          exit 1
+        end;
+        let tuned_policy = r.Tune.tuned.Policy.policy in
+        let tuned_wall = time_policy tuned_policy wl in
+        let vs_fixed = tuned_wall /. best_fixed in
+        Printf.printf
+          "%-28s %10.2f ms  (%.2fx)  [%s, %d trials, %.2fx of best fixed \
+           %s]\n%!"
+          (wname ^ ".tuned") (tuned_wall /. 1e6) (seq /. tuned_wall)
+          (Policy.key tuned_policy)
+          (List.length r.Tune.trials)
+          vs_fixed best_fixed_name;
+        (* Within-noise bound is generous: on small boxes the tuned policy
+           is often the same config as the best fixed row, so the gap is
+           pure measurement noise. *)
+        if vs_fixed <= 1.25 then any_tuned_ok := true;
+        (* Adaptive stream against the freshly tuned cache: the candidate
+           is the stored policy; the controller must end the stream either
+           committed to it or switched to sequential. *)
+        let ctl = C.adaptive () in
+        let nruns = 8 in
+        let last = ref None in
+        for _ = 1 to nruns do
+          last :=
+            Some
+              (C.run
+                 ~backend:(`Native { C.native_defaults with C.work })
+                 ~input ~cache:`Ro ~cache_dir:cdir ~policy:(`Adaptive ctl)
+                 ~technique:C.Domore
+                 ~threads:(Stdlib.min 4 (Stdlib.max 2 cores))
+                 wl)
+        done;
+        let final = Option.get !last in
+        if not final.C.verified then begin
+          Printf.eprintf "FATAL: %s adaptive stream failed verification\n"
+            wname;
+          exit 1
+        end;
+        let phase_name =
+          match C.adaptive_phase ctl with
+          | `Probing -> "probing"
+          | `Candidate -> "candidate"
+          | `Sequential -> "sequential"
+        in
+        let committed = C.adaptive_phase ctl = `Candidate in
+        let bailed = final.C.policy_source = "adaptive:sequential" in
+        if not (committed || bailed) then begin
+          Printf.eprintf
+            "FATAL: %s adaptive stream ended in %s after %d runs (must \
+             commit or switch to sequential)\n"
+            wname phase_name nruns;
+          exit 1
+        end;
+        let final_ratio =
+          C.cost_value final.C.cost /. C.cost_value final.C.seq_cost
+        in
+        Printf.printf
+          "%-28s %10s      [%s after %d runs, %d switches, final %.2fx of \
+           seq]\n%!"
+          (wname ^ ".adaptive")
+          (if committed then "committed" else "switched")
+          phase_name nruns
+          (C.adaptive_switches ctl)
+          final_ratio;
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat cdir f))
+          (Sys.readdir cdir);
+        Unix.rmdir cdir;
+        ( wname, seq, best_fixed_name, best_fixed, tuned_policy, tuned_wall,
+          List.length r.Tune.trials, phase_name,
+          C.adaptive_switches ctl, final.C.policy_source, final_ratio ))
+      workloads
+  in
+  if not !any_tuned_ok then begin
+    Printf.eprintf
+      "FATAL: no workload's autotuned policy came within 1.15x of its best \
+       fixed grid configuration\n";
+    exit 1
+  end;
+  Printf.printf "tuned bench ok: autotuned <= best fixed (within noise) on \
+                 >= 1 workload\n";
+  match json with
+  | None -> ()
+  | Some out ->
+      let oc = open_out out in
+      let b = Buffer.create 4096 in
+      Buffer.add_string b "{\n";
+      Buffer.add_string b "  \"schema\": \"xinv-tune-bench/1\",\n";
+      Buffer.add_string b "  \"unit\": \"wall_ns\",\n";
+      Buffer.add_string b (Printf.sprintf "  \"cores\": %d,\n" cores);
+      Buffer.add_string b
+        (Printf.sprintf "  \"work_ns_per_cycle\": %.2f,\n" ns_per_cycle);
+      Buffer.add_string b "  \"input\": \"train\",\n";
+      Buffer.add_string b (Printf.sprintf "  \"repeats_min_of\": %d,\n" repeats);
+      Buffer.add_string b "  \"results\": [\n";
+      let n = List.length results in
+      List.iteri
+        (fun i
+             ( w, seq, bf_name, bf, policy, tuned_wall, trials, phase,
+               switches, final_source, final_ratio ) ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "    {\"workload\": %S, \"seq_wall_ns\": %.0f, \"best_fixed\": \
+                {\"name\": %S, \"wall_ns\": %.0f, \"speedup_vs_seq\": %.3f}, \
+                \"tuned\": {\"policy\": %s, \"key\": %S, \"wall_ns\": %.0f, \
+                \"speedup_vs_seq\": %.3f, \"vs_best_fixed\": %.3f, \
+                \"search_trials\": %d, \"warm_trials\": 0}, \"adaptive\": \
+                {\"runs\": 8, \"phase\": %S, \"switches\": %d, \
+                \"final_source\": %S, \"final_ratio_vs_seq\": %.3f}}%s\n"
+               w seq bf_name bf (seq /. bf)
+               (Xinv_cache.Policy.to_json policy)
+               (Xinv_cache.Policy.key policy)
+               tuned_wall (seq /. tuned_wall) (tuned_wall /. bf) trials phase
+               switches final_source final_ratio
+               (if i = n - 1 then "" else ",")))
+        results;
+      Buffer.add_string b "  ]\n}\n";
+      output_string oc (Buffer.contents b);
+      close_out oc;
+      Printf.printf "wrote %s\n" out
+
 (* ---------- obs overhead smoke (CI gate) ---------- *)
 
 (* The flight recorder's write path must stay in the noise: the same
@@ -571,6 +766,7 @@ let () =
   else if has "--cache-bench" then cache_bench ~json:(opt "--json")
   else if has "--perf-smoke" then perf_smoke ~grain ~json:(opt "--json")
   else if has "--obs-smoke" then obs_smoke ()
+  else if has "--tuned" then tuned_bench ~json:(opt "--json")
   else begin
     let rows =
       match opt "--from-raw" with

@@ -197,9 +197,32 @@ let postmortem_dir_arg =
            fault, watchdog stall, worker exception), whether it degrades or \
            escapes.")
 
+let policy_arg =
+  Arg.(
+    value
+    & opt (enum [ ("fixed", `Fixed); ("auto", `Auto); ("adaptive", `Adaptive) ])
+        `Fixed
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:
+          "Where the run's configuration comes from: $(b,fixed) (the flags on \
+           this command line, the default), $(b,auto) (a tuned policy stored \
+           in the analysis cache by $(b,xinv tune), falling back to the flags \
+           on a miss — requires $(b,--cache)) or $(b,adaptive) (auto \
+           resolution under the online probe-and-switch controller).")
+
+(* Invalid numeric arguments are a usage error, distinct from run failures:
+   typed one-line message, exit 3. *)
+let usage_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "invalid argument: %s\n" msg;
+      exit 3)
+    fmt
+
 let run_cmd =
   let run wl technique threads input backend domains verbose stats inject
-      deadline_ms no_degrade grain batch cache cache_dir flight postmortem_dir =
+      deadline_ms no_degrade grain batch cache cache_dir flight postmortem_dir
+      policy =
     (match (backend, domains) with
     | `Sim, Some _ ->
         prerr_endline
@@ -226,23 +249,26 @@ let run_cmd =
          --backend native)";
       exit 1
     end;
-    (match (grain, batch) with
-    | Some g, _ when g < 1 ->
-        Printf.eprintf "--grain must be >= 1 (got %d)\n" g;
-        exit 1
-    | _, Some b when b < 1 ->
-        Printf.eprintf "--batch must be >= 1 (got %d)\n" b;
-        exit 1
+    (match grain with
+    | Some g when g < 1 -> usage_error "--grain must be >= 1 (got %d)" g
+    | _ -> ());
+    (match batch with
+    | Some b when b < 1 -> usage_error "--batch must be >= 1 (got %d)" b
+    | _ -> ());
+    (match domains with
+    | Some d when d < 1 -> usage_error "--domains must be >= 1 (got %d)" d
+    | _ -> ());
+    (match deadline_ms with
+    | Some ms when ms <= 0. ->
+        usage_error "--deadline-ms must be > 0 (got %g)" ms
     | _ -> ());
     let threads =
       match (domains, threads) with
       | Some n, _ | None, Some n -> n
       | None, None -> ( match backend with `Sim -> 24 | `Native -> 4)
     in
-    if threads < 1 then begin
-      Printf.eprintf "--threads/--domains must be >= 1 (got %d)\n" threads;
-      exit 1
-    end;
+    if threads < 1 then
+      usage_error "--threads/--domains must be >= 1 (got %d)" threads;
     let backend_name = match backend with `Sim -> "sim" | `Native -> "native" in
     (* The applicability probe reads the cache but never warms it, so the
        run's own hit/miss line reflects what was on disk beforehand. *)
@@ -274,12 +300,18 @@ let run_cmd =
                   postmortem_dir;
                 }
         in
+        let policy =
+          match policy with
+          | `Fixed -> `Fixed
+          | `Auto -> `Auto
+          | `Adaptive -> `Adaptive (Cx.adaptive ())
+        in
         let o =
           (* With --no-degrade (or an exhausted deadline) the native run
              surfaces its typed error; report it instead of a backtrace. *)
           match
-            Cx.run ~backend:b ~input ~cache ?cache_dir ?obs ~technique ~threads
-              wl
+            Cx.run ~backend:b ~input ~cache ?cache_dir ?obs ~policy ~technique
+              ~threads wl
           with
           | o -> o
           | exception Xinv_native.Fault.Injected { kind; domain; site } ->
@@ -309,6 +341,8 @@ let run_cmd =
         Printf.printf "  sequential cost  %s\n" (Cx.cost_to_string o.Cx.seq_cost);
         Printf.printf "  cost             %s\n" (Cx.cost_to_string o.Cx.cost);
         Printf.printf "  speedup          %.2fx\n" o.Cx.speedup;
+        if o.Cx.policy_source <> "fixed" then
+          Printf.printf "  policy source    %s\n" o.Cx.policy_source;
         (match cache with
         | `Off ->
             Printf.printf "  analysis         %.3f ms\n" (o.Cx.analysis_ns /. 1e6)
@@ -329,7 +363,9 @@ let run_cmd =
               (Cx.technique_name s.Cx.d_to)
               s.Cx.d_reason)
           o.Cx.degraded;
-        if o.Cx.degraded <> [] then
+        (* A resolved policy or a degradation can execute something other
+           than the requested technique; name it either way. *)
+        if o.Cx.degraded <> [] || o.Cx.technique <> technique then
           Printf.printf "  executed as      %s\n"
             (Cx.technique_name o.Cx.technique);
         List.iter
@@ -389,7 +425,7 @@ let run_cmd =
       const run $ wl_arg $ tech_arg $ run_threads_arg $ input_arg $ backend_arg
       $ domains_arg $ verbose $ stats $ inject_arg $ deadline_arg
       $ no_degrade_arg $ grain_arg $ batch_arg $ cache_mode_arg $ cache_dir_arg
-      $ flight_arg $ postmortem_dir_arg)
+      $ flight_arg $ postmortem_dir_arg $ policy_arg)
 
 (* ---- stats ---- *)
 
@@ -966,6 +1002,135 @@ let trace_cmd =
           it as a Perfetto trace with --out.")
     Term.(const run $ wl_arg $ tech_arg $ threads_arg $ width $ out)
 
+(* ---- tune ---- *)
+
+let tune_cmd =
+  let module Tune = Xinv_tune.Tune in
+  let module Search = Xinv_tune.Search in
+  let run wl budget strategy seed domains_max trial_deadline_ms input cache
+      cache_dir json stats =
+    if budget < 1 then usage_error "--budget must be >= 1 (got %d)" budget;
+    (match domains_max with
+    | Some d when d < 1 -> usage_error "--domains-max must be >= 1 (got %d)" d
+    | _ -> ());
+    (match trial_deadline_ms with
+    | Some ms when ms <= 0. ->
+        usage_error "--trial-deadline-ms must be > 0 (got %g)" ms
+    | _ -> ());
+    let obs = if stats then Some (Xinv_obs.Recorder.create ()) else None in
+    let r =
+      Tune.tune ?obs ~cache ?cache_dir ~input ~budget ~strategy ~seed
+        ?max_domains:domains_max ?trial_deadline_ms wl
+    in
+    if json then print_string (Tune.report_json r)
+    else begin
+      let t = r.Tune.tuned in
+      Printf.printf "tuned %s (%s input, %s search, seed %d, budget %d):\n"
+        r.Tune.workload
+        (Wl.Workload.input_name r.Tune.input)
+        (Search.strategy_name r.Tune.strategy)
+        r.Tune.seed r.Tune.budget;
+      Printf.printf "  source           %s%s\n"
+        (Tune.source_name r.Tune.source)
+        (match r.Tune.source with
+        | `Cached -> " (0 search trials this session)"
+        | `Searched ->
+            Printf.sprintf " (%d trials)" (List.length r.Tune.trials));
+      Printf.printf "  best policy      %s\n"
+        (Xinv_cache.Policy.key t.Xinv_cache.Policy.policy);
+      Printf.printf "  wall             %.3f ms\n"
+        (t.Xinv_cache.Policy.wall_ns /. 1e6);
+      Printf.printf "  sequential       %.3f ms\n"
+        (t.Xinv_cache.Policy.seq_wall_ns /. 1e6);
+      if t.Xinv_cache.Policy.wall_ns > 0. then
+        Printf.printf "  speedup          %.2fx\n"
+          (t.Xinv_cache.Policy.seq_wall_ns /. t.Xinv_cache.Policy.wall_ns);
+      List.iter
+        (fun (tr : Search.trial) ->
+          Printf.printf "  trial %-3d %-52s %s%s\n" tr.Search.t_index
+            (Xinv_cache.Policy.key tr.Search.t_policy)
+            (if Float.is_finite tr.Search.t_wall_ns then
+               Printf.sprintf "%.3f ms" (tr.Search.t_wall_ns /. 1e6)
+             else "failed")
+            (if tr.Search.t_pruned then " (pruned)"
+             else if not tr.Search.t_ok then " (not ok)"
+             else ""))
+        r.Tune.trials;
+      match obs with
+      | Some obs when stats ->
+          List.iter
+            (fun (name, v) -> Printf.printf "  %-32s %d\n" name v)
+            (Xinv_obs.Metrics.counters (Xinv_obs.Recorder.metrics obs))
+      | _ -> ()
+    end
+  in
+  let wl_arg =
+    Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
+  in
+  let budget =
+    Arg.(
+      value & opt int 32
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Maximum measured search trials (default 32).")
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt (enum [ ("hill", Search.Hill); ("ga", Search.Ga) ]) Search.Hill
+      & info [ "strategy" ] ~docv:"STRAT"
+          ~doc:
+            "Search strategy: $(b,hill) (seeded first-improvement \
+             hill-climbing with random restarts, the default) or $(b,ga) \
+             (generational crossover/mutation).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Deterministic search seed (default 42).")
+  in
+  let domains_max =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains-max" ] ~docv:"N"
+          ~doc:
+            "Cap the domain-count axis (default: the machine's recommended \
+             domain count).")
+  in
+  let trial_deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "trial-deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Hard per-trial watchdog deadline in milliseconds (default 2000; \
+             trials are also cut off at 1.5x the incumbent's wall time).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the $(b,xinv-tune/1) JSON report.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Instrument the search and print the tune.* counters.")
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Search for the fastest execution policy (backend, technique, \
+          domains, grain, batch, signature kind, speculative distance, epoch \
+          size) of one workload on this machine, and persist the winner in \
+          the analysis cache with --cache rw; a later tune or run --policy \
+          auto reuses it with zero search.")
+    Term.(
+      const run $ wl_arg $ budget $ strategy $ seed $ domains_max
+      $ trial_deadline $ input_arg $ cache_mode_arg $ cache_dir_arg $ json
+      $ stats)
+
 (* ---- cache ---- *)
 
 let cache_cmd =
@@ -985,13 +1150,25 @@ let cache_cmd =
       (Cmd.info "stats" ~doc:"Entry count, total size and quarantine count.")
       Term.(const run $ cache_dir_arg)
   in
+  let human_bytes n =
+    let f = float_of_int n in
+    if f >= 1048576. then Printf.sprintf "%.1f MiB" (f /. 1048576.)
+    else if f >= 1024. then Printf.sprintf "%.1f KiB" (f /. 1024.)
+    else Printf.sprintf "%d B" n
+  in
   let ls_c =
     let run dir =
       let dir = resolve dir in
+      let entries =
+        List.sort
+          (fun (a : Store.entry_info) (b : Store.entry_info) ->
+            Float.compare a.Store.e_mtime b.Store.e_mtime)
+          (Store.ls ~dir)
+      in
       List.iter
         (fun (e : Store.entry_info) ->
           (* Components stored per entry: D = DOMORE plan (or negative
-             verdict), P = SPECCROSS profile. *)
+             verdict), P = SPECCROSS profile, T = tuned policy. *)
           let components =
             match open_in_bin (Filename.concat dir (e.Store.e_fp ^ ".xc")) with
             | exception Sys_error _ -> "?"
@@ -1013,16 +1190,30 @@ let cache_cmd =
                         (match a.Xinv_cache.Artifact.profile with
                         | Some _ -> "P"
                         | None -> "-");
+                        (match a.Xinv_cache.Artifact.policy with
+                        | Some _ -> "T"
+                        | None -> "-");
                       ])
           in
-          Printf.printf "%s  %8d B  %s\n" e.Store.e_fp e.Store.e_bytes components)
-        (Store.ls ~dir)
+          let tm = Unix.localtime e.Store.e_mtime in
+          Printf.printf "%s  %10s  %04d-%02d-%02d %02d:%02d:%02d  %s\n"
+            e.Store.e_fp
+            (human_bytes e.Store.e_bytes)
+            (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+            tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec components)
+        entries;
+      let total = List.fold_left (fun n e -> n + e.Store.e_bytes) 0 entries in
+      Printf.printf "total: %d %s, %s\n" (List.length entries)
+        (if List.length entries = 1 then "entry" else "entries")
+        (human_bytes total)
     in
     Cmd.v
       (Cmd.info "ls"
          ~doc:
-           "List entries (oldest first) with size and stored components: D = \
-            DOMORE plan, d = cached inapplicability, P = SPECCROSS profile.")
+           "List entries sorted by modification time (oldest first) with \
+            human-readable size, timestamp and stored components — D = \
+            DOMORE plan, d = cached inapplicability, P = SPECCROSS profile, \
+            T = tuned policy — plus a totals footer.")
       Term.(const run $ cache_dir_arg)
   in
   let clear_c =
@@ -1050,6 +1241,6 @@ let main =
          "Cross-invocation parallelism using runtime information: DOMORE and \
           SPECCROSS on a simulated multicore.")
     [ list_cmd; run_cmd; stats_cmd; top_cmd; experiment_cmd; all_cmd; profile_cmd;
-      plan_cmd; trace_cmd; cache_cmd ]
+      plan_cmd; trace_cmd; tune_cmd; cache_cmd ]
 
 let () = exit (Cmd.eval main)

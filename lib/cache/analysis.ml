@@ -185,6 +185,29 @@ let plan t p env =
       | None -> fresh_plan t fp names "partial" p env)
   | Error why -> fresh_plan t fp names why p env
 
+let bump_policy_counter t name =
+  Obs.Metrics.incr (Obs.Metrics.counter (Store.metrics t.store) name)
+
+let cached_policy t p env =
+  let fp, names = Fingerprint.keyed p env in
+  match lookup t fp names with
+  | Ok { Artifact.policy = Some tuned; _ } ->
+      bump_policy_counter t "policy.cache.hit";
+      record t (Obs.Event.Fingerprint_hit { fp = Fingerprint.to_hex fp });
+      Some tuned
+  | Ok _ ->
+      bump_policy_counter t "policy.cache.miss";
+      None
+  | Error why ->
+      bump_policy_counter t "policy.cache.miss";
+      record t
+        (Obs.Event.Fingerprint_miss { fp = Fingerprint.to_hex fp; reason = why });
+      None
+
+let store_policy t p env tuned =
+  let fp, names = Fingerprint.keyed p env in
+  merge_save t fp names (fun a -> { a with Artifact.policy = Some tuned })
+
 let profile t p env =
   let fp, names = Fingerprint.keyed p env in
   let fresh why =

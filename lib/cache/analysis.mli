@@ -38,6 +38,20 @@ val plan : t -> Xinv_ir.Program.t -> Xinv_ir.Env.t -> Xinv_ir.Mtcg.verdict
     rejects is rejected from the cache with the same reason, without
     rebuilding the PDG. *)
 
+val cached_policy :
+  t -> Xinv_ir.Program.t -> Xinv_ir.Env.t -> Policy.tuned option
+(** The tuned execution policy stored for this workload's fingerprint, if
+    any.  Same hit discipline as {!plan}/{!profile} (fingerprint + name
+    vector must match, decode must succeed) but accounted under the
+    [policy.cache.hit]/[policy.cache.miss] counters instead of
+    [cache.hit]/[cache.miss]: a missing policy must not make a run that
+    replayed its whole analysis look like a partial cache hit. *)
+
+val store_policy :
+  t -> Xinv_ir.Program.t -> Xinv_ir.Env.t -> Policy.tuned -> unit
+(** Merge the tuned policy into the fingerprint's artifact and publish
+    atomically ([`Rw] only; a no-op in [`Ro]). *)
+
 val profile :
   t -> Xinv_ir.Program.t -> Xinv_ir.Env.t -> Xinv_speccross.Profiler.t
 (** Cached [Profiler.profile].  On a miss the underlying profiling run

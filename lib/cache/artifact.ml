@@ -12,14 +12,23 @@ type t = {
   scc_order : int list list option;
   domore : (domore, string) result option;
   profile : Xinv_speccross.Profiler.t option;
+  policy : Policy.tuned option;
 }
 
 let empty ~names =
-  { names; pdg_edges = None; scc_order = None; domore = None; profile = None }
+  {
+    names;
+    pdg_edges = None;
+    scc_order = None;
+    domore = None;
+    profile = None;
+    policy = None;
+  }
 
 let magic = "xinvcache\n"
 
-let schema_version = 1
+(* v2: the bundle gained the tuned execution policy. *)
+let schema_version = 2
 
 (* The payload is a Marshal image of the closure-free record above.  Marshal
    output is only guaranteed readable by a compatible runtime, which is

@@ -39,6 +39,10 @@ type t = {
       (** [Some (Error reason)] caches DOMORE inapplicability *)
   profile : Xinv_speccross.Profiler.t option;
       (** SPECCROSS dependence-distance profile of this exact input *)
+  policy : Policy.tuned option;
+      (** autotuned execution policy ([xinv tune]): the fastest measured
+          point of the policy space for this fingerprint on some machine,
+          with the evidence (wall times, trials, seed) that chose it *)
 }
 
 val empty : names:string list -> t

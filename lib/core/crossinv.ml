@@ -101,6 +101,7 @@ type outcome = {
   cache_misses : int;
   flight : Xinv_obs.Flight.t option;
   postmortems : string list;
+  policy_source : string;
 }
 
 (* ---- analysis front door ----
@@ -222,10 +223,32 @@ let spec_distance_of prof ~workers =
       Stdlib.max (4 * workers)
         (int_of_float (4. *. prof.Xinv_speccross.Profiler.avg_tasks_per_epoch))
 
+(* ---- tunable SPECCROSS knobs ----
+
+   The signature scheme and the speculative distance were hard-wired
+   (Segmented over the live memory bounds; the profiled distance); both are
+   now policy axes.  [None] keeps the historical default, so every existing
+   call site is unchanged. *)
+
+let reify_sig sel env =
+  match sel with
+  | None | Some `Segmented ->
+      Xinv_runtime.Signature.Segmented (Ir.Memory.bounds env.Ir.Env.mem)
+  | Some `Range -> Xinv_runtime.Signature.Range
+  | Some `Bloom -> Xinv_runtime.Signature.Bloom { bits = 4096; hashes = 3 }
+  | Some `Exact -> Xinv_runtime.Signature.Exact
+
+(* An overridden distance below the worker count would let the throttle
+   strangle the pipeline; clamp like the profiled default does. *)
+let resolve_spec_distance override prof ~workers =
+  match override with
+  | Some d -> Stdlib.max workers d
+  | None -> spec_distance_of prof ~workers
+
 (* ---- simulated backend ---- *)
 
-let run_sim ~actx ~machine ~input ~checkpoint_every ?obs ~technique ~threads
-    (wl : Wl.Workload.t) =
+let run_sim ~actx ~machine ~input ~checkpoint_every ~sig_sel ~spec_override
+    ?obs ~technique ~threads (wl : Wl.Workload.t) =
   let program = wl.Wl.Workload.program input in
   let env = wl.Wl.Workload.fresh_env input in
   let plan = Wl.Workload.plan_fn wl in
@@ -302,10 +325,9 @@ let run_sim ~actx ~machine ~input ~checkpoint_every ?obs ~technique ~threads
             {
               Xinv_speccross.Runtime.machine;
               workers;
-              sig_kind =
-                Xinv_runtime.Signature.Segmented (Ir.Memory.bounds env.Ir.Env.mem);
+              sig_kind = reify_sig sig_sel env;
               checkpoint_every;
-              spec_distance = spec_distance_of prof ~workers;
+              spec_distance = resolve_spec_distance spec_override prof ~workers;
               mode_of = spec_mode_of_plan wl;
               inject_misspec = inject;
               non_spec_barriers = false;
@@ -333,7 +355,7 @@ let native_pool_size ~technique ~threads =
 
 (* One native attempt of one technique; raises on failure. *)
 let run_native_once ~actx ~opts ~wd ~fault ?fr ~input ~checkpoint_every
-    ~technique ~threads (wl : Wl.Workload.t) env =
+    ~sig_sel ~spec_override ~technique ~threads (wl : Wl.Workload.t) env =
   let program = wl.Wl.Workload.program input in
   let plan = Wl.Workload.plan_fn wl in
   let work = opts.work in
@@ -394,10 +416,9 @@ let run_native_once ~actx ~opts ~wd ~fault ?fr ~input ~checkpoint_every
         let config =
           {
             (Nat.Nspec.default_config ~workers) with
-            Nat.Nspec.sig_kind =
-              Xinv_runtime.Signature.Segmented (Ir.Memory.bounds env.Ir.Env.mem);
+            Nat.Nspec.sig_kind = reify_sig sig_sel env;
             checkpoint_every;
-            spec_distance = spec_distance_of prof ~workers;
+            spec_distance = resolve_spec_distance spec_override prof ~workers;
             mode_of = spec_mode_of_plan wl;
             inject_misspec = inject;
             work;
@@ -457,8 +478,19 @@ let bump_counter obs name v =
         let m = Xinv_obs.Recorder.metrics r in
         Xinv_obs.Metrics.add (Xinv_obs.Metrics.counter m name) v
 
-let run_native ~actx ~opts ~input ~checkpoint_every ?obs ~technique ~threads
-    (wl : Wl.Workload.t) =
+(* Flight-recorder marks on ring 0 encode where the run's configuration
+   came from, so a postmortem names the policy source without the obs
+   recorder attached. *)
+let source_code source =
+  match source with
+  | "fixed" -> 0
+  | "cached" -> 1
+  | "searched" -> 2
+  | "default" -> 3
+  | _ -> 4 (* adaptive:* *)
+
+let run_native ~actx ~opts ~source ~input ~checkpoint_every ?obs ~sig_sel
+    ~spec_override ~technique ~threads (wl : Wl.Workload.t) =
   let program = wl.Wl.Workload.program input in
   (* Wall-clock baseline and bit-exact reference memory in one pass. *)
   let seq_env = wl.Wl.Workload.fresh_env input in
@@ -549,6 +581,9 @@ let run_native ~actx ~opts ~input ~checkpoint_every ?obs ~technique ~threads
                  ~domains:flight_domains ())
         in
         last_flight := fr;
+        (match fr with
+        | Some f -> Xinv_obs.Flight.mark f ~domain:0 (source_code source)
+        | None -> ());
         (match (opts.on_flight, fr) with
         | Some f, Some flight -> f flight
         | _ -> ());
@@ -558,7 +593,7 @@ let run_native ~actx ~opts ~input ~checkpoint_every ?obs ~technique ~threads
         in
         match
           run_native_once ~actx ~opts ~wd ~fault ?fr ~input ~checkpoint_every
-            ~technique:tech ~threads wl env
+            ~sig_sel ~spec_override ~technique:tech ~threads wl env
         with
         | result -> finish result
         | exception e when rest <> [] && opts.degrade && degradable e ->
@@ -619,18 +654,17 @@ let run_native ~actx ~opts ~input ~checkpoint_every ?obs ~technique ~threads
 
 (* ---- unified entry point ---- *)
 
-let run ?(backend = `Sim None) ?(input = Wl.Workload.Ref)
-    ?(checkpoint_every = 1000) ?(verify = true) ?(cache = `Off) ?cache_dir ?obs
-    ~technique ~threads (wl : Wl.Workload.t) =
+(* One fully-resolved execution: every knob pinned, no policy lookup. *)
+let run_configured ~actx ~source ~backend ~input ~checkpoint_every ~verify ?obs
+    ~sig_sel ~spec_override ~technique ~threads (wl : Wl.Workload.t) =
   assert (threads > 0);
-  let actx = analysis_ctx ?obs cache cache_dir in
   match backend with
   | `Sim machine ->
       let machine = Option.value machine ~default:Sim.Machine.default in
       let seq_cost, seq_env = sequential_cost wl input in
       let run, profile, env =
-        run_sim ~actx ~machine ~input ~checkpoint_every ?obs ~technique
-          ~threads wl
+        run_sim ~actx ~machine ~input ~checkpoint_every ~sig_sel ~spec_override
+          ?obs ~technique ~threads wl
       in
       let mismatches =
         if verify && technique <> Sequential then
@@ -661,12 +695,13 @@ let run ?(backend = `Sim None) ?(input = Wl.Workload.Ref)
         cache_misses = snd (cache_stats actx);
         flight = None;
         postmortems = [];
+        policy_source = source;
       }
   | `Native opts ->
       let ( nrun, seq_run, profile, env, seq_env, executed, degraded, flight,
             postmortems ) =
-        run_native ~actx ~opts ~input ~checkpoint_every ?obs ~technique
-          ~threads wl
+        run_native ~actx ~opts ~source ~input ~checkpoint_every ?obs ~sig_sel
+          ~spec_override ~technique ~threads wl
       in
       let requested_sequential = technique = Sequential && degraded = [] in
       let mismatches =
@@ -691,7 +726,197 @@ let run ?(backend = `Sim None) ?(input = Wl.Workload.Ref)
         cache_misses = snd (cache_stats actx);
         flight;
         postmortems;
+        policy_source = source;
       }
+
+(* ---- policy resolution ---- *)
+
+let technique_of_policy (p : Cache.Policy.t) =
+  match technique_of_string p.Cache.Policy.technique with
+  | Some t -> t
+  | None -> Sequential
+
+(* The policy pins the performance axes (grain, batch); the caller's
+   native_opts keep supplying the environmental ones (work model, pool,
+   faults, deadlines, flight recording). *)
+let backend_of_policy ~native (p : Cache.Policy.t) =
+  match p.Cache.Policy.backend with
+  | `Sim -> `Sim None
+  | `Native ->
+      `Native
+        { native with grain = p.Cache.Policy.grain; batch = p.Cache.Policy.batch }
+
+let run_with_policy ~actx ~source ~native ~input ~verify ?obs
+    (p : Cache.Policy.t) wl =
+  run_configured ~actx ~source
+    ~backend:(backend_of_policy ~native p)
+    ~input ~checkpoint_every:p.Cache.Policy.epoch_size ~verify ?obs
+    ~sig_sel:(Some p.Cache.Policy.sig_kind)
+    ~spec_override:p.Cache.Policy.spec_distance
+    ~technique:(technique_of_policy p)
+    ~threads:(Stdlib.max 1 p.Cache.Policy.domains)
+    wl
+
+(* ---- online adaptive controller ---- *)
+
+type adaptive_phase = [ `Probing | `Candidate | `Sequential ]
+
+type adaptive = {
+  a_probe_runs : int;
+  a_margin : float;
+  mutable a_runs : int;
+  mutable a_cand_ns : float;
+  mutable a_seq_ns : float;
+  mutable a_phase : adaptive_phase;
+  mutable a_bad : int;
+  mutable a_switches : int;
+}
+
+let adaptive ?(probe_runs = 3) ?(margin = 1.1) () =
+  {
+    a_probe_runs = Stdlib.max 1 probe_runs;
+    a_margin = margin;
+    a_runs = 0;
+    a_cand_ns = 0.;
+    a_seq_ns = 0.;
+    a_phase = `Probing;
+    a_bad = 0;
+    a_switches = 0;
+  }
+
+let adaptive_phase t = t.a_phase
+let adaptive_switches t = t.a_switches
+
+(* One observation of the candidate policy against the sequential baseline
+   measured inside the same run.  Pure decision logic — no events — so tests
+   can drive the state machine with synthetic timings. *)
+let adaptive_note t ~cand_ns ~seq_ns =
+  t.a_runs <- t.a_runs + 1;
+  t.a_cand_ns <- t.a_cand_ns +. cand_ns;
+  t.a_seq_ns <- t.a_seq_ns +. seq_ns;
+  match t.a_phase with
+  | `Sequential -> `Keep
+  | `Probing ->
+      if t.a_runs < t.a_probe_runs then `Keep
+      else if t.a_cand_ns <= t.a_margin *. t.a_seq_ns then begin
+        t.a_phase <- `Candidate;
+        `Keep
+      end
+      else begin
+        t.a_phase <- `Sequential;
+        t.a_switches <- t.a_switches + 1;
+        `Switch
+      end
+  | `Candidate ->
+      if cand_ns > t.a_margin *. seq_ns then begin
+        t.a_bad <- t.a_bad + 1;
+        if t.a_bad >= 2 then begin
+          t.a_phase <- `Sequential;
+          t.a_switches <- t.a_switches + 1;
+          `Switch
+        end
+        else `Keep
+      end
+      else begin
+        t.a_bad <- 0;
+        `Keep
+      end
+
+type policy = [ `Fixed | `Auto | `Adaptive of adaptive ]
+
+let run ?(backend = `Sim None) ?(input = Wl.Workload.Ref)
+    ?(checkpoint_every = 1000) ?(verify = true) ?(cache = `Off) ?cache_dir ?obs
+    ?(policy = `Fixed) ?sig_kind ?spec_distance ~technique ~threads
+    (wl : Wl.Workload.t) =
+  assert (threads > 0);
+  let actx = analysis_ctx ?obs cache cache_dir in
+  let lookup_tuned () =
+    match actx.a_cache with
+    | None -> None
+    | Some c ->
+        timed actx (fun () ->
+            Cache.Analysis.cached_policy c
+              (wl.Wl.Workload.program input)
+              (wl.Wl.Workload.fresh_env input))
+  in
+  let native_of_backend () =
+    match backend with `Native o -> o | `Sim _ -> native_defaults
+  in
+  let run_caller_config ~source =
+    run_configured ~actx ~source ~backend ~input ~checkpoint_every ~verify ?obs
+      ~sig_sel:sig_kind ~spec_override:spec_distance ~technique ~threads wl
+  in
+  match policy with
+  | `Fixed -> run_caller_config ~source:"fixed"
+  | `Auto -> (
+      match lookup_tuned () with
+      | Some tuned ->
+          let p = tuned.Cache.Policy.policy in
+          bump_counter obs "policy.source.cached" 1;
+          record_event obs
+            (Xinv_obs.Event.Policy_applied
+               { source = "cached"; policy = Cache.Policy.to_string p });
+          run_with_policy ~actx ~source:"cached" ~native:(native_of_backend ())
+            ~input ~verify ?obs p wl
+      | None ->
+          bump_counter obs "policy.source.default" 1;
+          record_event obs
+            (Xinv_obs.Event.Policy_applied
+               { source = "default"; policy = technique_name technique });
+          run_caller_config ~source:"default")
+  | `Adaptive ctl ->
+      let o =
+        match ctl.a_phase with
+        | `Sequential ->
+            run_configured ~actx ~source:"adaptive:sequential" ~backend ~input
+              ~checkpoint_every ~verify ?obs ~sig_sel:None ~spec_override:None
+              ~technique:Sequential ~threads:1 wl
+        | `Probing | `Candidate -> (
+            match lookup_tuned () with
+            | Some tuned ->
+                run_with_policy ~actx ~source:"adaptive:cached"
+                  ~native:(native_of_backend ()) ~input ~verify ?obs
+                  tuned.Cache.Policy.policy wl
+            | None -> run_caller_config ~source:"adaptive:default")
+      in
+      (match ctl.a_phase with
+      | `Sequential -> ()
+      | `Probing | `Candidate -> (
+          let from_phase =
+            match ctl.a_phase with `Probing -> "probe" | _ -> "candidate"
+          in
+          match
+            adaptive_note ctl ~cand_ns:(cost_value o.cost)
+              ~seq_ns:(cost_value o.seq_cost)
+          with
+          | `Keep -> ()
+          | `Switch ->
+              let ratio =
+                if cost_value o.seq_cost > 0. then
+                  ctl.a_cand_ns /. Stdlib.max 1. ctl.a_seq_ns
+                else 0.
+              in
+              bump_counter obs "tune.switch" 1;
+              record_event obs
+                (Xinv_obs.Event.Tune_switch
+                   {
+                     from_ =
+                       Printf.sprintf "%s:%s" from_phase
+                         (technique_name o.technique);
+                     to_ = "sequential";
+                     reason =
+                       Printf.sprintf "candidate at %.2fx of sequential" ratio;
+                   })));
+      o
+
+let run_policy ?(input = Wl.Workload.Ref) ?(verify = true) ?(cache = `Off)
+    ?cache_dir ?obs ?(native = native_defaults) ?(source = "searched")
+    (p : Cache.Policy.t) wl =
+  let actx = analysis_ctx ?obs cache cache_dir in
+  bump_counter obs ("policy.source." ^ source) 1;
+  record_event obs
+    (Xinv_obs.Event.Policy_applied { source; policy = Cache.Policy.to_string p });
+  run_with_policy ~actx ~source ~native ~input ~verify ?obs p wl
 
 (* ---- deprecated wrappers ---- *)
 

@@ -112,6 +112,12 @@ type outcome = {
   postmortems : string list;
       (** text postmortem paths written during this run, in degradation
           order (each sits next to a [.trace.json] Perfetto dump) *)
+  policy_source : string;
+      (** where the run's configuration came from: ["fixed"] (caller's
+          arguments, the default), ["cached"] / ["default"] for
+          [~policy:`Auto], ["searched"] for {!run_policy}, or
+          ["adaptive:cached"] / ["adaptive:default"] /
+          ["adaptive:sequential"] under the online controller *)
 }
 
 val applicable :
@@ -130,6 +136,40 @@ val applicable :
 val supported : backend:[ `Sim | `Native ] -> technique list
 (** Techniques with an engine on the backend. *)
 
+(** {1 Execution policies}
+
+    The facade can take its configuration from three places: the caller's
+    arguments ([`Fixed], the historical behaviour), a tuned policy
+    persisted in the analysis cache by the {!Xinv_tune} autotuner
+    ([`Auto]), or an online controller that probes a candidate policy
+    against the per-run sequential baseline and abandons it mid-stream
+    when it does not pay ([`Adaptive]). *)
+
+type adaptive
+(** Mutable controller state shared across a stream of {!run} calls. *)
+
+type adaptive_phase = [ `Probing | `Candidate | `Sequential ]
+
+val adaptive : ?probe_runs:int -> ?margin:float -> unit -> adaptive
+(** A fresh controller: the first [probe_runs] (default 3) invocations run
+    the candidate policy; if their cumulative wall time stays within
+    [margin] (default 1.1) of the cumulative sequential baseline the
+    candidate is committed, otherwise the stream switches to sequential
+    execution.  A committed candidate is still watched: two consecutive
+    losing runs switch to sequential for the rest of the stream, so an
+    adaptive stream can never end slower than [margin] × sequential. *)
+
+val adaptive_phase : adaptive -> adaptive_phase
+val adaptive_switches : adaptive -> int
+
+val adaptive_note :
+  adaptive -> cand_ns:float -> seq_ns:float -> [ `Keep | `Switch ]
+(** The controller's decision function, exposed for tests: feed one
+    run's candidate and sequential timings, get the transition. {!run}
+    with [~policy:(`Adaptive ctl)] calls this internally. *)
+
+type policy = [ `Fixed | `Auto | `Adaptive of adaptive ]
+
 val run :
   ?backend:backend ->
   ?input:Xinv_workloads.Workload.input ->
@@ -138,6 +178,9 @@ val run :
   ?cache:[ `Off | `Ro | `Rw ] ->
   ?cache_dir:string ->
   ?obs:Xinv_obs.Recorder.t ->
+  ?policy:policy ->
+  ?sig_kind:[ `Range | `Segmented | `Bloom | `Exact ] ->
+  ?spec_distance:int ->
   technique:technique ->
   threads:int ->
   Xinv_workloads.Workload.t ->
@@ -173,8 +216,45 @@ val run :
     [degrade] off, the typed error ({!Xinv_native.Fault.Injected},
     {!Xinv_native.Watchdog.Stalled}, …) is raised instead.
 
+    [?policy] (default [`Fixed]) selects where the configuration comes
+    from.  [`Auto] looks the workload's fingerprint up in the analysis
+    cache: a stored tuned policy overrides backend, technique, threads,
+    grain, batch, signature kind, speculative distance and epoch size
+    (the caller's [native_opts] keep supplying work model, pool, faults,
+    deadlines and flight recording); on a miss the caller's configuration
+    runs unchanged with [policy_source = "default"].  [`Adaptive ctl]
+    runs the [`Auto] resolution while the controller probes, and switches
+    the stream to sequential execution when the candidate does not pay
+    (see {!adaptive}).  Policy resolution bumps the
+    [policy.source.cached|searched|default] counters and emits
+    [Policy_applied] / [Tune_switch] events when [?obs] is attached.
+
+    [?sig_kind] and [?spec_distance] expose the two previously hard-wired
+    SPECCROSS knobs (default: [`Segmented] over live memory bounds; the
+    profiled distance).  A [spec_distance] below the worker count is
+    clamped up to it.
+
     @raise Failure when the technique is inapplicable to the backend
     (see {!applicable}). *)
+
+val run_policy :
+  ?input:Xinv_workloads.Workload.input ->
+  ?verify:bool ->
+  ?cache:[ `Off | `Ro | `Rw ] ->
+  ?cache_dir:string ->
+  ?obs:Xinv_obs.Recorder.t ->
+  ?native:native_opts ->
+  ?source:string ->
+  Xinv_cache.Policy.t ->
+  Xinv_workloads.Workload.t ->
+  outcome
+(** Reify a {!Xinv_cache.Policy.t} into one run: backend, technique,
+    threads, grain, batch, signature kind, speculative distance and epoch
+    size all come from the policy; [?native] (default {!native_defaults})
+    supplies the environmental knobs.  This is the measurement primitive
+    the {!Xinv_tune} search and the tuned benchmark drive.  [?source]
+    (default ["searched"]) labels the outcome's [policy_source] and the
+    [policy.source.*] counter. *)
 
 val spec_mode_of_plan :
   Xinv_workloads.Workload.t -> string -> Xinv_speccross.Runtime.mode

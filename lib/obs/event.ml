@@ -45,6 +45,9 @@ type t =
   | Degraded of { from_ : string; to_ : string; reason : string }
   | Fingerprint_hit of { fp : string }
   | Fingerprint_miss of { fp : string; reason : string }
+  | Policy_applied of { source : string; policy : string }
+  | Tune_trial of { policy : string; wall_ns : float; pruned : bool }
+  | Tune_switch of { from_ : string; to_ : string; reason : string }
 
 let name = function
   | Sync_forwarded _ -> "sync_forwarded"
@@ -62,6 +65,9 @@ let name = function
   | Degraded _ -> "degraded"
   | Fingerprint_hit _ -> "fingerprint_hit"
   | Fingerprint_miss _ -> "fingerprint_miss"
+  | Policy_applied _ -> "policy_applied"
+  | Tune_trial _ -> "tune_trial"
+  | Tune_switch _ -> "tune_switch"
 
 type arg = I of int | F of float | B of bool | S of string
 
@@ -88,3 +94,9 @@ let args = function
       [ ("from", S from_); ("to", S to_); ("reason", S reason) ]
   | Fingerprint_hit { fp } -> [ ("fp", S fp) ]
   | Fingerprint_miss { fp; reason } -> [ ("fp", S fp); ("reason", S reason) ]
+  | Policy_applied { source; policy } ->
+      [ ("source", S source); ("policy", S policy) ]
+  | Tune_trial { policy; wall_ns; pruned } ->
+      [ ("policy", S policy); ("wall_ns", F wall_ns); ("pruned", B pruned) ]
+  | Tune_switch { from_; to_; reason } ->
+      [ ("from", S from_); ("to", S to_); ("reason", S reason) ]

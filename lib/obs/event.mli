@@ -52,6 +52,15 @@ type t =
   | Fingerprint_miss of { fp : string; reason : string }
       (** the analysis cache could not serve the fingerprint ([reason]:
           absent, partial, alias, corrupt, version, …) and fresh analysis ran *)
+  | Policy_applied of { source : string; policy : string }
+      (** the facade resolved the run's execution policy ([source]: cached,
+          searched, default or adaptive) *)
+  | Tune_trial of { policy : string; wall_ns : float; pruned : bool }
+      (** the autotuner measured one candidate policy ([pruned] when the
+          per-trial watchdog deadline cut it off as slower than the
+          incumbent) *)
+  | Tune_switch of { from_ : string; to_ : string; reason : string }
+      (** the online adaptive controller switched policy mid-stream *)
 
 val name : t -> string
 (** Short stable identifier, used as the Perfetto event name. *)

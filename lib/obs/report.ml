@@ -123,7 +123,10 @@ let build ~engine ?recorder () =
           | Event.Fault_injected _ | Event.Run_stalled _ | Event.Degraded _ ->
               ()
           (* Cache events surface through the cache.* counters. *)
-          | Event.Fingerprint_hit _ | Event.Fingerprint_miss _ -> ())
+          | Event.Fingerprint_hit _ | Event.Fingerprint_miss _ -> ()
+          (* Tuning events surface through the tune.*/policy.* counters. *)
+          | Event.Policy_applied _ | Event.Tune_trial _ | Event.Tune_switch _
+            -> ())
         r);
   let stall_events =
     List.filter_map

@@ -1,0 +1,186 @@
+module Policy = Xinv_cache.Policy
+module Obs = Xinv_obs
+module Prng = Xinv_util.Prng
+
+type strategy = Hill | Ga
+
+let strategy_name = function Hill -> "hill" | Ga -> "ga"
+
+let strategy_of_string s =
+  match String.lowercase_ascii s with
+  | "hill" | "hillclimb" | "hill-climb" -> Some Hill
+  | "ga" | "genetic" -> Some Ga
+  | _ -> None
+
+type measurement = {
+  m_wall_ns : float;
+  m_seq_ns : float;
+  m_ok : bool;
+  m_pruned : bool;
+}
+
+type trial = {
+  t_index : int;
+  t_policy : Policy.t;
+  t_wall_ns : float;
+  t_seq_ns : float;
+  t_ok : bool;
+  t_pruned : bool;
+}
+
+type result = {
+  best : Policy.t;
+  best_wall_ns : float;
+  best_seq_ns : float;
+  evaluated : int;
+  trials : trial list;
+}
+
+exception Budget_exhausted
+
+type state = {
+  rng : Prng.t;
+  axes : Space.axes;
+  budget : int;
+  obs : Obs.Recorder.t option;
+  measure : incumbent_ns:float -> Policy.t -> measurement;
+  seen : (string, measurement) Hashtbl.t;
+  mutable n : int;
+  mutable log : trial list;  (* reverse evaluation order *)
+  mutable best : Policy.t;
+  mutable best_wall : float;
+  mutable best_seq : float;
+}
+
+let note st p m =
+  match st.obs with
+  | None -> ()
+  | Some r ->
+      Obs.Metrics.incr (Obs.Metrics.counter (Obs.Recorder.metrics r) "tune.trial");
+      Obs.Recorder.record r ~at:0. ~tid:0
+        (Obs.Event.Tune_trial
+           { policy = Policy.key p; wall_ns = m.m_wall_ns; pruned = m.m_pruned })
+
+(* Comparison score: failed or pruned trials never become the incumbent. *)
+let score m = if m.m_ok && not m.m_pruned then m.m_wall_ns else Float.infinity
+
+let eval st p =
+  let p = Space.canon p in
+  let k = Policy.key p in
+  match Hashtbl.find_opt st.seen k with
+  | Some m -> m
+  | None ->
+      if st.n >= st.budget then raise Budget_exhausted;
+      st.n <- st.n + 1;
+      let m = st.measure ~incumbent_ns:st.best_wall p in
+      Hashtbl.add st.seen k m;
+      st.log <-
+        {
+          t_index = st.n;
+          t_policy = p;
+          t_wall_ns = m.m_wall_ns;
+          t_seq_ns = m.m_seq_ns;
+          t_ok = m.m_ok;
+          t_pruned = m.m_pruned;
+        }
+        :: st.log;
+      note st p m;
+      if score m < st.best_wall then begin
+        st.best <- p;
+        st.best_wall <- m.m_wall_ns;
+        st.best_seq <- m.m_seq_ns
+      end;
+      m
+
+(* First-improvement climb: shuffle the neighbourhood, move to the first
+   neighbour that beats the current point, repeat until none does. *)
+let climb st start =
+  let cur = ref (Space.canon start) in
+  let cur_score = ref (score (eval st !cur)) in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let nbrs = Array.of_list (Space.neighbours st.axes !cur) in
+    Prng.shuffle st.rng nbrs;
+    (try
+       Array.iter
+         (fun p ->
+           let s = score (eval st p) in
+           if s < !cur_score then begin
+             cur := p;
+             cur_score := s;
+             improved := true;
+             raise Exit
+           end)
+         nbrs
+     with Exit -> ())
+  done
+
+let hill st =
+  List.iter (climb st) (Space.seeds st.axes);
+  (* Random restarts with whatever budget remains.  The attempt bound
+     terminates the loop when the space is exhausted and every random
+     point is a (free, cached) re-visit. *)
+  let attempts = ref 0 in
+  let max_attempts = 8 * st.budget in
+  while st.n < st.budget && !attempts < max_attempts do
+    incr attempts;
+    climb st (Space.random st.rng st.axes)
+  done
+
+let ga st =
+  let pop_size = 6 and elite = 3 in
+  let pop = ref (Space.seeds st.axes) in
+  while List.length !pop < pop_size do
+    pop := !pop @ [ Space.random st.rng st.axes ]
+  done;
+  let gens = ref 0 in
+  let max_gens = 4 * st.budget in
+  while st.n < st.budget && !gens < max_gens do
+    incr gens;
+    let scored = List.map (fun p -> (score (eval st p), p)) !pop in
+    let sorted =
+      List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) scored
+    in
+    let elites =
+      List.filteri (fun i _ -> i < elite) sorted |> List.map snd
+    in
+    let parent () = List.nth elites (Prng.int st.rng (List.length elites)) in
+    let children =
+      List.init
+        (pop_size - List.length elites)
+        (fun _ ->
+          let child = Space.crossover st.rng (parent ()) (parent ()) in
+          if Prng.chance st.rng 0.7 then Space.mutate st.rng st.axes child
+          else child)
+    in
+    pop := elites @ children
+  done
+
+let search ?obs ~strategy ~budget ~seed ~axes ~measure () =
+  let st =
+    {
+      rng = Prng.create ~seed;
+      axes;
+      budget = Stdlib.max 1 budget;
+      obs;
+      measure;
+      seen = Hashtbl.create 64;
+      n = 0;
+      log = [];
+      best = Policy.default;
+      best_wall = Float.infinity;
+      best_seq = 0.;
+    }
+  in
+  (try
+     ignore (eval st Policy.default);
+     match strategy with Hill -> hill st | Ga -> ga st
+   with Budget_exhausted -> ());
+  {
+    best = st.best;
+    best_wall_ns = st.best_wall;
+    best_seq_ns = st.best_seq;
+    evaluated = st.n;
+    trials = List.rev st.log;
+  }

@@ -1,0 +1,162 @@
+module Policy = Xinv_cache.Policy
+module Core = Xinv_core
+module Wl = Xinv_workloads
+module Prng = Xinv_util.Prng
+
+type axes = {
+  backends : Policy.backend list;
+  techniques : string list;
+  domains : int list;
+  grains : int list;
+  batches : int list;
+  sigs : Policy.sig_kind list;
+  spec_distances : int option list;
+  epochs : int list;
+}
+
+let default_axes ?max_domains (wl : Wl.Workload.t) =
+  let cores =
+    match max_domains with
+    | Some n -> Stdlib.max 1 n
+    | None -> Domain.recommended_domain_count ()
+  in
+  let techniques =
+    List.filter_map
+      (fun t ->
+        match Core.Crossinv.applicable ~backend:`Native t wl with
+        | Ok () -> Some (Core.Crossinv.technique_name t)
+        | Error _ -> None)
+      Core.Crossinv.
+        [ Sequential; Barrier; Domore; Domore_dup; Speccross ]
+  in
+  {
+    backends = [ `Native ];
+    techniques;
+    domains = List.filter (fun d -> d <= cores) [ 1; 2; 4 ];
+    grains = [ 1; 4; 16; 64 ];
+    batches = [ 1; 32; 128 ];
+    sigs = [ `Segmented; `Range; `Bloom ];
+    spec_distances = [ None; Some 4; Some 16; Some 64 ];
+    epochs = [ 250; 1000; 4000 ];
+  }
+
+let size a =
+  List.length a.backends * List.length a.techniques * List.length a.domains
+  * List.length a.grains * List.length a.batches * List.length a.sigs
+  * List.length a.spec_distances * List.length a.epochs
+
+let canon (p : Policy.t) =
+  let d = Policy.default in
+  match p.Policy.technique with
+  | "sequential" ->
+      {
+        p with
+        Policy.domains = 1;
+        grain = d.Policy.grain;
+        batch = d.Policy.batch;
+        sig_kind = d.Policy.sig_kind;
+        spec_distance = None;
+        epoch_size = d.Policy.epoch_size;
+      }
+  | "barrier" ->
+      (* The barrier engine has no publish protocol, signatures or
+         checkpoints; only domains and grain are live. *)
+      {
+        p with
+        Policy.batch = d.Policy.batch;
+        sig_kind = d.Policy.sig_kind;
+        spec_distance = None;
+        epoch_size = d.Policy.epoch_size;
+      }
+  | "domore" | "domore-dup" ->
+      {
+        p with
+        Policy.sig_kind = d.Policy.sig_kind;
+        spec_distance = None;
+        epoch_size = d.Policy.epoch_size;
+      }
+  | "speccross" ->
+      (* SPECCROSS dispatches speculative blocks by grain but never
+         batches publishes. *)
+      { p with Policy.batch = d.Policy.batch }
+  | _ -> p
+
+let pick rng l = List.nth l (Prng.int rng (List.length l))
+
+let random rng a =
+  canon
+    {
+      Policy.backend = pick rng a.backends;
+      technique = pick rng a.techniques;
+      domains = pick rng a.domains;
+      grain = pick rng a.grains;
+      batch = pick rng a.batches;
+      sig_kind = pick rng a.sigs;
+      spec_distance = pick rng a.spec_distances;
+      epoch_size = pick rng a.epochs;
+    }
+
+let mutate rng a (p : Policy.t) =
+  let p =
+    match Prng.int rng 7 with
+    | 0 -> { p with Policy.technique = pick rng a.techniques }
+    | 1 -> { p with Policy.domains = pick rng a.domains }
+    | 2 -> { p with Policy.grain = pick rng a.grains }
+    | 3 -> { p with Policy.batch = pick rng a.batches }
+    | 4 -> { p with Policy.sig_kind = pick rng a.sigs }
+    | 5 -> { p with Policy.spec_distance = pick rng a.spec_distances }
+    | _ -> { p with Policy.epoch_size = pick rng a.epochs }
+  in
+  canon p
+
+let crossover rng (a : Policy.t) (b : Policy.t) =
+  let side x y = if Prng.bool rng then x else y in
+  canon
+    {
+      Policy.backend = side a.Policy.backend b.Policy.backend;
+      technique = side a.Policy.technique b.Policy.technique;
+      domains = side a.Policy.domains b.Policy.domains;
+      grain = side a.Policy.grain b.Policy.grain;
+      batch = side a.Policy.batch b.Policy.batch;
+      sig_kind = side a.Policy.sig_kind b.Policy.sig_kind;
+      spec_distance = side a.Policy.spec_distance b.Policy.spec_distance;
+      epoch_size = side a.Policy.epoch_size b.Policy.epoch_size;
+    }
+
+let dedup ps =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun p ->
+      let k = Policy.key p in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    ps
+
+let neighbours a (p : Policy.t) =
+  let p = canon p in
+  let per_axis =
+    [
+      List.map (fun v -> { p with Policy.technique = v }) a.techniques;
+      List.map (fun v -> { p with Policy.domains = v }) a.domains;
+      List.map (fun v -> { p with Policy.grain = v }) a.grains;
+      List.map (fun v -> { p with Policy.batch = v }) a.batches;
+      List.map (fun v -> { p with Policy.sig_kind = v }) a.sigs;
+      List.map (fun v -> { p with Policy.spec_distance = v }) a.spec_distances;
+      List.map (fun v -> { p with Policy.epoch_size = v }) a.epochs;
+    ]
+  in
+  List.concat_map (List.map canon) per_axis
+  |> dedup
+  |> List.filter (fun q -> not (Policy.equal q p))
+
+let seeds a =
+  let widest = List.fold_left Stdlib.max 1 a.domains in
+  dedup
+    (List.map
+       (fun t ->
+         canon
+           { Policy.default with Policy.technique = t; domains = widest; grain = 16 })
+       a.techniques)

@@ -1,0 +1,54 @@
+(** The policy search space: which values each {!Xinv_cache.Policy} axis
+    may take for one workload on this machine, plus the moves the search
+    strategies make through it (random points, single-axis mutations,
+    crossover, hill-climbing neighbourhoods).
+
+    Many axis combinations are observationally equivalent — the publish
+    batch does not exist under the barrier engine, the signature scheme
+    only exists under SPECCROSS, a sequential run has no domains to count.
+    {!canon} collapses every policy onto one representative per
+    equivalence class, so the search never spends two trials measuring the
+    same configuration under different spellings. *)
+
+module Policy := Xinv_cache.Policy
+
+type axes = {
+  backends : Policy.backend list;
+  techniques : string list;  (** technique names, always includes sequential *)
+  domains : int list;
+  grains : int list;
+  batches : int list;
+  sigs : Policy.sig_kind list;
+  spec_distances : int option list;
+  epochs : int list;
+}
+
+val default_axes : ?max_domains:int -> Xinv_workloads.Workload.t -> axes
+(** The native search space for the workload: techniques are filtered to
+    those {!Xinv_core.Crossinv.applicable} on the native backend, domain
+    counts to [1;2;4] capped at [max_domains] (default
+    [Domain.recommended_domain_count ()]). *)
+
+val size : axes -> int
+(** Upper bound on distinct points (pre-{!canon} product of axis sizes). *)
+
+val canon : Policy.t -> Policy.t
+(** Canonical representative: axes the policy's technique ignores are
+    reset to {!Policy.default}'s values. *)
+
+val random : Xinv_util.Prng.t -> axes -> Policy.t
+
+val mutate : Xinv_util.Prng.t -> axes -> Policy.t -> Policy.t
+(** Re-draw one axis (possibly the technique itself). *)
+
+val crossover : Xinv_util.Prng.t -> Policy.t -> Policy.t -> Policy.t
+(** Uniform crossover: each axis from either parent with equal odds. *)
+
+val neighbours : axes -> Policy.t -> Policy.t list
+(** Every canonical policy one axis-change away, deduplicated, without
+    the policy itself.  Deterministic order (axis-major, axis-list
+    order). *)
+
+val seeds : axes -> Policy.t list
+(** Hill-climbing starting points: one sensible configuration per
+    applicable technique (widest domain count, mid grain). *)

@@ -13,5 +13,6 @@ let () =
       ("robust", Test_robust.suite);
       ("workloads", Test_workloads.suite);
       ("cache", Test_cache.suite);
+      ("tune", Test_tune.suite);
       ("experiments", Test_experiments.suite);
     ]

@@ -1,0 +1,343 @@
+(* Tests for the policy autotuner: search-space canonicalization, search
+   determinism under an injected synthetic cost model, the searched →
+   cached round-trip through the analysis cache, policy replay fidelity
+   (a tuned policy's run stays memory-bit-identical to sequential) for
+   every registry workload, and the online adaptive controller. *)
+
+module Wl = Xinv_workloads
+module Cx = Xinv_core.Crossinv
+module Policy = Xinv_cache.Policy
+module Space = Xinv_tune.Space
+module Search = Xinv_tune.Search
+module Tune = Xinv_tune.Tune
+module Prng = Xinv_util.Prng
+
+(* ---------- scratch directories ---------- *)
+
+let tmpdir () =
+  let d = Filename.temp_file "xinvtune" ".d" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with _ -> ()
+  end
+
+let with_dir f =
+  let d = tmpdir () in
+  Fun.protect ~finally:(fun () -> rm_rf d) (fun () -> f d)
+
+let symm () = Wl.Registry.find "SYMM"
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* ---------- space ---------- *)
+
+let test_space_axes () =
+  let axes = Space.default_axes ~max_domains:2 (symm ()) in
+  Alcotest.(check bool)
+    "sequential always searchable" true
+    (List.mem "sequential" axes.Space.techniques);
+  Alcotest.(check bool)
+    "domains capped" true
+    (List.for_all (fun d -> d <= 2) axes.Space.domains);
+  Alcotest.(check bool) "space non-empty" true (Space.size axes > 0)
+
+let test_space_canon () =
+  let axes = Space.default_axes ~max_domains:4 (symm ()) in
+  let rng = Prng.create ~seed:11 in
+  for _ = 1 to 200 do
+    let p = Space.random rng axes in
+    let c = Space.canon p in
+    Alcotest.(check string)
+      "canon idempotent" (Policy.key c)
+      (Policy.key (Space.canon c))
+  done;
+  (* A sequential policy has no domains to count: canon collapses them. *)
+  let seq =
+    Space.canon { Policy.default with technique = "sequential"; domains = 4 }
+  in
+  Alcotest.(check int) "sequential canon is d1" 1 seq.Policy.domains
+
+let test_space_neighbours () =
+  let axes = Space.default_axes ~max_domains:4 (symm ()) in
+  let p = Space.canon Policy.default in
+  let ns = Space.neighbours axes p in
+  Alcotest.(check bool) "has neighbours" true (ns <> []);
+  Alcotest.(check bool)
+    "self excluded" true
+    (not (List.exists (Policy.equal p) ns));
+  let keys = List.map Policy.key ns in
+  Alcotest.(check int)
+    "neighbours deduplicated"
+    (List.length keys)
+    (List.length (List.sort_uniq compare keys));
+  List.iter
+    (fun n ->
+      Alcotest.(check string)
+        "neighbours are canonical" (Policy.key n)
+        (Policy.key (Space.canon n)))
+    ns
+
+let test_space_seeds () =
+  let axes = Space.default_axes ~max_domains:4 (symm ()) in
+  let ss = Space.seeds axes in
+  Alcotest.(check int)
+    "one seed per technique"
+    (List.length axes.Space.techniques)
+    (List.length ss);
+  List.iter
+    (fun s ->
+      Alcotest.(check string)
+        "seeds are canonical" (Policy.key s)
+        (Policy.key (Space.canon s)))
+    ss
+
+(* ---------- search determinism (synthetic cost model) ---------- *)
+
+(* A deterministic synthetic cost: hash of the policy key, so every
+   distinct configuration has a distinct, reproducible "wall time". *)
+let synthetic ~incumbent_ns:_ (p : Policy.t) =
+  let h = Hashtbl.hash (Policy.key p) in
+  {
+    Search.m_wall_ns = float_of_int (1000 + (h mod 100_000));
+    m_seq_ns = 50_000.;
+    m_ok = true;
+    m_pruned = false;
+  }
+
+let run_search ~strategy ~seed =
+  let axes = Space.default_axes ~max_domains:4 (symm ()) in
+  Search.search ~strategy ~budget:24 ~seed ~axes ~measure:synthetic ()
+
+let trial_keys r =
+  List.map (fun t -> Policy.key t.Search.t_policy) r.Search.trials
+
+let test_search_deterministic () =
+  List.iter
+    (fun strategy ->
+      let a = run_search ~strategy ~seed:7 in
+      let b = run_search ~strategy ~seed:7 in
+      Alcotest.(check (list string))
+        (Search.strategy_name strategy ^ ": same seed, same trials")
+        (trial_keys a) (trial_keys b);
+      Alcotest.(check string)
+        (Search.strategy_name strategy ^ ": same seed, same best")
+        (Policy.key a.Search.best)
+        (Policy.key b.Search.best))
+    [ Search.Hill; Search.Ga ]
+
+let test_search_contract () =
+  List.iter
+    (fun strategy ->
+      let r = run_search ~strategy ~seed:3 in
+      let name = Search.strategy_name strategy in
+      Alcotest.(check bool)
+        (name ^ ": budget respected") true
+        (r.Search.evaluated <= 24);
+      (match r.Search.trials with
+      | first :: _ ->
+          Alcotest.(check string)
+            (name ^ ": trial 1 is the default policy")
+            (Policy.key Policy.default)
+            (Policy.key first.Search.t_policy)
+      | [] -> Alcotest.fail (name ^ ": no trials"));
+      let keys = trial_keys r in
+      Alcotest.(check int)
+        (name ^ ": no configuration measured twice")
+        (List.length keys)
+        (List.length (List.sort_uniq compare keys));
+      (* The best really is the cheapest successful trial. *)
+      let min_ns =
+        List.fold_left
+          (fun acc t ->
+            if t.Search.t_ok && not t.Search.t_pruned then
+              Float.min acc t.Search.t_wall_ns
+            else acc)
+          Float.infinity r.Search.trials
+      in
+      Alcotest.(check (float 0.01))
+        (name ^ ": best is the cheapest trial")
+        min_ns r.Search.best_wall_ns)
+    [ Search.Hill; Search.Ga ]
+
+let test_search_failures_never_win () =
+  (* Every candidate except the default fails: the default must remain
+     the incumbent no matter how attractive the failures' wall times. *)
+  let axes = Space.default_axes ~max_domains:4 (symm ()) in
+  let measure ~incumbent_ns:_ (p : Policy.t) =
+    if Policy.equal (Space.canon p) (Space.canon Policy.default) then
+      { Search.m_wall_ns = 5000.; m_seq_ns = 5000.; m_ok = true;
+        m_pruned = false }
+    else
+      { Search.m_wall_ns = 1.; m_seq_ns = 5000.; m_ok = false;
+        m_pruned = true }
+  in
+  let r = Search.search ~strategy:Search.Hill ~budget:12 ~seed:5 ~axes
+      ~measure () in
+  Alcotest.(check string)
+    "failed trials never become best"
+    (Policy.key (Space.canon Policy.default))
+    (Policy.key r.Search.best)
+
+(* ---------- tune: searched -> cached round-trip ---------- *)
+
+let test_tune_roundtrip () =
+  with_dir (fun dir ->
+      let wl = symm () in
+      let cold =
+        Tune.tune ~cache:`Rw ~cache_dir:dir ~input:Wl.Workload.Train ~budget:6
+          ~seed:7 ~max_domains:2 wl
+      in
+      Alcotest.(check string)
+        "cold tune searches" "searched"
+        (Tune.source_name cold.Tune.source);
+      Alcotest.(check bool) "cold tune ran trials" true (cold.Tune.trials <> []);
+      let warm =
+        Tune.tune ~cache:`Rw ~cache_dir:dir ~input:Wl.Workload.Train ~budget:6
+          ~seed:7 ~max_domains:2 wl
+      in
+      Alcotest.(check string)
+        "warm tune cached" "cached"
+        (Tune.source_name warm.Tune.source);
+      Alcotest.(check int)
+        "warm tune runs zero search trials" 0
+        (List.length warm.Tune.trials);
+      Alcotest.(check string)
+        "warm policy identical to searched"
+        (Policy.key cold.Tune.tuned.Policy.policy)
+        (Policy.key warm.Tune.tuned.Policy.policy);
+      (* `Auto resolution inside the facade finds the same artifact. *)
+      let o =
+        Cx.run ~input:Wl.Workload.Train ~cache:`Ro ~cache_dir:dir
+          ~policy:`Auto ~technique:Cx.Barrier ~threads:2 wl
+      in
+      Alcotest.(check string)
+        "run --policy auto resolves the cached policy" "cached"
+        o.Cx.policy_source;
+      Alcotest.(check bool) "auto run verified" true o.Cx.verified;
+      (* JSON report carries the schema marker. *)
+      let json = Tune.report_json cold in
+      Alcotest.(check bool)
+        "report carries xinv-tune/1 schema" true
+        (contains json "\"schema\": \"xinv-tune/1\""))
+
+(* ---------- policy replay fidelity: every registry workload ---------- *)
+
+(* The autotuner must never trade correctness for speed: whatever policy
+   it lands on, replaying it produces memory bit-identical to the
+   sequential run (run_policy verifies against the sequential baseline). *)
+let test_policy_replay_all () =
+  List.iter
+    (fun wl ->
+      let r =
+        Tune.tune ~input:Wl.Workload.Train ~budget:4 ~seed:13 ~max_domains:2 wl
+      in
+      let o =
+        Cx.run_policy ~input:Wl.Workload.Train r.Tune.tuned.Policy.policy wl
+      in
+      Alcotest.(check bool)
+        (wl.Wl.Workload.name ^ ": tuned policy replay bit-identical")
+        true o.Cx.verified;
+      Alcotest.(check string)
+        (wl.Wl.Workload.name ^ ": replay labelled searched")
+        "searched" o.Cx.policy_source)
+    (Wl.Registry.all ())
+
+(* ---------- adaptive controller ---------- *)
+
+let test_adaptive_commit () =
+  let ctl = Cx.adaptive ~probe_runs:2 ~margin:1.1 () in
+  Alcotest.(check bool) "starts probing" true (Cx.adaptive_phase ctl = `Probing);
+  let d1 = Cx.adaptive_note ctl ~cand_ns:100. ~seq_ns:100. in
+  Alcotest.(check bool) "probe 1 keeps" true (d1 = `Keep);
+  Alcotest.(check bool)
+    "still probing" true
+    (Cx.adaptive_phase ctl = `Probing);
+  let d2 = Cx.adaptive_note ctl ~cand_ns:100. ~seq_ns:100. in
+  Alcotest.(check bool) "probe 2 keeps" true (d2 = `Keep);
+  Alcotest.(check bool)
+    "committed to candidate" true
+    (Cx.adaptive_phase ctl = `Candidate);
+  (* Two consecutive losing runs abandon a committed candidate. *)
+  let d3 = Cx.adaptive_note ctl ~cand_ns:200. ~seq_ns:100. in
+  Alcotest.(check bool) "one bad run tolerated" true (d3 = `Keep);
+  let d4 = Cx.adaptive_note ctl ~cand_ns:200. ~seq_ns:100. in
+  Alcotest.(check bool) "second bad run switches" true (d4 = `Switch);
+  Alcotest.(check bool)
+    "now sequential" true
+    (Cx.adaptive_phase ctl = `Sequential);
+  Alcotest.(check int) "one switch recorded" 1 (Cx.adaptive_switches ctl);
+  (* Sequential is terminal. *)
+  let d5 = Cx.adaptive_note ctl ~cand_ns:1. ~seq_ns:100. in
+  Alcotest.(check bool) "sequential is terminal" true (d5 = `Keep);
+  Alcotest.(check bool)
+    "stays sequential" true
+    (Cx.adaptive_phase ctl = `Sequential)
+
+let test_adaptive_probe_bailout () =
+  (* A candidate that loses the probe outright is abandoned at the end of
+     the probe window — the stream can never end slower than margin x
+     sequential. *)
+  let ctl = Cx.adaptive ~probe_runs:2 ~margin:1.1 () in
+  ignore (Cx.adaptive_note ctl ~cand_ns:300. ~seq_ns:100.);
+  let d = Cx.adaptive_note ctl ~cand_ns:300. ~seq_ns:100. in
+  Alcotest.(check bool) "probe loss switches" true (d = `Switch);
+  Alcotest.(check bool)
+    "sequential after probe loss" true
+    (Cx.adaptive_phase ctl = `Sequential);
+  Alcotest.(check int) "switch counted" 1 (Cx.adaptive_switches ctl)
+
+let test_adaptive_stream () =
+  (* End-to-end: a stream of adaptive runs leaves the probing phase and
+     every run stays verified; if the controller bailed out, the final
+     run really executed sequentially. *)
+  let wl = symm () in
+  let ctl = Cx.adaptive ~probe_runs:2 () in
+  let last = ref None in
+  for _ = 1 to 4 do
+    let o =
+      Cx.run ~input:Wl.Workload.Train ~policy:(`Adaptive ctl)
+        ~technique:Cx.Barrier ~threads:2 wl
+    in
+    Alcotest.(check bool) "adaptive run verified" true o.Cx.verified;
+    last := Some o
+  done;
+  Alcotest.(check bool)
+    "controller left probing" true
+    (Cx.adaptive_phase ctl <> `Probing);
+  (match (Cx.adaptive_phase ctl, !last) with
+  | `Sequential, Some o ->
+      Alcotest.(check string)
+        "bailed-out stream runs sequentially" "adaptive:sequential"
+        o.Cx.policy_source
+  | _ -> ())
+
+let suite =
+  [
+    Alcotest.test_case "space axes" `Quick test_space_axes;
+    Alcotest.test_case "space canon" `Quick test_space_canon;
+    Alcotest.test_case "space neighbours" `Quick test_space_neighbours;
+    Alcotest.test_case "space seeds" `Quick test_space_seeds;
+    Alcotest.test_case "search deterministic" `Quick test_search_deterministic;
+    Alcotest.test_case "search contract" `Quick test_search_contract;
+    Alcotest.test_case "search failures never win" `Quick
+      test_search_failures_never_win;
+    Alcotest.test_case "tune searched/cached round-trip" `Slow
+      test_tune_roundtrip;
+    Alcotest.test_case "policy replay all workloads" `Slow
+      test_policy_replay_all;
+    Alcotest.test_case "adaptive commit and abandon" `Quick
+      test_adaptive_commit;
+    Alcotest.test_case "adaptive probe bailout" `Quick
+      test_adaptive_probe_bailout;
+    Alcotest.test_case "adaptive stream" `Slow test_adaptive_stream;
+  ]

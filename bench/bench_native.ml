@@ -84,7 +84,7 @@ let time_config ~work ~grain ~input (wl : Wl.Workload.t) technique domains =
   let best = ref infinity and best_stalls = ref [] and best_analysis = ref 0. in
   for i = 0 to repeats do
     let o =
-      C.run ~backend:(backend ~work ~grain) ~input ~verify:(i = 0)
+      C.run_request @@ C.Request.make ~backend:(backend ~work ~grain) ~input ~verify:(i = 0)
         ~technique ~threads:domains wl
     in
     (* i = 0 is the warmup (and the verified run); the rest are timed. *)
@@ -110,7 +110,7 @@ let time_config ~work ~grain ~input (wl : Wl.Workload.t) technique domains =
     | C.Sequential -> None
     | _ -> (
         let o =
-          C.run
+          C.run_request @@ C.Request.make
             ~backend:
               (`Native { C.native_defaults with C.work; grain; flight = true })
             ~input ~verify:false ~technique ~threads:domains wl
@@ -278,7 +278,7 @@ let smoke () =
   List.iter
     (fun (tname, tech) ->
       let o =
-        C.run
+        C.run_request @@ C.Request.make
           ~backend:(backend ~work:Nat.Work.Off ~grain:C.native_defaults.C.grain)
           ~input ~technique:tech ~threads:2 wl
       in
@@ -294,7 +294,7 @@ let smoke () =
   (* Flight recorder round-trip: a recorded run must surface events and a
      critical-path verdict without disturbing verification. *)
   let fo =
-    C.run
+    C.run_request @@ C.Request.make
       ~backend:(`Native { C.native_defaults with C.flight = true })
       ~input ~technique:C.Domore ~threads:2 wl
   in
@@ -313,7 +313,7 @@ let smoke () =
   Sys.remove cdir;
   Unix.mkdir cdir 0o755;
   let cached () =
-    C.run
+    C.run_request @@ C.Request.make
       ~backend:(backend ~work:Nat.Work.Off ~grain:C.native_defaults.C.grain)
       ~input ~cache:`Rw ~cache_dir:cdir ~technique:C.Domore ~threads:2 wl
   in
@@ -356,7 +356,7 @@ let cache_bench ~json =
             Sys.remove cdir;
             Unix.mkdir cdir 0o755;
             let go cache =
-              C.run
+              C.run_request @@ C.Request.make
                 ~backend:(backend ~work:Nat.Work.Off ~grain)
                 ~input ?cache_dir:(if cache = `Off then None else Some cdir)
                 ~cache ~technique:tech ~threads:2 wl
@@ -501,7 +501,13 @@ let tuned_bench ~json =
     let native = { C.native_defaults with C.work } in
     let best = ref infinity in
     for i = 0 to repeats do
-      let o = C.run_policy ~input ~native p wl in
+      let o =
+        C.run_request
+        @@ C.Request.make ~input
+             ~backend:(`Native native)
+             ~policy:(`Reified (p, "searched"))
+             ~technique:C.Sequential ~threads:1 wl
+      in
       if not o.C.verified then begin
         Printf.eprintf "FATAL: tuned policy %s failed verification\n"
           (Policy.key p);
@@ -578,7 +584,7 @@ let tuned_bench ~json =
         for _ = 1 to nruns do
           last :=
             Some
-              (C.run
+              (C.run_request @@ C.Request.make
                  ~backend:(`Native { C.native_defaults with C.work })
                  ~input ~cache:`Ro ~cache_dir:cdir ~policy:(`Adaptive ctl)
                  ~technique:C.Domore
@@ -688,7 +694,7 @@ let obs_smoke () =
   let reps = 7 in
   let run ~flight =
     let o =
-      C.run
+      C.run_request @@ C.Request.make
         ~backend:(`Native { C.native_defaults with C.work; flight })
         ~input ~verify:false ~technique:C.Domore ~threads:2 wl
     in

@@ -310,7 +310,7 @@ let run_cmd =
           (* With --no-degrade (or an exhausted deadline) the native run
              surfaces its typed error; report it instead of a backtrace. *)
           match
-            Cx.run ~backend:b ~input ~cache ?cache_dir ?obs ~policy ~technique
+            Cx.run_request @@ Cx.Request.make ~backend:b ~input ~cache ?cache_dir ?obs ~policy ~technique
               ~threads wl
           with
           | o -> o
@@ -576,7 +576,7 @@ let stats_cmd =
         match backend with
         | `Sim ->
             let obs = Xinv_obs.Recorder.create () in
-            let o = Cx.run ~input ~obs ~technique ~threads wl in
+            let o = Cx.run_request @@ Cx.Request.make ~input ~obs ~technique ~threads wl in
             let r =
               match o.Cx.run with
               | Some r -> r
@@ -592,7 +592,7 @@ let stats_cmd =
             let threads = Option.value domains ~default:4 in
             let obs = Xinv_obs.Recorder.create () in
             let o =
-              Cx.run
+              Cx.run_request @@ Cx.Request.make
                 ~backend:(`Native { Cx.native_defaults with Cx.flight = true })
                 ~input ~obs ~technique ~threads wl
             in
@@ -741,7 +741,7 @@ let top_cmd =
         (try
            for _ = 1 to runs do
              ignore
-               (Cx.run ~backend:(`Native opts) ~obs ~technique ~threads:domains
+               (Cx.run_request @@ Cx.Request.make ~backend:(`Native opts) ~obs ~technique ~threads:domains
                   wl)
            done
          with e -> Atomic.set failure (Some (Printexc.to_string e)));
@@ -1234,6 +1234,296 @@ let cache_cmd =
           --cache)).")
     [ stats_c; ls_c; clear_c ]
 
+(* ---- serve mode: daemon + thin clients ---- *)
+
+module Serve = Xinv_serve.Server
+module SReq = Xinv_serve.Request
+module Proto = Xinv_serve.Protocol
+module SClient = Xinv_serve.Client
+module SWire = Xinv_serve.Wire
+
+let default_socket () =
+  match Sys.getenv_opt "XDG_RUNTIME_DIR" with
+  | Some d when d <> "" -> Filename.concat d "xinv-serve.sock"
+  | _ ->
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "xinv-serve-%d.sock" (Unix.getuid ()))
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain socket the daemon listens on (default \
+           $(b,\\$XDG_RUNTIME_DIR/xinv-serve.sock), else \
+           $(b,<tmpdir>/xinv-serve-<uid>.sock)).")
+
+let resolve_socket s = Option.value s ~default:(default_socket ())
+
+(* One round trip; connection refusals and protocol corruption are client
+   errors (exit 1), distinct from the daemon's typed rejections. *)
+let client_call socket msg =
+  let socket = resolve_socket socket in
+  match SClient.call ~socket msg with
+  | reply -> reply
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "cannot reach daemon at %s: %s\n" socket
+        (Unix.error_message e);
+      exit 1
+  | exception SWire.Error e ->
+      Printf.eprintf "protocol error talking to %s: %s\n" socket
+        (SWire.error_to_string e);
+      exit 1
+
+let serve_cmd =
+  let run socket domains queue_capacity cache cache_dir default_deadline_ms =
+    if domains < 1 then usage_error "--domains must be >= 1 (got %d)" domains;
+    if queue_capacity < 1 then
+      usage_error "--queue-capacity must be >= 1 (got %d)" queue_capacity;
+    (match default_deadline_ms with
+    | Some ms when ms <= 0. ->
+        usage_error "--default-deadline-ms must be > 0 (got %g)" ms
+    | _ -> ());
+    let socket = resolve_socket socket in
+    let server =
+      Serve.create
+        { Serve.domains; queue_capacity; cache; cache_dir; default_deadline_ms }
+    in
+    Printf.printf
+      "xinv serve: listening on %s (%d pool domains, queue %d, cache %s)\n%!"
+      socket domains queue_capacity
+      (match cache with `Off -> "off" | `Ro -> "ro" | `Rw -> "rw");
+    Serve.serve server ~socket;
+    Printf.printf "xinv serve: shut down after %d requests\n"
+      (Serve.served server)
+  in
+  let domains =
+    Arg.(
+      value
+      & opt int Serve.default_config.Serve.domains
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains in the shared pool, created once at startup.")
+  in
+  let capacity =
+    Arg.(
+      value
+      & opt int Serve.default_config.Serve.queue_capacity
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:
+            "Admission-control bound: requests beyond $(i,N) queued are \
+             rejected with a typed $(b,queue full) reply, never blocked.")
+  in
+  let default_deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "default-deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "End-to-end deadline applied to requests that carry none of \
+             their own (queue wait included).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident parallelization daemon: one shared domain pool, \
+          one analysis-cache configuration and one metrics registry serving \
+          run/tune/stats requests from $(b,xinv submit), $(b,xinv ping), \
+          $(b,xinv serve-stats) and $(b,xinv shutdown) over a Unix-domain \
+          socket ($(b,xinv-serve/1) protocol).")
+    Term.(
+      const run $ socket_arg $ domains $ capacity $ cache_mode_arg
+      $ cache_dir_arg $ default_deadline)
+
+let submit_cmd =
+  let sig_arg =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [
+                  ("range", `Range);
+                  ("segmented", `Segmented);
+                  ("bloom", `Bloom);
+                  ("exact", `Exact);
+                ]))
+          None
+      & info [ "sig" ] ~docv:"KIND"
+          ~doc:"SPECCROSS signature kind: range, segmented, bloom or exact.")
+  in
+  let spec_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "spec-distance" ] ~docv:"N"
+          ~doc:"SPECCROSS speculative distance (epochs in flight).")
+  in
+  let priority_arg =
+    Arg.(
+      value
+      & opt (enum [ ("normal", `Normal); ("high", `High) ]) `Normal
+      & info [ "priority" ] ~docv:"LEVEL"
+          ~doc:
+            "Scheduling level: $(b,high) requests run before every queued \
+             $(b,normal) one.")
+  in
+  let tenant_arg =
+    Arg.(
+      value
+      & opt string "default"
+      & info [ "tenant" ] ~docv:"NAME"
+          ~doc:
+            "Fairness cohort: the daemon round-robins across tenants within \
+             a priority level and keeps per-tenant counters.")
+  in
+  let no_verify_arg =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ]
+          ~doc:"Skip comparing the parallel run against the oracle.")
+  in
+  let run socket wl technique threads input backend policy grain batch sig_kind
+      spec_distance cache inject deadline_ms priority tenant no_verify =
+    (match grain with
+    | Some g when g < 1 -> usage_error "--grain must be >= 1 (got %d)" g
+    | _ -> ());
+    (match batch with
+    | Some b when b < 1 -> usage_error "--batch must be >= 1 (got %d)" b
+    | _ -> ());
+    (match deadline_ms with
+    | Some ms when ms <= 0. ->
+        usage_error "--deadline-ms must be > 0 (got %g)" ms
+    | _ -> ());
+    let threads =
+      match threads with
+      | Some n -> n
+      | None -> ( match backend with `Sim -> 24 | `Native -> 4)
+    in
+    if threads < 1 then
+      usage_error "--threads/--domains must be >= 1 (got %d)" threads;
+    let req =
+      SReq.make ~input ~backend
+        ~technique:(Cx.technique_name technique)
+        ~threads ~policy
+        ?grain ?batch ?sig_kind ?spec_distance ~verify:(not no_verify) ~cache
+        ?fault:(Option.map Xinv_native.Fault.spec_to_string inject)
+        ?deadline_ms ~priority ~tenant
+        (`Name wl.Wl.Workload.name)
+    in
+    match client_call socket (Proto.Run req) with
+    | Proto.Outcome s as reply ->
+        Format.printf "%a@." Proto.pp_server reply;
+        if not s.Proto.o_verified then exit 2
+    | Proto.Rejected _ as reply ->
+        Format.eprintf "%a@." Proto.pp_server reply;
+        exit 1
+    | Proto.Failed _ as reply ->
+        Format.eprintf "%a@." Proto.pp_server reply;
+        exit 1
+    | reply ->
+        Format.eprintf "unexpected reply: %a@." Proto.pp_server reply;
+        exit 1
+  in
+  let wl_arg =
+    Arg.(
+      required
+      & pos 0 (some workload_conv) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Registry workload to run.")
+  in
+  let grain_opt =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "grain" ] ~docv:"N" ~doc:"Native chunk size (default 1).")
+  in
+  let batch_opt =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Native write-combining factor (default 32).")
+  in
+  let submit_deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "End-to-end budget from submission, queue wait included; an \
+             expired queued request is rejected, a running one is cut off \
+             by the daemon's watchdog.")
+  in
+  let submit_policy =
+    Arg.(
+      value
+      & opt (enum [ ("fixed", `Fixed); ("auto", `Auto) ]) `Fixed
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "$(b,fixed) (the flags on this command line) or $(b,auto) (a \
+             tuned policy from the daemon's analysis cache, falling back to \
+             the flags on a miss).")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit one run to a resident $(b,xinv serve) daemon and wait for \
+          the outcome.  Exit status: 0 verified, 2 completed unverified, 1 \
+          rejected/failed/unreachable.")
+    Term.(
+      const run $ socket_arg $ wl_arg $ tech_arg $ run_threads_arg $ input_arg
+      $ backend_arg $ submit_policy $ grain_opt $ batch_opt $ sig_arg
+      $ spec_arg $ cache_mode_arg $ inject_arg $ submit_deadline
+      $ priority_arg $ tenant_arg $ no_verify_arg)
+
+let ping_cmd =
+  let run socket =
+    let reply = client_call socket Proto.Ping in
+    Format.printf "%a@." Proto.pp_server reply
+  in
+  Cmd.v
+    (Cmd.info "ping"
+       ~doc:
+         "Liveness probe: uptime, pool size, pool (re)creations, queue \
+          depth and served count of a running daemon.")
+    Term.(const run $ socket_arg)
+
+let shutdown_cmd =
+  let run socket =
+    let reply = client_call socket Proto.Shutdown in
+    Format.printf "%a@." Proto.pp_server reply
+  in
+  Cmd.v
+    (Cmd.info "shutdown"
+       ~doc:
+         "Ask the daemon to stop: queued requests are rejected as shutting \
+          down, the pool is torn down once, the socket file removed.")
+    Term.(const run $ socket_arg)
+
+let serve_stats_cmd =
+  let run socket openmetrics =
+    match client_call socket Proto.Stats with
+    | Proto.Stats_reply snap ->
+        if openmetrics then
+          print_string (Xinv_obs.Snapshot.to_openmetrics snap)
+        else Format.printf "%a@." Xinv_obs.Snapshot.pp snap
+    | reply ->
+        Format.eprintf "unexpected reply: %a@." Proto.pp_server reply;
+        exit 1
+  in
+  let openmetrics =
+    Arg.(
+      value & flag
+      & info [ "openmetrics" ]
+          ~doc:"Emit the OpenMetrics text exposition instead of the table.")
+  in
+  Cmd.v
+    (Cmd.info "serve-stats"
+       ~doc:
+         "Fetch the daemon's metrics snapshot: serve.* counters, per-tenant \
+          counters, queue-wait histogram and queue-depth gauge.")
+    Term.(const run $ socket_arg $ openmetrics)
+
 let main =
   Cmd.group
     (Cmd.info "crossinv" ~version:"1.0.0"
@@ -1241,6 +1531,7 @@ let main =
          "Cross-invocation parallelism using runtime information: DOMORE and \
           SPECCROSS on a simulated multicore.")
     [ list_cmd; run_cmd; stats_cmd; top_cmd; experiment_cmd; all_cmd; profile_cmd;
-      plan_cmd; trace_cmd; tune_cmd; cache_cmd ]
+      plan_cmd; trace_cmd; tune_cmd; cache_cmd; serve_cmd; submit_cmd; ping_cmd;
+      shutdown_cmd; serve_stats_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -33,9 +33,9 @@ let () =
 
   (* Strategy shoot-out at 16 cores. *)
   let threads = 16 in
-  let baseline = (Cx.run ~technique:Cx.Barrier ~threads wl).Cx.speedup in
+  let baseline = (Cx.run_request @@ Cx.Request.make ~technique:Cx.Barrier ~threads wl).Cx.speedup in
   Printf.printf "LOCALWRITE + barriers           : %5.2fx\n" baseline;
-  let spec = (Cx.run ~technique:Cx.Speccross ~threads wl).Cx.speedup in
+  let spec = (Cx.run_request @@ Cx.Request.make ~technique:Cx.Speccross ~threads wl).Cx.speedup in
   Printf.printf "LOCALWRITE + speculative        : %5.2fx\n" spec;
 
   (* Within-epoch duplicated DOMORE + speculative barriers. *)

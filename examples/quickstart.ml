@@ -17,14 +17,14 @@ let () =
       | Error reason ->
           Printf.printf "%-12s inapplicable: %s\n" (Cx.technique_name technique) reason
       | Ok () ->
-          let o = Cx.run ~technique ~threads:24 wl in
+          let o = Cx.run_request @@ Cx.Request.make ~technique ~threads:24 wl in
           Printf.printf "%-12s %6.2fx speedup on 24 simulated cores (verified: %b)\n"
             (Cx.technique_name technique) o.Cx.speedup o.Cx.verified)
     [ Cx.Barrier; Cx.Doacross; Cx.Dswp; Cx.Domore; Cx.Speccross ];
   print_newline ();
   (* The same loop nest on the conflict-free sparsity used for the
      speculative experiments. *)
-  let o = Cx.run ~input:Wl.Workload.Ref_spec ~technique:Cx.Speccross ~threads:24 wl in
+  let o = Cx.run_request @@ Cx.Request.make ~input:Wl.Workload.Ref_spec ~technique:Cx.Speccross ~threads:24 wl in
   Printf.printf
     "speccross on the banded (conflict-free) input: %.2fx — barriers were pure waste\n"
     o.Cx.speedup;
@@ -35,7 +35,7 @@ let () =
      --inject fault) cancels the cohort and degrades to a weaker technique
      instead of hanging. *)
   let n =
-    Cx.run
+    Cx.run_request @@ Cx.Request.make
       ~backend:(`Native { Cx.native_defaults with Cx.deadline_ms = Some 60_000. })
       ~input:Wl.Workload.Train ~technique:Cx.Domore ~threads:2 wl
   in

@@ -63,6 +63,7 @@ type native_opts = {
   flight_capacity : int;
   postmortem_dir : string option;
   on_flight : (Xinv_obs.Flight.t -> unit) option;
+  on_watchdog : (Nat.Watchdog.t -> unit) option;
 }
 
 let native_defaults =
@@ -79,6 +80,7 @@ let native_defaults =
     flight_capacity = Xinv_obs.Flight.default_capacity;
     postmortem_dir = None;
     on_flight = None;
+    on_watchdog = None;
   }
 
 type backend = [ `Sim of Sim.Machine.t option | `Native of native_opts ]
@@ -571,6 +573,10 @@ let run_native ~actx ~opts ~source ~input ~checkpoint_every ?obs ~sig_sel
         let wd =
           Nat.Watchdog.create ?deadline_ms:remaining_ms ?wait_timeout_ms ()
         in
+        (* Hand the attempt's watchdog to the caller (the serve daemon's
+           client-disconnect cancellation handle, like [on_flight] for the
+           recorder) before any domain starts waiting on it. *)
+        (match opts.on_watchdog with Some f -> f wd | None -> ());
         let env = wl.Wl.Workload.fresh_env input in
         incr attempt_no;
         let fr =
@@ -746,17 +752,6 @@ let backend_of_policy ~native (p : Cache.Policy.t) =
       `Native
         { native with grain = p.Cache.Policy.grain; batch = p.Cache.Policy.batch }
 
-let run_with_policy ~actx ~source ~native ~input ~verify ?obs
-    (p : Cache.Policy.t) wl =
-  run_configured ~actx ~source
-    ~backend:(backend_of_policy ~native p)
-    ~input ~checkpoint_every:p.Cache.Policy.epoch_size ~verify ?obs
-    ~sig_sel:(Some p.Cache.Policy.sig_kind)
-    ~spec_override:p.Cache.Policy.spec_distance
-    ~technique:(technique_of_policy p)
-    ~threads:(Stdlib.max 1 p.Cache.Policy.domains)
-    wl
-
 (* ---- online adaptive controller ---- *)
 
 type adaptive_phase = [ `Probing | `Candidate | `Sequential ]
@@ -822,14 +817,88 @@ let adaptive_note t ~cand_ns ~seq_ns =
         `Keep
       end
 
-type policy = [ `Fixed | `Auto | `Adaptive of adaptive ]
+type policy =
+  [ `Fixed | `Auto | `Adaptive of adaptive | `Reified of Cache.Policy.t * string ]
 
-let run ?(backend = `Sim None) ?(input = Wl.Workload.Ref)
-    ?(checkpoint_every = 1000) ?(verify = true) ?(cache = `Off) ?cache_dir ?obs
-    ?(policy = `Fixed) ?sig_kind ?spec_distance ~technique ~threads
-    (wl : Wl.Workload.t) =
-  assert (threads > 0);
-  let actx = analysis_ctx ?obs cache cache_dir in
+(* ---- the request record ----
+
+   Every way of asking this library for one execution — the historical
+   optional-argument [run], the reified-policy [run_policy], the autotuner's
+   measurement runs, the CLI, and one serve-daemon submission — is a value
+   of this record.  [run_request] is the single execution path; everything
+   else constructs a [Request.t] and calls it. *)
+
+module Request = struct
+  type t = {
+    workload : Wl.Workload.t;
+    technique : technique;
+    threads : int;
+    backend : backend;
+    input : Wl.Workload.input;
+    checkpoint_every : int;
+    verify : bool;
+    cache : [ `Off | `Ro | `Rw ];
+    cache_dir : string option;
+    obs : Xinv_obs.Recorder.t option;
+    policy : policy;
+    sig_kind : [ `Range | `Segmented | `Bloom | `Exact ] option;
+    spec_distance : int option;
+  }
+
+  let make ?(backend = `Sim None) ?(input = Wl.Workload.Ref)
+      ?(checkpoint_every = 1000) ?(verify = true) ?(cache = `Off) ?cache_dir
+      ?obs ?(policy = `Fixed) ?sig_kind ?spec_distance ~technique ~threads
+      workload =
+    {
+      workload;
+      technique;
+      threads;
+      backend;
+      input;
+      checkpoint_every;
+      verify;
+      cache;
+      cache_dir;
+      obs;
+      policy;
+      sig_kind;
+      spec_distance;
+    }
+
+  (* The caller's native_opts keep supplying the environmental knobs (work
+     model, pool, faults, deadlines, flight recording) when a policy
+     overrides the performance axes. *)
+  let native_opts t =
+    match t.backend with `Native o -> o | `Sim _ -> native_defaults
+
+  (* Pin every axis a stored policy decides; the result is a fully-resolved
+     [`Fixed] request (this is what [run_with_policy] used to do). *)
+  let apply_policy (p : Cache.Policy.t) t =
+    {
+      t with
+      backend = backend_of_policy ~native:(native_opts t) p;
+      technique = technique_of_policy p;
+      threads = Stdlib.max 1 p.Cache.Policy.domains;
+      checkpoint_every = p.Cache.Policy.epoch_size;
+      sig_kind = Some p.Cache.Policy.sig_kind;
+      spec_distance = p.Cache.Policy.spec_distance;
+      policy = `Fixed;
+    }
+end
+
+let exec ~actx ~source (r : Request.t) =
+  run_configured ~actx ~source ~backend:r.Request.backend ~input:r.Request.input
+    ~checkpoint_every:r.Request.checkpoint_every ~verify:r.Request.verify
+    ?obs:r.Request.obs ~sig_sel:r.Request.sig_kind
+    ~spec_override:r.Request.spec_distance ~technique:r.Request.technique
+    ~threads:r.Request.threads r.Request.workload
+
+let run_request (r : Request.t) =
+  assert (r.Request.threads > 0);
+  let obs = r.Request.obs in
+  let wl = r.Request.workload in
+  let input = r.Request.input in
+  let actx = analysis_ctx ?obs r.Request.cache r.Request.cache_dir in
   let lookup_tuned () =
     match actx.a_cache with
     | None -> None
@@ -839,15 +908,14 @@ let run ?(backend = `Sim None) ?(input = Wl.Workload.Ref)
               (wl.Wl.Workload.program input)
               (wl.Wl.Workload.fresh_env input))
   in
-  let native_of_backend () =
-    match backend with `Native o -> o | `Sim _ -> native_defaults
-  in
-  let run_caller_config ~source =
-    run_configured ~actx ~source ~backend ~input ~checkpoint_every ~verify ?obs
-      ~sig_sel:sig_kind ~spec_override:spec_distance ~technique ~threads wl
-  in
-  match policy with
-  | `Fixed -> run_caller_config ~source:"fixed"
+  match r.Request.policy with
+  | `Fixed -> exec ~actx ~source:"fixed" r
+  | `Reified (p, source) ->
+      bump_counter obs ("policy.source." ^ source) 1;
+      record_event obs
+        (Xinv_obs.Event.Policy_applied
+           { source; policy = Cache.Policy.to_string p });
+      exec ~actx ~source (Request.apply_policy p r)
   | `Auto -> (
       match lookup_tuned () with
       | Some tuned ->
@@ -856,28 +924,35 @@ let run ?(backend = `Sim None) ?(input = Wl.Workload.Ref)
           record_event obs
             (Xinv_obs.Event.Policy_applied
                { source = "cached"; policy = Cache.Policy.to_string p });
-          run_with_policy ~actx ~source:"cached" ~native:(native_of_backend ())
-            ~input ~verify ?obs p wl
+          exec ~actx ~source:"cached" (Request.apply_policy p r)
       | None ->
           bump_counter obs "policy.source.default" 1;
           record_event obs
             (Xinv_obs.Event.Policy_applied
-               { source = "default"; policy = technique_name technique });
-          run_caller_config ~source:"default")
+               {
+                 source = "default";
+                 policy = technique_name r.Request.technique;
+               });
+          exec ~actx ~source:"default" r)
   | `Adaptive ctl ->
       let o =
         match ctl.a_phase with
         | `Sequential ->
-            run_configured ~actx ~source:"adaptive:sequential" ~backend ~input
-              ~checkpoint_every ~verify ?obs ~sig_sel:None ~spec_override:None
-              ~technique:Sequential ~threads:1 wl
+            exec ~actx ~source:"adaptive:sequential"
+              {
+                r with
+                Request.technique = Sequential;
+                threads = 1;
+                sig_kind = None;
+                spec_distance = None;
+                policy = `Fixed;
+              }
         | `Probing | `Candidate -> (
             match lookup_tuned () with
             | Some tuned ->
-                run_with_policy ~actx ~source:"adaptive:cached"
-                  ~native:(native_of_backend ()) ~input ~verify ?obs
-                  tuned.Cache.Policy.policy wl
-            | None -> run_caller_config ~source:"adaptive:default")
+                exec ~actx ~source:"adaptive:cached"
+                  (Request.apply_policy tuned.Cache.Policy.policy r)
+            | None -> exec ~actx ~source:"adaptive:default" r)
       in
       (match ctl.a_phase with
       | `Sequential -> ()
@@ -909,24 +984,22 @@ let run ?(backend = `Sim None) ?(input = Wl.Workload.Ref)
                    })));
       o
 
-let run_policy ?(input = Wl.Workload.Ref) ?(verify = true) ?(cache = `Off)
-    ?cache_dir ?obs ?(native = native_defaults) ?(source = "searched")
-    (p : Cache.Policy.t) wl =
-  let actx = analysis_ctx ?obs cache cache_dir in
-  bump_counter obs ("policy.source." ^ source) 1;
-  record_event obs
-    (Xinv_obs.Event.Policy_applied { source; policy = Cache.Policy.to_string p });
-  run_with_policy ~actx ~source ~native ~input ~verify ?obs p wl
-
 (* ---- deprecated wrappers ---- *)
 
-let execute ?machine ?input ?checkpoint_every ?verify ?obs ~technique ~threads
-    wl =
-  run ~backend:(`Sim machine) ?input ?checkpoint_every ?verify ?obs ~technique
-    ~threads wl
+let run ?backend ?input ?checkpoint_every ?verify ?cache ?cache_dir ?obs
+    ?policy ?sig_kind ?spec_distance ~technique ~threads (wl : Wl.Workload.t) =
+  run_request
+    (Request.make ?backend ?input ?checkpoint_every ?verify ?cache ?cache_dir
+       ?obs ?policy ?sig_kind ?spec_distance ~technique ~threads wl)
 
-let execute_native ?input ?checkpoint_every ?verify ?(work = Nat.Work.Off)
-    ?pool ?obs ~technique ~threads wl =
-  run
-    ~backend:(`Native { native_defaults with work; pool })
-    ?input ?checkpoint_every ?verify ?obs ~technique ~threads wl
+let run_policy ?input ?verify ?cache ?cache_dir ?obs
+    ?(native = native_defaults) ?(source = "searched") (p : Cache.Policy.t) wl
+    =
+  (* Technique and threads are placeholders: [`Reified] pins every axis the
+     policy decides before execution. *)
+  run_request
+    (Request.make
+       ~backend:(`Native native)
+       ?input ?verify ?cache ?cache_dir ?obs
+       ~policy:(`Reified (p, source))
+       ~technique:Sequential ~threads:1 wl)

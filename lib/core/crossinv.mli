@@ -81,6 +81,12 @@ type native_opts = {
       (** called with each attempt's fresh flight recorder before the
           attempt starts executing — the hook [xinv top] uses to observe a
           live run.  The rings are still being written when this fires. *)
+  on_watchdog : (Xinv_native.Watchdog.t -> unit) option;
+      (** called with each attempt's fresh watchdog before any domain
+          starts waiting on it — the serve daemon's cancellation handle:
+          [Watchdog.cancel] on it unwinds just that request's cohort
+          (e.g. when the submitting client disconnects) without touching
+          a shared pool. *)
 }
 
 val native_defaults : native_opts
@@ -168,7 +174,76 @@ val adaptive_note :
     run's candidate and sequential timings, get the transition. {!run}
     with [~policy:(`Adaptive ctl)] calls this internally. *)
 
-type policy = [ `Fixed | `Auto | `Adaptive of adaptive ]
+type policy =
+  [ `Fixed  (** the request's own fields, the historical behaviour *)
+  | `Auto  (** tuned policy from the analysis cache, if one is stored *)
+  | `Adaptive of adaptive  (** [`Auto] + online sequential-baseline probe *)
+  | `Reified of Xinv_cache.Policy.t * string
+    (** this exact policy record; the string labels [policy_source] and
+        the [policy.source.*] counter (["searched"] from the autotuner) *)
+  ]
+
+(** {1 The request record}
+
+    Every way of asking this library for one execution — the historical
+    optional-argument {!run}, the reified-policy {!run_policy}, the
+    autotuner's measurement runs, the CLI, and one serve-daemon
+    submission — is a value of {!Request.t}.  {!run_request} is the single
+    execution path; everything else constructs a request and submits it. *)
+
+module Request : sig
+  type t = {
+    workload : Xinv_workloads.Workload.t;
+    technique : technique;
+    threads : int;
+    backend : backend;
+    input : Xinv_workloads.Workload.input;
+    checkpoint_every : int;
+    verify : bool;
+    cache : [ `Off | `Ro | `Rw ];
+    cache_dir : string option;
+    obs : Xinv_obs.Recorder.t option;
+    policy : policy;
+    sig_kind : [ `Range | `Segmented | `Bloom | `Exact ] option;
+    spec_distance : int option;
+  }
+
+  val make :
+    ?backend:backend ->
+    ?input:Xinv_workloads.Workload.input ->
+    ?checkpoint_every:int ->
+    ?verify:bool ->
+    ?cache:[ `Off | `Ro | `Rw ] ->
+    ?cache_dir:string ->
+    ?obs:Xinv_obs.Recorder.t ->
+    ?policy:policy ->
+    ?sig_kind:[ `Range | `Segmented | `Bloom | `Exact ] ->
+    ?spec_distance:int ->
+    technique:technique ->
+    threads:int ->
+    Xinv_workloads.Workload.t ->
+    t
+  (** Smart constructor with the facade's defaults: simulated backend
+      (default machine), [Ref] input, checkpoint every 1000, verification
+      on, cache off, [`Fixed] policy. *)
+
+  val native_opts : t -> native_opts
+  (** The request's native options, or {!native_defaults} on the sim
+      backend — the environmental knobs a policy never overrides. *)
+
+  val apply_policy : Xinv_cache.Policy.t -> t -> t
+  (** Pin every axis the policy decides — backend, technique, threads,
+      grain, batch, signature kind, speculative distance, epoch size —
+      onto the request, preserving its environmental knobs, and mark it
+      [`Fixed] (fully resolved). *)
+end
+
+val run_request : Request.t -> outcome
+(** The single execution path.  Resolves the request's [policy] field
+    (bumping [policy.source.*] counters and emitting [Policy_applied] /
+    [Tune_switch] events when [obs] is attached), then executes.  See
+    {!run} for the execution semantics — {!run} is now a thin wrapper
+    that builds a request and calls this. *)
 
 val run :
   ?backend:backend ->
@@ -185,6 +260,7 @@ val run :
   threads:int ->
   Xinv_workloads.Workload.t ->
   outcome
+[@@deprecated "construct a Crossinv.Request.t and call Crossinv.run_request"]
 (** Runs the workload under the technique with [threads] execution
     contexts total (DOMORE: 1 scheduler + workers; SPECCROSS: workers +
     1 checker) on the chosen backend (default: simulated, default
@@ -235,7 +311,9 @@ val run :
     clamped up to it.
 
     @raise Failure when the technique is inapplicable to the backend
-    (see {!applicable}). *)
+    (see {!applicable}).
+
+    @deprecated construct a {!Request.t} and call {!run_request}. *)
 
 val run_policy :
   ?input:Xinv_workloads.Workload.input ->
@@ -248,13 +326,20 @@ val run_policy :
   Xinv_cache.Policy.t ->
   Xinv_workloads.Workload.t ->
   outcome
+[@@deprecated
+  "construct a Crossinv.Request.t with ~policy:(`Reified (p, source)) and \
+   call Crossinv.run_request"]
 (** Reify a {!Xinv_cache.Policy.t} into one run: backend, technique,
     threads, grain, batch, signature kind, speculative distance and epoch
     size all come from the policy; [?native] (default {!native_defaults})
     supplies the environmental knobs.  This is the measurement primitive
     the {!Xinv_tune} search and the tuned benchmark drive.  [?source]
     (default ["searched"]) labels the outcome's [policy_source] and the
-    [policy.source.*] counter. *)
+    [policy.source.*] counter.
+
+    @deprecated
+      construct a {!Request.t} with [~policy:(`Reified (p, source))] and
+      call {!run_request}. *)
 
 val spec_mode_of_plan :
   Xinv_workloads.Workload.t -> string -> Xinv_speccross.Runtime.mode
@@ -263,32 +348,7 @@ val spec_mode_of_plan :
 val native_pool_size : technique:technique -> threads:int -> int
 (** Pool domains one native run of [technique] needs beyond the caller. *)
 
-(** {1 Deprecated wrappers}
-
-    One release of compatibility for the pre-unification entry points.
-    Both now return the unified {!outcome}. *)
-
-val execute :
-  ?machine:Xinv_sim.Machine.t ->
-  ?input:Xinv_workloads.Workload.input ->
-  ?checkpoint_every:int ->
-  ?verify:bool ->
-  ?obs:Xinv_obs.Recorder.t ->
-  technique:technique ->
-  threads:int ->
-  Xinv_workloads.Workload.t ->
-  outcome
-[@@deprecated "use Crossinv.run (optionally with ~backend:(`Sim ...))"]
-
-val execute_native :
-  ?input:Xinv_workloads.Workload.input ->
-  ?checkpoint_every:int ->
-  ?verify:bool ->
-  ?work:Xinv_native.Work.t ->
-  ?pool:Xinv_native.Pool.t ->
-  ?obs:Xinv_obs.Recorder.t ->
-  technique:technique ->
-  threads:int ->
-  Xinv_workloads.Workload.t ->
-  outcome
-[@@deprecated "use Crossinv.run ~backend:(`Native ...)"]
+(** The pre-unification wrappers [execute] / [execute_native] (deprecated
+    since the [`Sim]/[`Native] facade merge) are gone; {!run} and
+    {!run_policy} are this release's deprecated wrappers over
+    {!run_request}. *)

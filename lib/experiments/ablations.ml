@@ -114,7 +114,7 @@ let contention () =
   let levels = [ 0.0; 0.011; 0.022; 0.044 ] in
   let cell technique input wl alpha =
     let machine = { Sim.Machine.default with Sim.Machine.contention = alpha } in
-    (Cx.run ~backend:(`Sim (Some machine)) ~input ~technique ~threads:24 wl)
+    (Cx.run_request @@ Cx.Request.make ~backend:(`Sim (Some machine)) ~input ~technique ~threads:24 wl)
       .Cx.speedup
   in
   let rows =
@@ -151,7 +151,7 @@ let inspector () =
           | Error _ -> "-"
           | Ok () ->
               Xinv_util.Tab.fmt_speedup
-                (Cx.run ~technique ~threads:24 wl).Cx.speedup
+                (Cx.run_request @@ Cx.Request.make ~technique ~threads:24 wl).Cx.speedup
         in
         [ name; s Cx.Barrier; s Cx.Inspector; s Cx.Domore ])
       benches

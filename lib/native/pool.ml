@@ -32,6 +32,7 @@ let create ~workers =
   { slots; doms; live = true }
 
 let workers t = Array.length t.doms
+let live t = t.live
 
 let run ?wd ?(on_stall = fun (_ : exn) -> ()) t fns =
   if not t.live then invalid_arg "Pool.run: pool was shut down";
@@ -60,9 +61,14 @@ let run ?wd ?(on_stall = fun (_ : exn) -> ()) t fns =
           with Watchdog.Stalled _ as stall -> (
             (* Give the caller one chance to cancel the cohort (close
                queues, poison barriers) and the worker one more timeout
-               window to unwind before declaring it wedged. *)
+               window to unwind before declaring it wedged.  The window
+               comes from a fresh grace watchdog: the original absolute
+               deadline may already be in the past — often exactly why
+               this join stalled — and a zero-width second chance would
+               condemn a shared pool whose workers unwind fine once
+               cancelled. *)
             on_stall stall;
-            try Watchdog.wait ~cancellable:false wd ~role ~for_ pred
+            try Watchdog.wait ~cancellable:false (Watchdog.grace wd) ~role ~for_ pred
             with Watchdog.Stalled _ ->
               (* The domain is unrecoverable; abandoning its join would
                  corrupt the next run, so the pool dies with it.  The

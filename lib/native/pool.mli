@@ -13,6 +13,12 @@ val create : workers:int -> t
 
 val workers : t -> int
 
+val live : t -> bool
+(** False once the pool was shut down or a wedged join marked it dead.
+    A long-lived owner (the serve daemon) checks this before reuse and
+    replaces a dead pool instead of calling {!run} into an
+    [Invalid_argument]. *)
+
 val run :
   ?wd:Watchdog.t -> ?on_stall:(exn -> unit) -> t -> (unit -> unit) array -> unit
 (** [run pool fns] executes [fns.(0)] on the calling domain and

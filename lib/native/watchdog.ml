@@ -38,6 +38,16 @@ let create ?deadline_ms ?wait_timeout_ms () =
   make deadline_at wait_timeout_s
 
 let bounded t = t.deadline_at < infinity || t.wait_timeout_s < infinity
+
+(* A fresh watchdog for the recovery join after cohort cancellation: the
+   original absolute deadline may already have expired — that can be
+   exactly why the join stalled — but the unwinding workers still deserve
+   one full wait window before the pool is declared wedged.  Bounds are
+   relative to now; cancellation state is not carried (the recovery join
+   is non-cancellable anyway). *)
+let grace t =
+  let w = if t.wait_timeout_s < infinity then t.wait_timeout_s else 5. in
+  make (Unix.gettimeofday () +. w) w
 let cancelled t = Atomic.get t.root <> None
 let root_cause t = Atomic.get t.root
 let stalls t = Atomic.get t.stall_count

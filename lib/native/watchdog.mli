@@ -62,3 +62,12 @@ val raise_if_cancelled : t -> role:string -> unit
 val stalls : t -> int
 (** Number of {!Stalled} raises on this watchdog (feeds the
     [watchdog.stall] counter). *)
+
+val grace : t -> t
+(** A fresh watchdog whose bounds are one wait window starting {e now}
+    (the original per-wait timeout, or 5 s when it was unbounded), with a
+    clean cancellation token.  The {!Pool} recovery join uses it after
+    cohort cancellation: the original watchdog's absolute deadline may
+    already be in the past — often exactly why the join stalled — which
+    would make a "second chance" wait on the same watchdog zero-width and
+    condemn a shared pool whose workers were unwinding fine. *)

@@ -1,0 +1,19 @@
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let with_connection path f =
+  let fd = connect path in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> f fd)
+
+let request fd msg =
+  Protocol.send_client fd msg;
+  Protocol.recv_server fd
+
+let call ~socket msg = with_connection socket (fun fd -> request fd msg)

@@ -1,0 +1,15 @@
+(** Thin synchronous client for a running [xinv serve] daemon. *)
+
+val connect : string -> Unix.file_descr
+(** Connect to the daemon's Unix-domain socket path.
+    @raise Unix.Unix_error when nothing is listening. *)
+
+val with_connection : string -> (Unix.file_descr -> 'a) -> 'a
+(** Connect, apply, always close. *)
+
+val request : Unix.file_descr -> Protocol.client_msg -> Protocol.server_msg
+(** One round trip on an open connection (the connection can be reused
+    for many round trips).  Raises {!Wire.Error} on protocol trouble. *)
+
+val call : socket:string -> Protocol.client_msg -> Protocol.server_msg
+(** One-shot: connect, one round trip, close. *)

@@ -1,0 +1,88 @@
+type 'a level = {
+  (* rotation order; invariant: a tenant appears here iff its queue in
+     [by_tenant] is non-empty, and appears exactly once *)
+  mutable order : string list;
+  by_tenant : (string, 'a Queue.t) Hashtbl.t;
+}
+
+type 'a t = { cap : int; mutable len : int; high : 'a level; normal : 'a level }
+
+let level () = { order = []; by_tenant = Hashtbl.create 8 }
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Fair.create: capacity must be positive";
+  { cap = capacity; len = 0; high = level (); normal = level () }
+
+let capacity t = t.cap
+let length t = t.len
+
+let level_of t = function `High -> t.high | `Normal -> t.normal
+
+let push t ~priority ~tenant v =
+  if t.len >= t.cap then Error (`Full t.cap)
+  else begin
+    let l = level_of t priority in
+    let q =
+      match Hashtbl.find_opt l.by_tenant tenant with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          Hashtbl.add l.by_tenant tenant q;
+          q
+    in
+    if Queue.is_empty q then l.order <- l.order @ [ tenant ];
+    Queue.push v q;
+    t.len <- t.len + 1;
+    Ok ()
+  end
+
+let pop_level l =
+  match l.order with
+  | [] -> None
+  | tenant :: rest ->
+      let q = Hashtbl.find l.by_tenant tenant in
+      let v = Queue.pop q in
+      (* the tenant yields its turn; it rejoins the rotation only while it
+         still has queued work *)
+      l.order <- (if Queue.is_empty q then rest else rest @ [ tenant ]);
+      Some v
+
+let pop t =
+  let r =
+    match pop_level t.high with Some _ as v -> v | None -> pop_level t.normal
+  in
+  (match r with Some _ -> t.len <- t.len - 1 | None -> ());
+  r
+
+let remove_level l pred =
+  let found = ref None in
+  List.iter
+    (fun tenant ->
+      if !found = None then begin
+        let q = Hashtbl.find l.by_tenant tenant in
+        let keep = Queue.create () in
+        Queue.iter
+          (fun v ->
+            if !found = None && pred v then found := Some v
+            else Queue.push v keep)
+          q;
+        if !found <> None then begin
+          Queue.clear q;
+          Queue.transfer keep q;
+          if Queue.is_empty q then
+            l.order <- List.filter (fun x -> not (String.equal x tenant)) l.order
+        end
+      end)
+    l.order;
+  !found
+
+let remove t pred =
+  let r =
+    match remove_level t.high pred with
+    | Some _ as v -> v
+    | None -> remove_level t.normal pred
+  in
+  (match r with Some _ -> t.len <- t.len - 1 | None -> ());
+  r
+
+let tenants t = t.high.order @ t.normal.order

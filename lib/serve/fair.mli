@@ -1,0 +1,38 @@
+(** Bounded two-level priority queue with round-robin-per-tenant
+    fairness — the admission-controlled run queue of the serve daemon.
+
+    [`High] items always dispatch before [`Normal] ones; within one
+    level, tenants take strict turns (a tenant that just dispatched goes
+    to the back of its level's rotation), so one tenant flooding the
+    queue delays its own requests, not its neighbours'.  Within one
+    tenant, items dispatch FIFO.
+
+    Purely sequential — the daemon serializes access under its own lock —
+    which is what makes the rotation testable in isolation. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument on a non-positive capacity. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val push :
+  'a t -> priority:[ `High | `Normal ] -> tenant:string -> 'a ->
+  (unit, [ `Full of int ]) result
+(** [Error (`Full capacity)] when the queue is at capacity — typed
+    admission-control rejection, never an exception. *)
+
+val pop : 'a t -> 'a option
+(** Highest level first, then the level's tenant rotation, then FIFO
+    within the tenant.  [None] when empty. *)
+
+val remove : 'a t -> ('a -> bool) -> 'a option
+(** Remove and return the first queued item (in an unspecified order
+    across tenants) satisfying the predicate — how a disconnected
+    client's still-queued request is withdrawn. *)
+
+val tenants : 'a t -> string list
+(** Tenants with at least one queued item, high level first, each level
+    in current rotation order. *)

@@ -1,0 +1,546 @@
+module Cx = Xinv_core.Crossinv
+module Nat = Xinv_native
+module Metrics = Xinv_obs.Metrics
+module Snapshot = Xinv_obs.Snapshot
+
+type config = {
+  domains : int;
+  queue_capacity : int;
+  cache : [ `Off | `Ro | `Rw ];
+  cache_dir : string option;
+  default_deadline_ms : float option;
+}
+
+let default_config =
+  {
+    domains = 2;
+    queue_capacity = 1024;
+    cache = `Off;
+    cache_dir = None;
+    default_deadline_ms = None;
+  }
+
+type kind = KRun of Request.t | KTune of Protocol.tune_req
+
+type job = {
+  id : int;
+  kind : kind;
+  priority : [ `High | `Normal ];
+  tenant : string;
+  enqueued_at : float;
+  deadline_ms : float option;  (** end-to-end budget from [enqueued_at] *)
+  jm : Mutex.t;
+  jc : Condition.t;
+  mutable result : Protocol.server_msg option;
+  mutable wd : Nat.Watchdog.t option;
+  mutable cancelled : bool;
+}
+
+type t = {
+  cfg : config;
+  metrics : Metrics.t;
+  mutable pool : Nat.Pool.t;
+  mutable pool_creates : int;
+  queue : job Fair.t;
+  mu : Mutex.t;
+  work : Condition.t;
+  mutable stopping : bool;
+  mutable scheduler : Thread.t option;
+  served_jobs : int Atomic.t;
+  next_id : int Atomic.t;
+  started_at : float;
+  (* pre-registered hot handles *)
+  c_pool_create : Metrics.counter;
+  c_submitted : Metrics.counter;
+  c_completed : Metrics.counter;
+  c_rejected : Metrics.counter;
+  c_failed : Metrics.counter;
+  c_cancelled : Metrics.counter;
+  c_deadline_missed : Metrics.counter;
+  h_queue_wait : Metrics.histogram;
+  g_depth : Metrics.gauge;
+}
+
+let now () = Unix.gettimeofday ()
+
+let metrics t = t.metrics
+let pool_creates t = t.pool_creates
+let served t = Atomic.get t.served_jobs
+
+let tenant_counter t tenant what =
+  Metrics.counter t.metrics (Printf.sprintf "serve.tenant.%s.%s" tenant what)
+
+let new_pool t =
+  t.pool_creates <- t.pool_creates + 1;
+  Metrics.incr t.c_pool_create;
+  Nat.Pool.create ~workers:t.cfg.domains
+
+let create cfg =
+  let metrics = Metrics.create () in
+  let c_pool_create = Metrics.counter metrics "serve.pool.create" in
+  let t =
+    {
+      cfg;
+      metrics;
+      pool = Nat.Pool.create ~workers:0 (* replaced below *);
+      pool_creates = 0;
+      queue = Fair.create ~capacity:cfg.queue_capacity;
+      mu = Mutex.create ();
+      work = Condition.create ();
+      stopping = false;
+      scheduler = None;
+      served_jobs = Atomic.make 0;
+      next_id = Atomic.make 0;
+      started_at = now ();
+      c_pool_create;
+      c_submitted = Metrics.counter metrics "serve.submitted";
+      c_completed = Metrics.counter metrics "serve.completed";
+      c_rejected = Metrics.counter metrics "serve.rejected";
+      c_failed = Metrics.counter metrics "serve.failed";
+      c_cancelled = Metrics.counter metrics "serve.cancelled";
+      c_deadline_missed = Metrics.counter metrics "serve.deadline_missed";
+      h_queue_wait = Metrics.histogram metrics "serve.queue_wait_ms";
+      g_depth = Metrics.gauge metrics "serve.queue.depth";
+    }
+  in
+  Nat.Pool.shutdown t.pool;
+  t.pool <- new_pool t;
+  t
+
+(* ---- job lifecycle ---- *)
+
+let finish t job msg =
+  Mutex.lock job.jm;
+  let first = job.result = None in
+  if first then begin
+    job.result <- Some msg;
+    Condition.broadcast job.jc
+  end;
+  Mutex.unlock job.jm;
+  if first then begin
+    Atomic.incr t.served_jobs;
+    match msg with
+    | Protocol.Outcome _ | Protocol.Tune_reply _ ->
+        Metrics.incr t.c_completed;
+        Metrics.incr (tenant_counter t job.tenant "completed")
+    | Protocol.Rejected why ->
+        Metrics.incr t.c_rejected;
+        Metrics.incr (tenant_counter t job.tenant "rejected");
+        (match why with
+        | Protocol.Deadline_exceeded ->
+            Metrics.incr t.c_deadline_missed;
+            Metrics.incr (tenant_counter t job.tenant "deadline_missed")
+        | Protocol.Cancelled -> Metrics.incr t.c_cancelled
+        | _ -> ())
+    | Protocol.Failed _ -> Metrics.incr t.c_failed
+    | _ -> ()
+  end
+
+let await job =
+  Mutex.lock job.jm;
+  while job.result = None do
+    Condition.wait job.jc job.jm
+  done;
+  let r = Option.get job.result in
+  Mutex.unlock job.jm;
+  r
+
+let peek job =
+  Mutex.lock job.jm;
+  let r = job.result in
+  Mutex.unlock job.jm;
+  r
+
+let enqueue t ~kind ~priority ~tenant ~deadline_ms =
+  let job =
+    {
+      id = Atomic.fetch_and_add t.next_id 1;
+      kind;
+      priority;
+      tenant;
+      enqueued_at = now ();
+      deadline_ms;
+      jm = Mutex.create ();
+      jc = Condition.create ();
+      result = None;
+      wd = None;
+      cancelled = false;
+    }
+  in
+  Metrics.incr t.c_submitted;
+  Metrics.incr (tenant_counter t tenant "submitted");
+  Mutex.lock t.mu;
+  if t.stopping then begin
+    Mutex.unlock t.mu;
+    finish t job (Protocol.Rejected Protocol.Shutting_down)
+  end
+  else begin
+    match Fair.push t.queue ~priority ~tenant job with
+    | Ok () ->
+        Metrics.set t.g_depth (float_of_int (Fair.length t.queue));
+        Condition.signal t.work;
+        Mutex.unlock t.mu
+    | Error (`Full cap) ->
+        Mutex.unlock t.mu;
+        finish t job (Protocol.Rejected (Protocol.Queue_full cap))
+  end;
+  job
+
+let submit t (req : Request.t) =
+  let deadline_ms =
+    match req.Request.deadline_ms with
+    | Some _ as d -> d
+    | None -> t.cfg.default_deadline_ms
+  in
+  enqueue t ~kind:(KRun req) ~priority:req.Request.priority
+    ~tenant:req.Request.tenant ~deadline_ms
+
+let submit_tune t (tr : Protocol.tune_req) =
+  enqueue t ~kind:(KTune tr) ~priority:tr.Protocol.t_priority
+    ~tenant:tr.Protocol.t_tenant ~deadline_ms:t.cfg.default_deadline_ms
+
+let cancel t job =
+  Mutex.lock t.mu;
+  let withdrawn = Fair.remove t.queue (fun j -> j.id = job.id) in
+  (match withdrawn with
+  | Some _ -> Metrics.set t.g_depth (float_of_int (Fair.length t.queue))
+  | None -> ());
+  Mutex.unlock t.mu;
+  match withdrawn with
+  | Some j -> finish t j (Protocol.Rejected Protocol.Cancelled)
+  | None ->
+      (* already popped: flag it and cancel the attempt's watchdog if one
+         is armed; the [on_watchdog] hook covers the window before the
+         first attempt arms one. *)
+      Mutex.lock job.jm;
+      job.cancelled <- true;
+      let wd = job.wd in
+      Mutex.unlock job.jm;
+      (match wd with
+      | Some wd ->
+          ignore (Nat.Watchdog.cancel wd (Failure "client disconnected"))
+      | None -> ())
+
+(* ---- execution ---- *)
+
+let disconnect_exn = Failure "client disconnected"
+
+(* A tuned [`Auto] policy or an oversized request may ask for more
+   contexts than the shared pool holds; shrink to the largest thread
+   count whose pool demand fits, instead of bouncing the run. *)
+let fit_threads ~pool ~technique threads =
+  let cap = Nat.Pool.workers pool in
+  let rec go th =
+    if th <= 1 then 1
+    else if Cx.native_pool_size ~technique ~threads:th <= cap then th
+    else go (th - 1)
+  in
+  go threads
+
+let exec_run t job (req : Request.t) ~queue_wait_ns ~remaining_ms =
+  if not (Nat.Pool.live t.pool) then t.pool <- new_pool t;
+  let req =
+    match req.Request.backend with
+    | `Sim -> req
+    | `Native -> (
+        match Cx.technique_of_string req.Request.technique with
+        | None -> req (* surfaces as Bad_request below *)
+        | Some technique ->
+            {
+              req with
+              Request.threads =
+                fit_threads ~pool:t.pool ~technique req.Request.threads;
+            })
+  in
+  let on_watchdog wd =
+    Mutex.lock job.jm;
+    job.wd <- Some wd;
+    let c = job.cancelled in
+    Mutex.unlock job.jm;
+    if c then ignore (Nat.Watchdog.cancel wd disconnect_exn)
+  in
+  match
+    Request.to_crossinv ~pool:t.pool ?cache_dir:t.cfg.cache_dir
+      ~cache_limit:t.cfg.cache ?deadline_ms:remaining_ms ~on_watchdog req
+  with
+  | Error (`Unknown_workload n) ->
+      finish t job (Protocol.Rejected (Protocol.Unknown_workload n))
+  | Error (`Bad_request r) ->
+      finish t job (Protocol.Rejected (Protocol.Bad_request r))
+  | Ok creq -> (
+      let was_cancelled () =
+        Mutex.lock job.jm;
+        let c = job.cancelled in
+        Mutex.unlock job.jm;
+        c
+      in
+      let workload = creq.Cx.Request.workload.Xinv_workloads.Workload.name in
+      match Cx.run_request creq with
+      | o ->
+          (* A cancelled native cohort is degradable, so the run may have
+             completed sequentially after the cancel point — the client is
+             gone either way, and the cancellation wins.  (Sim runs have no
+             cancel point and deliver their outcome; see the mli.) *)
+          if was_cancelled () && req.Request.backend = `Native then
+            finish t job (Protocol.Rejected Protocol.Cancelled)
+          else
+            finish t job
+              (Protocol.Outcome
+                 (Protocol.summary_of_outcome ~workload ~queue_wait_ns o))
+      | exception e ->
+          if was_cancelled () then
+            finish t job (Protocol.Rejected Protocol.Cancelled)
+          else (
+            match e with
+            | Nat.Watchdog.Stalled _ ->
+                finish t job (Protocol.Rejected Protocol.Deadline_exceeded)
+            | e -> finish t job (Protocol.Failed (Printexc.to_string e))))
+
+let exec_tune t job (tr : Protocol.tune_req) =
+  match Xinv_workloads.Registry.find tr.Protocol.t_workload with
+  | exception Invalid_argument _ ->
+      finish t job
+        (Protocol.Rejected (Protocol.Unknown_workload tr.Protocol.t_workload))
+  | wl -> (
+      match Xinv_tune.Search.strategy_of_string tr.Protocol.t_strategy with
+      | None ->
+          finish t job
+            (Protocol.Rejected
+               (Protocol.Bad_request
+                  ("unknown strategy " ^ tr.Protocol.t_strategy)))
+      | Some strategy -> (
+          match
+            Xinv_tune.Tune.tune ~cache:t.cfg.cache ?cache_dir:t.cfg.cache_dir
+              ~input:tr.Protocol.t_input ~budget:tr.Protocol.t_budget
+              ~strategy ~seed:tr.Protocol.t_seed
+              ?max_domains:tr.Protocol.t_max_domains wl
+          with
+          | r ->
+              let tuned = r.Xinv_tune.Tune.tuned in
+              finish t job
+                (Protocol.Tune_reply
+                   {
+                     Protocol.r_policy_key =
+                       Xinv_cache.Policy.key tuned.Xinv_cache.Policy.policy;
+                     r_wall_ns = tuned.Xinv_cache.Policy.wall_ns;
+                     r_seq_wall_ns = tuned.Xinv_cache.Policy.seq_wall_ns;
+                     r_trials = List.length r.Xinv_tune.Tune.trials;
+                     r_source =
+                       Xinv_tune.Tune.source_name r.Xinv_tune.Tune.source;
+                   })
+          | exception e -> finish t job (Protocol.Failed (Printexc.to_string e))
+          ))
+
+let execute t job =
+  let queue_wait_ns = (now () -. job.enqueued_at) *. 1e9 in
+  Metrics.observe t.h_queue_wait (queue_wait_ns /. 1e6);
+  let remaining_ms =
+    Option.map (fun d -> d -. (queue_wait_ns /. 1e6)) job.deadline_ms
+  in
+  let cancelled =
+    Mutex.lock job.jm;
+    let c = job.cancelled in
+    Mutex.unlock job.jm;
+    c
+  in
+  if cancelled then finish t job (Protocol.Rejected Protocol.Cancelled)
+  else
+    match remaining_ms with
+    | Some r when r <= 0. ->
+        finish t job (Protocol.Rejected Protocol.Deadline_exceeded)
+    | _ -> (
+        match job.kind with
+        | KRun req -> exec_run t job req ~queue_wait_ns ~remaining_ms
+        | KTune tr -> exec_tune t job tr)
+
+(* ---- scheduler ---- *)
+
+let scheduler_loop t =
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mu;
+    while (not t.stopping) && Fair.length t.queue = 0 do
+      Condition.wait t.work t.mu
+    done;
+    (match Fair.pop t.queue with
+    | None ->
+        (* stopping and empty *)
+        running := false;
+        Mutex.unlock t.mu
+    | Some job ->
+        Metrics.set t.g_depth (float_of_int (Fair.length t.queue));
+        Mutex.unlock t.mu;
+        execute t job)
+  done
+
+let start t =
+  Mutex.lock t.mu;
+  let need = t.scheduler = None && not t.stopping in
+  Mutex.unlock t.mu;
+  if need then begin
+    let th = Thread.create scheduler_loop t in
+    Mutex.lock t.mu;
+    t.scheduler <- Some th;
+    Mutex.unlock t.mu
+  end
+
+let stop ?(drain = false) t =
+  Mutex.lock t.mu;
+  t.stopping <- true;
+  let rejected =
+    if drain then []
+    else begin
+      (* empty the queue now so the scheduler exits without running them *)
+      let rec all acc =
+        match Fair.pop t.queue with None -> acc | Some j -> all (j :: acc)
+      in
+      all []
+    end
+  in
+  Metrics.set t.g_depth (float_of_int (Fair.length t.queue));
+  Condition.broadcast t.work;
+  let th = t.scheduler in
+  t.scheduler <- None;
+  Mutex.unlock t.mu;
+  List.iter
+    (fun j -> finish t j (Protocol.Rejected Protocol.Shutting_down))
+    rejected;
+  (match th with Some th -> Thread.join th | None -> ());
+  Nat.Pool.shutdown t.pool
+
+(* ---- stats ---- *)
+
+let queued t =
+  Mutex.lock t.mu;
+  let n = Fair.length t.queue in
+  Mutex.unlock t.mu;
+  n
+
+let snapshot t = Snapshot.take t.metrics
+
+let pong t =
+  {
+    Protocol.p_uptime_ns = (now () -. t.started_at) *. 1e9;
+    p_pool_domains = Nat.Pool.workers t.pool;
+    p_pool_creates = t.pool_creates;
+    p_queued = queued t;
+    p_served = served t;
+  }
+
+(* ---- socket front end ---- *)
+
+(* While a connection's request is in flight, poll the socket: pending
+   bytes that peek to EOF mean the client hung up, so its job is
+   cancelled (only that cohort unwinds; the pool and every other tenant's
+   run are untouched).  OCaml's [Condition] has no timed wait, hence the
+   20 ms poll cadence — queue waits dominate it in any loaded daemon. *)
+let await_watching t fd job =
+  let rec go () =
+    match peek job with
+    | Some r -> r
+    | None -> (
+        match Unix.select [ fd ] [] [] 0. with
+        | [], _, _ ->
+            Thread.delay 0.02;
+            go ()
+        | _ :: _, _, _ -> (
+            let b = Bytes.create 1 in
+            match Unix.recv fd b 0 1 [ Unix.MSG_PEEK ] with
+            | 0 ->
+                cancel t job;
+                await job
+            | _ ->
+                (* client pipelined its next frame; stop watching *)
+                await job
+            | exception Unix.Unix_error _ ->
+                cancel t job;
+                await job)
+        | exception Unix.Unix_error _ ->
+            cancel t job;
+            await job)
+  in
+  go ()
+
+type session = { srv : t; fd : Unix.file_descr; mutable shutdown_seen : bool }
+
+let handle_message s msg =
+  match (msg : Protocol.client_msg) with
+  | Protocol.Ping ->
+      Protocol.send_server s.fd (Protocol.Pong (pong s.srv));
+      true
+  | Protocol.Stats ->
+      Protocol.send_server s.fd (Protocol.Stats_reply (snapshot s.srv));
+      true
+  | Protocol.Shutdown ->
+      s.shutdown_seen <- true;
+      Protocol.send_server s.fd
+        (Protocol.Shutdown_ack { served = served s.srv });
+      false
+  | Protocol.Run req ->
+      let job = submit s.srv req in
+      Protocol.send_server s.fd (await_watching s.srv s.fd job);
+      true
+  | Protocol.Tune tr ->
+      let job = submit_tune s.srv tr in
+      Protocol.send_server s.fd (await_watching s.srv s.fd job);
+      true
+
+let handle_conn s =
+  let rec session () =
+    match Protocol.recv_client s.fd with
+    | msg -> if (try handle_message s msg with _ -> false) then session ()
+    | exception Wire.Error Wire.Closed -> ()
+    | exception Wire.Error e ->
+        (* framing is gone; answer once, then drop the connection *)
+        (try
+           Protocol.send_server s.fd
+             (Protocol.Rejected
+                (Protocol.Bad_request (Wire.error_to_string e)))
+         with _ -> ())
+    | exception _ -> ()
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close s.fd with _ -> ())
+    session
+
+let serve t ~socket =
+  start t;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  Unix.bind fd (Unix.ADDR_UNIX socket);
+  Unix.listen fd 64;
+  let stop_requested = Atomic.make false in
+  let conns = ref [] in
+  let rec accept_loop () =
+    if not (Atomic.get stop_requested) then begin
+      match Unix.accept fd with
+      | cfd, _ ->
+          let s = { srv = t; fd = cfd; shutdown_seen = false } in
+          let th =
+            Thread.create
+              (fun () ->
+                handle_conn s;
+                if s.shutdown_seen then begin
+                  Atomic.set stop_requested true;
+                  (* poke the accept loop awake so it can exit *)
+                  try
+                    let p = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+                    (try Unix.connect p (Unix.ADDR_UNIX socket)
+                     with Unix.Unix_error _ -> ());
+                    Unix.close p
+                  with Unix.Unix_error _ -> ()
+                end)
+              ()
+          in
+          conns := th :: !conns;
+          accept_loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (try Unix.unlink socket with Unix.Unix_error _ -> ());
+      List.iter Thread.join !conns;
+      stop t)
+    accept_loop

@@ -81,8 +81,12 @@ let tune ?obs ?(cache = `Off) ?cache_dir ?(input = Wl.Workload.Ref)
           }
         in
         match
-          Core.Crossinv.run_policy ?obs ~input ~cache ?cache_dir ~native
-            ~source:"searched" p wl
+          Core.Crossinv.run_request
+            (Core.Crossinv.Request.make
+               ~backend:(`Native native)
+               ~input ~cache ?cache_dir ?obs
+               ~policy:(`Reified (p, "searched"))
+               ~technique:Core.Crossinv.Sequential ~threads:1 wl)
         with
         | o ->
             {
@@ -140,9 +144,14 @@ let tune ?obs ?(cache = `Off) ?cache_dir ?(input = Wl.Workload.Ref)
         trials = r.Search.trials;
       }
 
-let apply ?obs ?(input = Wl.Workload.Ref) ?native r wl =
-  Core.Crossinv.run_policy ?obs ~input ?native ~source:(source_name r.source)
-    r.tuned.Policy.policy wl
+let apply ?obs ?(input = Wl.Workload.Ref)
+    ?(native = Core.Crossinv.native_defaults) r wl =
+  Core.Crossinv.run_request
+    (Core.Crossinv.Request.make
+       ~backend:(`Native native)
+       ~input ?obs
+       ~policy:(`Reified (r.tuned.Policy.policy, source_name r.source))
+       ~technique:Core.Crossinv.Sequential ~threads:1 wl)
 
 let json_ns v = if Float.is_finite v then Printf.sprintf "%.0f" v else "-1"
 

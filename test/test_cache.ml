@@ -620,7 +620,7 @@ let test_differential_sim_registry () =
           | Error _ -> ()
           | Ok () -> (
               let go ?(cache = `Off) ?cache_dir () =
-                C.run ?cache_dir ~cache ~input:Wl.Workload.Train ~technique:tech
+                C.run_request @@ C.Request.make ?cache_dir ~cache ~input:Wl.Workload.Train ~technique:tech
                   ~threads:4 wl
               in
               match go () with
@@ -677,7 +677,7 @@ let test_differential_native_registry () =
           | Error _ -> ()
           | Ok () -> (
               let go ?(cache = `Off) ?cache_dir () =
-                C.run
+                C.run_request @@ C.Request.make
                   ~backend:(`Native C.native_defaults)
                   ?cache_dir ~cache ~input:Wl.Workload.Train ~technique:tech
                   ~threads:2 wl
@@ -734,7 +734,7 @@ let test_degradation_with_cache () =
         | Error m -> Alcotest.fail m
       in
       let go ?(cache = `Off) ?cache_dir () =
-        C.run
+        C.run_request @@ C.Request.make
           ~backend:(`Native { C.native_defaults with C.fault = Some fault })
           ?cache_dir ~cache ~input:Wl.Workload.Train ~technique:C.Domore
           ~threads:2 wl

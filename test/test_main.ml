@@ -14,5 +14,6 @@ let () =
       ("workloads", Test_workloads.suite);
       ("cache", Test_cache.suite);
       ("tune", Test_tune.suite);
+      ("serve", Test_serve.suite);
       ("experiments", Test_experiments.suite);
     ]

@@ -227,10 +227,10 @@ let test_native_memory_direct () =
 let threads = 4
 
 let sim_outcome technique wl =
-  C.run ~input:Wl.Workload.Train ~technique ~threads wl
+  C.run_request @@ C.Request.make ~input:Wl.Workload.Train ~technique ~threads wl
 
 let native_outcome ?pool technique wl =
-  C.run
+  C.run_request @@ C.Request.make
     ~backend:(`Native { C.native_defaults with C.pool })
     ~input:Wl.Workload.Train ~technique ~threads wl
 
@@ -314,7 +314,7 @@ let test_crossval_speccross () =
 let test_native_inject_recovers () =
   let wl = Wl.Registry.find "SYMM" in
   let n =
-    C.run ~backend:(`Native C.native_defaults) ~input:Wl.Workload.Train
+    C.run_request @@ C.Request.make ~backend:(`Native C.native_defaults) ~input:Wl.Workload.Train
       ~technique:(C.Speccross_inject 2) ~threads wl
   in
   Alcotest.(check int) "exactly one forced misspeculation" 1
@@ -356,7 +356,7 @@ let test_grain_memory_identical () =
           | Error _ -> ()
           | Ok () ->
               let n =
-                C.run ~backend:(`Native opts) ~input:Wl.Workload.Train
+                C.run_request @@ C.Request.make ~backend:(`Native opts) ~input:Wl.Workload.Train
                   ~technique:tech ~threads wl
               in
               check_verified
@@ -379,7 +379,7 @@ let test_stall_report_structure () =
   List.iter
     (fun tech ->
       let n =
-        C.run ~backend:(`Native C.native_defaults) ~input:Wl.Workload.Train
+        C.run_request @@ C.Request.make ~backend:(`Native C.native_defaults) ~input:Wl.Workload.Train
           ~technique:tech ~threads wl
       in
       List.iter
@@ -397,7 +397,7 @@ let test_native_obs_counters () =
   let wl = Wl.Registry.find "SYMM" in
   let obs = Xinv_obs.Recorder.create () in
   let n =
-    C.run ~backend:(`Native C.native_defaults) ~input:Wl.Workload.Train ~obs
+    C.run_request @@ C.Request.make ~backend:(`Native C.native_defaults) ~input:Wl.Workload.Train ~obs
       ~technique:C.Domore ~threads wl
   in
   let counters = Xinv_obs.Metrics.counters (Xinv_obs.Recorder.metrics obs) in

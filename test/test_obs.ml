@@ -295,7 +295,7 @@ let test_misspec_report () =
   let wl = Wl.Registry.find "JACOBI" in
   let obs = Obs.Recorder.create () in
   let o =
-    Cx.run ~input:Wl.Workload.Train ~obs ~technique:(Cx.Speccross_inject 5)
+    Cx.run_request @@ Cx.Request.make ~input:Wl.Workload.Train ~obs ~technique:(Cx.Speccross_inject 5)
       ~threads:8 wl
   in
   let r = match o.Cx.run with Some r -> r | None -> Alcotest.fail "no run" in
@@ -325,9 +325,9 @@ let test_obs_off_bit_identical () =
   List.iter
     (fun (name, technique, threads) ->
       let wl = Wl.Registry.find name in
-      let off = Cx.run ~input:Wl.Workload.Train ~technique ~threads wl in
+      let off = Cx.run_request @@ Cx.Request.make ~input:Wl.Workload.Train ~technique ~threads wl in
       let obs = Obs.Recorder.create () in
-      let on = Cx.run ~input:Wl.Workload.Train ~obs ~technique ~threads wl in
+      let on = Cx.run_request @@ Cx.Request.make ~input:Wl.Workload.Train ~obs ~technique ~threads wl in
       let tag field = Printf.sprintf "%s/%s: %s" name (Cx.technique_name technique) field in
       let get o f = match o.Cx.run with Some r -> f r | None -> Alcotest.fail "no run" in
       Alcotest.(check (float 0.)) (tag "makespan")
@@ -507,7 +507,7 @@ let test_flight_off_bit_identical () =
           | Error _ -> ()
           | Ok () ->
               let go flight =
-                Cx.run
+                Cx.run_request @@ Cx.Request.make
                   ~backend:(`Native { Cx.native_defaults with Cx.flight })
                   ~input:Wl.Workload.Train ~technique ~threads:2 wl
               in
@@ -539,7 +539,7 @@ let test_flight_off_bit_identical () =
         native_techniques;
       (* The sim backend has no flight recorder to attach. *)
       let sim =
-        Cx.run ~input:Wl.Workload.Train ~technique:Cx.Barrier ~threads:2 wl
+        Cx.run_request @@ Cx.Request.make ~input:Wl.Workload.Train ~technique:Cx.Barrier ~threads:2 wl
       in
       Alcotest.(check bool)
         (wl.Wl.Workload.name ^ ": sim outcome has no flight")

@@ -199,7 +199,7 @@ let check_degrades technique spec_str () =
   let pm_dir = fresh_pm_dir () in
   let opts = { (native_opts spec_str) with C.postmortem_dir = Some pm_dir } in
   let o =
-    C.run
+    C.run_request @@ C.Request.make
       ~backend:(`Native opts) ~input:Wl.Workload.Train ~obs ~technique
       ~threads:4 (wl ())
   in
@@ -249,7 +249,7 @@ let fault_matrix =
 
 let test_no_degrade_raises_typed_error () =
   match
-    C.run
+    C.run_request @@ C.Request.make
       ~backend:(`Native (native_opts ~degrade:false "raise@*:1"))
       ~input:Wl.Workload.Train ~technique:C.Barrier ~threads:3 (wl ())
   with
@@ -261,7 +261,7 @@ let test_degraded_sequential_still_answers () =
      scheduler dies, DOMORE's whole chain falls through to plain barriers
      or sequential execution, and the answer stays bit-exact. *)
   let o =
-    C.run
+    C.run_request @@ C.Request.make
       ~backend:(`Native (native_opts "sched-die@0"))
       ~input:Wl.Workload.Train ~technique:C.Domore ~threads:4 (wl ())
   in
@@ -289,22 +289,44 @@ let test_backend_applicability () =
 
 (* ---------- deprecated wrappers ---------- *)
 
-(* The pre-unification entry points must keep working for one release.
-   This is the only call site allowed to silence the deprecation alert. *)
+(* The optional-argument entry points must keep working for one release
+   after the Request.t redesign, and must be exact synonyms for the
+   record form.  This is the only call site allowed to silence the
+   deprecation alert. *)
 let[@alert "-deprecated"] test_deprecated_wrappers () =
   let wl = wl () in
-  let o = C.execute ~input:Wl.Workload.Train ~technique:C.Barrier ~threads:4 wl in
-  Alcotest.(check bool) "execute still verifies" true o.C.verified;
+  let o = C.run ~input:Wl.Workload.Train ~technique:C.Barrier ~threads:4 wl in
+  Alcotest.(check bool) "run still verifies" true o.C.verified;
   (match o.C.cost with
   | C.Sim_cycles _ -> ()
-  | C.Wall_ns _ -> Alcotest.fail "execute must run the simulator");
-  let n =
-    C.execute_native ~input:Wl.Workload.Train ~technique:C.Barrier ~threads:3 wl
+  | C.Wall_ns _ -> Alcotest.fail "run must default to the simulator");
+  let r =
+    C.run_request
+    @@ C.Request.make ~input:Wl.Workload.Train ~technique:C.Barrier ~threads:4
+         wl
   in
-  Alcotest.(check bool) "execute_native still verifies" true n.C.verified;
-  match n.C.cost with
-  | C.Wall_ns _ -> ()
-  | C.Sim_cycles _ -> Alcotest.fail "execute_native must run on domains"
+  Alcotest.(check bool)
+    "wrapper and record form agree on cost" true
+    (C.cost_value o.C.cost = C.cost_value r.C.cost);
+  Alcotest.(check string)
+    "wrapper and record form agree on source" r.C.policy_source
+    o.C.policy_source;
+  let p =
+    {
+      Xinv_cache.Policy.backend = `Sim;
+      technique = "barrier";
+      domains = 4;
+      grain = 1;
+      batch = 32;
+      sig_kind = `Segmented;
+      spec_distance = None;
+      epoch_size = 1000;
+    }
+  in
+  let n = C.run_policy ~input:Wl.Workload.Train p wl in
+  Alcotest.(check bool) "run_policy still verifies" true n.C.verified;
+  Alcotest.(check string)
+    "run_policy labels the source" "searched" n.C.policy_source
 
 let suite =
   [

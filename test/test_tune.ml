@@ -217,7 +217,7 @@ let test_tune_roundtrip () =
         (Policy.key warm.Tune.tuned.Policy.policy);
       (* `Auto resolution inside the facade finds the same artifact. *)
       let o =
-        Cx.run ~input:Wl.Workload.Train ~cache:`Ro ~cache_dir:dir
+        Cx.run_request @@ Cx.Request.make ~input:Wl.Workload.Train ~cache:`Ro ~cache_dir:dir
           ~policy:`Auto ~technique:Cx.Barrier ~threads:2 wl
       in
       Alcotest.(check string)
@@ -234,7 +234,8 @@ let test_tune_roundtrip () =
 
 (* The autotuner must never trade correctness for speed: whatever policy
    it lands on, replaying it produces memory bit-identical to the
-   sequential run (run_policy verifies against the sequential baseline). *)
+   sequential run (a [`Reified] request verifies against the sequential
+   baseline). *)
 let test_policy_replay_all () =
   List.iter
     (fun wl ->
@@ -242,7 +243,11 @@ let test_policy_replay_all () =
         Tune.tune ~input:Wl.Workload.Train ~budget:4 ~seed:13 ~max_domains:2 wl
       in
       let o =
-        Cx.run_policy ~input:Wl.Workload.Train r.Tune.tuned.Policy.policy wl
+        Cx.run_request
+        @@ Cx.Request.make ~input:Wl.Workload.Train
+             ~backend:(`Native Cx.native_defaults)
+             ~policy:(`Reified (r.Tune.tuned.Policy.policy, "searched"))
+             ~technique:Cx.Sequential ~threads:1 wl
       in
       Alcotest.(check bool)
         (wl.Wl.Workload.name ^ ": tuned policy replay bit-identical")
@@ -305,7 +310,7 @@ let test_adaptive_stream () =
   let last = ref None in
   for _ = 1 to 4 do
     let o =
-      Cx.run ~input:Wl.Workload.Train ~policy:(`Adaptive ctl)
+      Cx.run_request @@ Cx.Request.make ~input:Wl.Workload.Train ~policy:(`Adaptive ctl)
         ~technique:Cx.Barrier ~threads:2 wl
     in
     Alcotest.(check bool) "adaptive run verified" true o.Cx.verified;

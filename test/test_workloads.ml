@@ -152,7 +152,7 @@ let test_end_to_end_verified () =
                 | Cx.Speccross when wl.Wl.Workload.name = "CG" -> Wl.Workload.Ref_spec
                 | _ -> Wl.Workload.Ref
               in
-              let o = Cx.run ~input ~technique ~threads wl in
+              let o = Cx.run_request @@ Cx.Request.make ~input ~technique ~threads wl in
               Alcotest.(check bool)
                 (Printf.sprintf "%s/%s@%d verified" wl.Wl.Workload.name
                    (Cx.technique_name technique) threads)
@@ -164,7 +164,7 @@ let test_end_to_end_verified () =
 let test_speedups_in_band () =
   (* Coarse bands from the dissertation's evaluation at 24 threads. *)
   let s name technique input =
-    (Cx.run ~input ~technique ~threads:24 (Wl.Registry.find name)).Cx.speedup
+    (Cx.run_request @@ Cx.Request.make ~input ~technique ~threads:24 (Wl.Registry.find name)).Cx.speedup
   in
   Alcotest.(check bool) "CG barrier below 1x" true
     (s "CG" Cx.Barrier Wl.Workload.Ref < 1.0);
@@ -182,7 +182,7 @@ let test_headline_geomeans () =
      We check the qualitative claims rather than exact values. *)
   let domore = Wl.Registry.domore_set () in
   let speed technique (wl : Wl.Workload.t) =
-    (Cx.run ~technique ~threads:24 wl).Cx.speedup
+    (Cx.run_request @@ Cx.Request.make ~technique ~threads:24 wl).Cx.speedup
   in
   let g_domore = Xinv_util.Stats.geomean (List.map (speed Cx.Domore) domore) in
   let g_barrier = Xinv_util.Stats.geomean (List.map (speed Cx.Barrier) domore) in
@@ -198,13 +198,13 @@ let test_cg_spec_fallback_vs_speculation () =
   let wl = Wl.Registry.find "CG" in
   (* Conflict-heavy ref input: the profiler's distance is below the worker
      count, so SPECCROSS falls back to real barriers (zero requests). *)
-  let fallback = Cx.run ~technique:Cx.Speccross ~threads:24 wl in
+  let fallback = Cx.run_request @@ Cx.Request.make ~technique:Cx.Speccross ~threads:24 wl in
   (match fallback.Cx.run with
   | Some r -> Alcotest.(check int) "fallback: no checking requests" 0 r.Xinv_parallel.Run.checks
   | None -> Alcotest.fail "expected a run");
   (* Banded input: genuine speculation, one request per task. *)
   let spec =
-    Cx.run ~input:Wl.Workload.Ref_spec ~technique:Cx.Speccross ~threads:24 wl
+    Cx.run_request @@ Cx.Request.make ~input:Wl.Workload.Ref_spec ~technique:Cx.Speccross ~threads:24 wl
   in
   match spec.Cx.run with
   | Some r ->
@@ -236,7 +236,7 @@ let test_scheduler_ratio_bands () =
   (* Table 5.2 bands: ECLAT has the heaviest scheduler of the scalable
      benchmarks, LLUBENCH/BLACKSCHOLES the lightest. *)
   let ratio name =
-    let o = Cx.run ~technique:Cx.Domore ~threads:24 (Wl.Registry.find name) in
+    let o = Cx.run_request @@ Cx.Request.make ~technique:Cx.Domore ~threads:24 (Wl.Registry.find name) in
     match o.Cx.run with
     | Some r -> 100. *. Xinv_domore.Domore.scheduler_worker_ratio r
     | None -> 0.

@@ -14,9 +14,12 @@
 type workload =
   [ `Name of string  (** registry lookup, case-insensitive *)
   | `Inline of string
-    (** a marshalled {!Xinv_workloads.Workload.t} (with closures) — valid
-        only between processes running the same binary, which holds for
-        the [xinv] CLI talking to an [xinv serve] daemon *) ]
+    (** a marshalled {!Xinv_workloads.Workload.t} (with closures) — a
+        same-process construct for callers embedding {!Server} as a
+        library.  Unmarshalling bytes of unknown provenance is
+        memory-unsafe, so the daemon's socket front end rejects inline
+        workloads with [Bad_request]; only registry names cross the
+        wire. *) ]
 
 type t = {
   workload : workload;
@@ -71,7 +74,9 @@ val make :
 
 val of_workload : ?priority:[ `High | `Normal ] -> ?tenant:string ->
   t -> Xinv_workloads.Workload.t -> t
-(** Re-point an existing request at an inline workload descriptor. *)
+(** Re-point an existing request at an inline workload descriptor, for
+    in-process {!Server.submit} only — the socket boundary rejects the
+    resulting request (see {!workload}). *)
 
 val put : Wire.writer -> t -> unit
 val get : Wire.reader -> t

@@ -296,7 +296,7 @@ let exec_run t job (req : Request.t) ~queue_wait_ns ~remaining_ms =
                 finish t job (Protocol.Rejected Protocol.Deadline_exceeded)
             | e -> finish t job (Protocol.Failed (Printexc.to_string e))))
 
-let exec_tune t job (tr : Protocol.tune_req) =
+let exec_tune t job (tr : Protocol.tune_req) ~remaining_ms =
   match Xinv_workloads.Registry.find tr.Protocol.t_workload with
   | exception Invalid_argument _ ->
       finish t job
@@ -309,11 +309,19 @@ let exec_tune t job (tr : Protocol.tune_req) =
                (Protocol.Bad_request
                   ("unknown strategy " ^ tr.Protocol.t_strategy)))
       | Some strategy -> (
+          (* [Tune.tune] has no end-to-end abort, so the deadline's
+             remainder is threaded in as the per-trial watchdog cap
+             (tightening the 2000 ms default): a nearly-spent budget
+             cannot fund long trials, though a large [t_budget] can still
+             overrun in aggregate — see the mli. *)
+          let trial_deadline_ms =
+            Option.map (fun r -> Float.min r 2000.) remaining_ms
+          in
           match
             Xinv_tune.Tune.tune ~cache:t.cfg.cache ?cache_dir:t.cfg.cache_dir
               ~input:tr.Protocol.t_input ~budget:tr.Protocol.t_budget
               ~strategy ~seed:tr.Protocol.t_seed
-              ?max_domains:tr.Protocol.t_max_domains wl
+              ?max_domains:tr.Protocol.t_max_domains ?trial_deadline_ms wl
           with
           | r ->
               let tuned = r.Xinv_tune.Tune.tuned in
@@ -351,7 +359,7 @@ let execute t job =
     | _ -> (
         match job.kind with
         | KRun req -> exec_run t job req ~queue_wait_ns ~remaining_ms
-        | KTune tr -> exec_tune t job tr)
+        | KTune tr -> exec_tune t job tr ~remaining_ms)
 
 (* ---- scheduler ---- *)
 
@@ -432,12 +440,19 @@ let pong t =
 (* While a connection's request is in flight, poll the socket: pending
    bytes that peek to EOF mean the client hung up, so its job is
    cancelled (only that cohort unwinds; the pool and every other tenant's
-   run are untouched).  OCaml's [Condition] has no timed wait, hence the
-   20 ms poll cadence — queue waits dominate it in any loaded daemon. *)
+   run are untouched) and [None] is returned — the peer is dead, so no
+   reply must be written to it.  OCaml's [Condition] has no timed wait,
+   hence the 20 ms poll cadence — queue waits dominate it in any loaded
+   daemon. *)
 let await_watching t fd job =
+  let gone () =
+    cancel t job;
+    ignore (await job);
+    None
+  in
   let rec go () =
     match peek job with
-    | Some r -> r
+    | Some r -> Some r
     | None -> (
         match Unix.select [ fd ] [] [] 0. with
         | [], _, _ ->
@@ -446,22 +461,23 @@ let await_watching t fd job =
         | _ :: _, _, _ -> (
             let b = Bytes.create 1 in
             match Unix.recv fd b 0 1 [ Unix.MSG_PEEK ] with
-            | 0 ->
-                cancel t job;
-                await job
+            | 0 -> gone ()
             | _ ->
                 (* client pipelined its next frame; stop watching *)
-                await job
-            | exception Unix.Unix_error _ ->
-                cancel t job;
-                await job)
-        | exception Unix.Unix_error _ ->
-            cancel t job;
-            await job)
+                Some (await job)
+            | exception Unix.Unix_error _ -> gone ())
+        | exception Unix.Unix_error _ -> gone ())
   in
   go ()
 
 type session = { srv : t; fd : Unix.file_descr; mutable shutdown_seen : bool }
+
+let reply_watching s job =
+  match await_watching s.srv s.fd job with
+  | Some r ->
+      Protocol.send_server s.fd r;
+      true
+  | None -> false (* client gone: nothing to write, drop the session *)
 
 let handle_message s msg =
   match (msg : Protocol.client_msg) with
@@ -476,14 +492,21 @@ let handle_message s msg =
       Protocol.send_server s.fd
         (Protocol.Shutdown_ack { served = served s.srv });
       false
-  | Protocol.Run req ->
-      let job = submit s.srv req in
-      Protocol.send_server s.fd (await_watching s.srv s.fd job);
+  | Protocol.Run { Request.workload = `Inline _; _ } ->
+      (* an [`Inline] workload is a Marshal image, and unmarshalling
+         bytes that arrived from an arbitrary peer is memory-unsafe (a
+         crafted or cross-binary payload can crash the daemon outside any
+         exception handler).  The socket boundary therefore only admits
+         registry names; [Request.of_workload] stays a same-process
+         construct. *)
+      Protocol.send_server s.fd
+        (Protocol.Rejected
+           (Protocol.Bad_request
+              "inline workloads are not accepted over the socket; submit a \
+               registry workload name"));
       true
-  | Protocol.Tune tr ->
-      let job = submit_tune s.srv tr in
-      Protocol.send_server s.fd (await_watching s.srv s.fd job);
-      true
+  | Protocol.Run req -> reply_watching s (submit s.srv req)
+  | Protocol.Tune tr -> reply_watching s (submit_tune s.srv tr)
 
 let handle_conn s =
   let rec session () =
@@ -504,12 +527,21 @@ let handle_conn s =
     session
 
 let serve t ~socket =
+  (* A client that disconnects between the poll in [await_watching] and a
+     reply write would otherwise deliver SIGPIPE, whose default action
+     terminates the whole multi-tenant daemon.  Ignored, a write to a
+     dead peer fails with a catchable [EPIPE] instead, which the session
+     loop treats as end-of-connection. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   start t;
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.unlink socket with Unix.Unix_error _ -> ());
   Unix.bind fd (Unix.ADDR_UNIX socket);
   Unix.listen fd 64;
   let stop_requested = Atomic.make false in
+  (* (fd, thread) of every accepted connection; touched only by this
+     thread (accept loop, then the [finally] below), so unlocked *)
   let conns = ref [] in
   let rec accept_loop () =
     if not (Atomic.get stop_requested) then begin
@@ -532,7 +564,7 @@ let serve t ~socket =
                 end)
               ()
           in
-          conns := th :: !conns;
+          conns := (cfd, th) :: !conns;
           accept_loop ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
     end
@@ -541,6 +573,17 @@ let serve t ~socket =
     ~finally:(fun () ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       (try Unix.unlink socket with Unix.Unix_error _ -> ());
-      List.iter Thread.join !conns;
+      (* EOF the surviving connections before joining: a thread parked in
+         [recv_client] on an idle keep-alive connection would otherwise
+         never return and the join would hang the shutdown forever.
+         shutdown(2) wakes the reader without racing the owning thread's
+         close; on an fd its thread already closed (possibly reused by a
+         non-socket) it fails with a caught EBADF/ENOTSOCK. *)
+      List.iter
+        (fun (cfd, _) ->
+          try Unix.shutdown cfd Unix.SHUTDOWN_ALL
+          with Unix.Unix_error _ | Invalid_argument _ -> ())
+        !conns;
+      List.iter (fun (_, th) -> Thread.join th) !conns;
       stop t)
     accept_loop

@@ -15,8 +15,11 @@
       [Rejected (Queue_full _)] at submission, typed, never blocking;
     - {e deadlines}: a request's [deadline_ms] is an end-to-end budget
       from submission.  Spent entirely in the queue it rejects with
-      [Deadline_exceeded]; the remainder is armed as the native run's
-      {!Xinv_native.Watchdog} deadline;
+      [Deadline_exceeded]; for a run the remainder is armed as the native
+      run's {!Xinv_native.Watchdog} deadline.  A tune job has no
+      end-to-end abort: the remainder instead caps each trial's watchdog
+      deadline (tightening {!Xinv_tune.Tune.tune}'s default), so a large
+      trial budget can still overrun the deadline in aggregate;
     - {e fairness}: [`High] before [`Normal], round-robin across tenants
       within a level (see {!Fair});
     - {e cancellation}: {!cancel} withdraws a queued job immediately, and
@@ -101,6 +104,14 @@ val serve : t -> socket:string -> unit
 (** Bind the Unix-domain socket (unlinking any stale file), start the
     scheduler, and accept clients until a [Shutdown] frame arrives; each
     connection gets its own thread that watches for client disconnect
-    while its request is in flight (disconnect ⇒ {!cancel}).  Returns
-    after the listener is closed, the socket file unlinked and the
+    while its request is in flight (disconnect ⇒ {!cancel}, and no reply
+    is written to the dead peer).  SIGPIPE is set to ignore
+    process-wide, so a racing disconnect surfaces as a per-connection
+    [EPIPE] instead of killing the daemon.  Requests carrying an
+    [`Inline] workload (a Marshal image — memory-unsafe to decode from
+    an untrusted peer) are rejected with [Bad_request] at this boundary;
+    only in-process {!submit} accepts them.  On shutdown every
+    still-open connection is forcibly EOF'd so idle keep-alive clients
+    cannot stall the exit.  Returns after the listener is closed, the
+    socket file unlinked, all connection threads joined and the
     scheduler stopped. *)

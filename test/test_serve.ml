@@ -680,13 +680,51 @@ let test_socket_two_clients () =
    with
   | Proto.Rejected (Proto.Bad_request _) -> ()
   | m -> Alcotest.failf "garbage: %s" (Format.asprintf "%a" Proto.pp_server m));
+  (* an inline workload (a Marshal image) is refused at the socket
+     boundary without ever being submitted *)
+  (match
+     SClient.call ~socket (Proto.Run (SReq.make (`Inline "\000\001junk\255")))
+   with
+  | Proto.Rejected (Proto.Bad_request _) -> ()
+  | m ->
+      Alcotest.failf "inline over socket: %s"
+        (Format.asprintf "%a" Proto.pp_server m));
+  (* a client that vanishes mid-request must not kill the daemon: its
+     parked job is cancelled, and the reply that would have hit the dead
+     socket (SIGPIPE, fatal by default) is dropped *)
+  let ghost = SClient.connect socket in
+  Proto.send_client ghost
+    (Proto.Run (native_req ~tenant:"ghost" ~fault:"poison@1:0" ()));
+  Thread.delay 0.05 (* let the run start and park on the poisoned cond *);
+  Unix.close ghost;
+  let deadline = Unix.gettimeofday () +. 5. in
+  while Server.served srv < 11 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  Alcotest.(check int) "ghost job finished after disconnect" 11
+    (Server.served srv);
+  (match SClient.call ~socket Proto.Ping with
+  | Proto.Pong _ -> ()
+  | m ->
+      Alcotest.failf "ping after ghost disconnect: %s"
+        (Format.asprintf "%a" Proto.pp_server m));
+  (* an idle keep-alive connection (no request in flight) must not stall
+     the shutdown below; the daemon EOFs it while exiting *)
+  let idle = SClient.connect socket in
   (* clean shutdown: ack, socket unlinked, accept loop exits *)
   (match SClient.call ~socket Proto.Shutdown with
   | Proto.Shutdown_ack { served } ->
-      Alcotest.(check int) "ack served count" 10 served
+      Alcotest.(check int) "ack served count" 11 served
   | m ->
       Alcotest.failf "shutdown: %s" (Format.asprintf "%a" Proto.pp_server m));
   Thread.join daemon;
+  (match Proto.recv_server idle with
+  | exception Wire.Error Wire.Closed -> ()
+  | exception _ -> ()
+  | m ->
+      Alcotest.failf "idle connection outlived shutdown: %s"
+        (Format.asprintf "%a" Proto.pp_server m));
+  Unix.close idle;
   Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket);
   Alcotest.(check int) "pool never churned" 1 (Server.pool_creates srv)
 
